@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced-but-meaningful scale (the experiments accept ``--jobs 12000``
+through the CLI for the paper's full scale).  ``rounds=1`` because the
+workloads are seeded and deterministic — variance across rounds would
+only measure interpreter noise, and the studies are seconds-long.
+"""
+
+import pytest
+
+#: Keyword arguments shared by the one-shot study benchmarks.
+ONE_SHOT = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def one_shot():
+    """Pedantic-mode settings for deterministic, seconds-long studies."""
+    return ONE_SHOT

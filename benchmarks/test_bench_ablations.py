@@ -1,0 +1,30 @@
+"""Benchmarks: design ablations.
+
+* abl-dp — the DP critical works method versus greedy / HEFT /
+  independent-task min-min;
+* abl-strategy — strategy completeness (S1 vs MS1): generation expense
+  versus coverage.
+"""
+
+from repro.experiments.abl_baselines import run as run_baselines
+from repro.experiments.abl_strategy_size import run as run_strategy_size
+
+
+def test_bench_abl_dp_baselines(benchmark, one_shot):
+    table = benchmark.pedantic(run_baselines,
+                               kwargs={"n_jobs": 40, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("scheduler")
+    assert rows["critical-works"]["admissible %"] > 0
+    for name in ("greedy", "heft"):
+        if rows[name]["admissible %"] > 0:
+            assert (rows["critical-works"]["mean CF"]
+                    <= rows[name]["mean CF"] * 1.1)
+
+
+def test_bench_abl_strategy_completeness(benchmark, one_shot):
+    table = benchmark.pedantic(run_strategy_size,
+                               kwargs={"n_jobs": 40, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    assert rows["S1"]["mean expense"] > rows["MS1"]["mean expense"]

@@ -1,0 +1,21 @@
+"""Benchmark: Section 5 local-queue claims (FCFS / LWF / backfilling /
+advance reservations)."""
+
+from repro.experiments.ext_local_policies import reservation_impact, run
+
+
+def test_bench_ext_local_policies(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 250, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("policy")
+    assert rows["EASY"]["mean wait"] <= rows["FCFS"]["mean wait"]
+    assert (rows["FCFS"]["mean forecast error"]
+            > rows["LWF"]["mean forecast error"])
+    assert rows["LWF"]["max wait"] > rows["FCFS"]["max wait"]
+
+
+def test_bench_reservation_impact(benchmark, one_shot):
+    with_res, without_res = benchmark.pedantic(
+        reservation_impact, kwargs={"n_jobs": 250, "seed": 2009},
+        **one_shot)
+    assert with_res > without_res

@@ -1,0 +1,11 @@
+"""Benchmark: advance reservations vs best effort (QoS extension)."""
+
+from repro.experiments.ext_reservations import run
+
+
+def test_bench_ext_reservations(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 40, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("mode")
+    assert (rows["reservations"]["deadline hit % (accepted)"]
+            > rows["best-effort"]["deadline hit % (accepted)"])

@@ -1,0 +1,16 @@
+"""Benchmark: the Fig. 2 worked example (Section 3).
+
+Regenerates the three supporting distributions, the critical-works
+ranking (12/11/10/9), and the method's own schedule with its P4/P5
+collision resolution.
+"""
+
+from repro.experiments.fig2_example import run
+
+
+def test_bench_fig2_worked_example(benchmark):
+    table = benchmark(run)
+    rows = table.row_map("distribution")
+    assert rows["Distribution 2"]["CF"] < rows["Distribution 1"]["CF"]
+    assert rows["Distribution 1"]["CF"] == rows["Distribution 3"]["CF"]
+    assert rows["critical works method"]["admissible"]

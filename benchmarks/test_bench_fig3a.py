@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 3a — admissible application-level schedule rate.
+
+Paper values: S1 38 %, S2 37 %, S3 33 % over 12 000 jobs.  The bench
+runs a reduced seeded sample and asserts the ordering.
+"""
+
+from repro.experiments.fig3_admissible import run
+
+
+def test_bench_fig3a_admissible_rate(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 60, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    assert rows["S1"]["admissible %"] >= rows["S3"]["admissible %"]
+    # All families land in a plausible admissibility band.
+    for name in ("S1", "S2", "S3"):
+        assert 5.0 <= rows[name]["admissible %"] <= 80.0

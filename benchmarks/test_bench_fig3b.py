@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 3b — collision split over node performance groups.
+
+Paper values: S1 32/68, S2 56/44, S3 74/26 (fast % / slow %).
+"""
+
+from repro.experiments.fig3_collisions import run
+
+
+def test_bench_fig3b_collision_split(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 60, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    # The Fig. 3b ordering: S1 the least fast-heavy, S3 the most.
+    # (S1's absolute slow majority emerges at the full 200-job scale.)
+    assert rows["S3"]["fast %"] > rows["S3"]["slow %"]
+    assert rows["S1"]["fast %"] < rows["S2"]["fast %"] < rows["S3"]["fast %"]

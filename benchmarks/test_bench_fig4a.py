@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 4a — average node load level per performance group.
+
+Paper: S1 occupies the slow nodes, S2 balances, S3 monopolizes the
+highest-performance group.
+"""
+
+from repro.experiments.fig4_load import run
+
+
+def test_bench_fig4a_load_levels(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 25, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    # S1 is the heaviest user of the slow group.
+    assert rows["S1"]["slow %"] > rows["S2"]["slow %"]
+    assert rows["S1"]["slow %"] > rows["S3"]["slow %"]
+    # S3 concentrates its (smaller) load on the fast group.
+    assert rows["S3"]["fast %"] > rows["S3"]["slow %"]

@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 4b — relative job completion cost and task execution
+time for MS1 / S2 / S3.
+
+Paper: S3 clearly cheapest (≈ half); S2's task execution time shorter
+than MS1's; S3 the slowest to complete.
+"""
+
+from repro.experiments.fig4_cost_time import run
+
+
+def test_bench_fig4b_cost_and_time(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 25, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    assert rows["S3"]["relative cost"] < rows["S2"]["relative cost"]
+    assert rows["S3"]["relative cost"] < rows["MS1"]["relative cost"]
+    assert (rows["S2"]["relative exec time"]
+            < rows["MS1"]["relative exec time"])
+    assert rows["S3"]["relative completion"] == 1.0  # the slowest

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 4c — strategy time-to-live and start deviation.
+
+Paper: S3 (cheap, slow) the most persistent; S2 (fast, expensive,
+accurate) the least persistent.
+"""
+
+from repro.experiments.fig4_ttl_deviation import run
+
+
+def test_bench_fig4c_ttl_and_deviation(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 25, "seed": 2009},
+                               **one_shot)
+    rows = table.row_map("strategy")
+    assert rows["S3"]["relative TTL"] == 1.0  # most persistent
+    assert rows["S2"]["TTL (slots)"] <= rows["S3"]["TTL (slots)"]
+    for name in ("MS1", "S2", "S3"):
+        assert 0.0 <= rows[name]["deviation/runtime"] <= 1.0

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the substrates under the experiments.
+
+These are not paper figures; they size the building blocks so a change
+that slows a substrate shows up here before it stretches the studies.
+"""
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.local.profile import AvailabilityProfile
+from repro.sim import Environment
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def test_bench_des_event_throughput(benchmark):
+    """A ping-pong of 10k timeout events through the DES kernel."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_calendar_reserve_release(benchmark):
+    """1k disjoint reservations plus window queries."""
+
+    def run():
+        calendar = ReservationCalendar()
+        for index in range(1_000):
+            calendar.reserve(index * 3, index * 3 + 2, tag=f"r{index}")
+        return len(calendar.free_windows(0, 3_000))
+
+    assert benchmark(run) == 1_000
+
+
+def test_bench_profile_backfill_queries(benchmark):
+    """1k earliest-start queries against a fragmenting profile."""
+
+    def run():
+        profile = AvailabilityProfile(16)
+        total = 0
+        for index in range(1_000):
+            start = profile.earliest_start(duration=3 + index % 5,
+                                           width=1 + index % 4,
+                                           from_=index % 50)
+            profile.add(start, 3 + index % 5, 1 + index % 4)
+            total += start
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_critical_works_fig2(benchmark):
+    """One full critical-works run on the Fig. 2 job."""
+    pool = fig2_pool()
+    job = fig2_job()
+    scheduler = CriticalWorksScheduler(pool)
+
+    def run():
+        calendars = {n.node_id: ReservationCalendar() for n in pool}
+        return scheduler.build_schedule(job, calendars)
+
+    outcome = benchmark(run)
+    assert outcome.admissible

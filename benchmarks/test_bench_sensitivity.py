@@ -1,0 +1,12 @@
+"""Benchmark: sensitivity of the Fig. 3 shapes to policy constants."""
+
+from repro.experiments.sens_policy import run
+
+
+def test_bench_sens_policy(benchmark, one_shot):
+    table = benchmark.pedantic(run, kwargs={"n_jobs": 20, "seed": 2009},
+                               **one_shot)
+    s2_rows = [row for row in table.rows if row["strategy"] == "S2"]
+    # Heavier CF weight pushes S2 off the fast nodes, monotonically.
+    fast_shares = [row["fast %"] for row in s2_rows]
+    assert fast_shares == sorted(fast_shares, reverse=True)

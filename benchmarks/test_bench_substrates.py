@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the newer substrates (query language, preemption,
+online simulation)."""
+
+from repro.local.query import ResourceQuery, parse
+from repro.sim import Environment, Interrupt, PreemptiveResource
+from repro.workload.paper_example import fig2_pool
+
+
+def test_bench_query_parse_and_select(benchmark):
+    """Parse + evaluate a realistic requirements/rank pair over a pool."""
+    pool = fig2_pool()
+
+    def run():
+        query = ResourceQuery(
+            "performance >= 0.3 && (group != 'slow' || price_rate < 0.4)",
+            rank="performance * 2 - price_rate")
+        return len(query.select(pool))
+
+    assert benchmark(run) >= 1
+
+
+def test_bench_query_parser_throughput(benchmark):
+    """1k parses of a nested expression."""
+    text = "((a + 2) * 3 - b / 4 >= 10) && !(c == 'x') || d < e"
+
+    def run():
+        for _ in range(1_000):
+            parse(text)
+        return True
+
+    assert benchmark(run)
+
+
+def test_bench_preemptive_resource_churn(benchmark):
+    """500 preemption cycles on one contested resource."""
+
+    def run():
+        env = Environment()
+        resource = PreemptiveResource(env, capacity=1)
+        evictions = []
+
+        def weak(env, resource):
+            for _ in range(500):
+                with resource.request(priority=5) as claim:
+                    yield claim
+                    try:
+                        yield env.timeout(4)
+                    except Interrupt:
+                        evictions.append(env.now)
+
+        def strong(env, resource):
+            while True:
+                yield env.timeout(2)
+                with resource.request(priority=1) as claim:
+                    yield claim
+                    yield env.timeout(1)
+
+        env.process(weak(env, resource))
+        env.process(strong(env, resource))
+        env.run(until=2_000)
+        return len(evictions)
+
+    assert benchmark(run) > 0

@@ -1,0 +1,63 @@
+"""Local batch-queue policies on one synthetic trace (Section 5).
+
+Runs the same arrival trace through FCFS, LWF, EASY backfilling, and
+conservative backfilling; then shows how sprinkling advance
+reservations over the trace stretches everyone else's queue waits.
+
+Run with::
+
+    python examples/local_queue_policies.py
+"""
+
+from repro.local import (
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FCFSPolicy,
+    LocalBatchSystem,
+    LWFPolicy,
+)
+from repro.workload import BatchTraceConfig, generate_batch_trace
+
+
+def main(n_jobs: int = 300, capacity: int = 8, seed: int = 3) -> None:
+    config = BatchTraceConfig()
+    policies = [FCFSPolicy(), LWFPolicy(), EasyBackfillPolicy(),
+                ConservativeBackfillPolicy()]
+
+    print(f"{'policy':<8}{'mean wait':<12}{'max wait':<10}"
+          f"{'forecast err':<14}{'makespan':<9}")
+    for policy in policies:
+        system = LocalBatchSystem(capacity, policy)
+        system.submit_many(generate_batch_trace(seed, n_jobs, config))
+        records = system.run()
+        print(f"{policy.name:<8}"
+              f"{LocalBatchSystem.mean_wait(records):<12.2f}"
+              f"{max(r.wait for r in records):<10}"
+              f"{LocalBatchSystem.mean_forecast_error(records):<14.2f}"
+              f"{max(r.end for r in records):<9}")
+
+    print("\nAdvance reservations (every 5th job reserved 10 slots "
+          "after arrival, FCFS):")
+    trace = list(generate_batch_trace(seed, n_jobs, config))
+    system = LocalBatchSystem(capacity, FCFSPolicy())
+    system.submit_many(trace)
+    for index, job in enumerate(trace):
+        if index % 5 == 0:
+            system.reserve(job, start=job.arrival + 10)
+    records = system.run()
+    unreserved_wait = LocalBatchSystem.mean_wait(records)
+
+    plain = LocalBatchSystem(capacity, FCFSPolicy())
+    plain.submit_many(trace)
+    baseline_wait = LocalBatchSystem.mean_wait(plain.run())
+
+    print(f"  mean unreserved wait with reservations: "
+          f"{unreserved_wait:.2f}")
+    print(f"  mean wait without reservations:         "
+          f"{baseline_wait:.2f}")
+    print("  -> preliminary reservation increases queue waiting time, "
+          "as the paper's Section 5 reports")
+
+
+if __name__ == "__main__":
+    main()

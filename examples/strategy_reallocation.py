@@ -1,0 +1,63 @@
+"""Dynamic reallocation: watching a strategy survive environment drift.
+
+Generates one job's S1 strategy (four supporting schedules, one per
+estimation level), then replays a stream of background reservation
+events against it.  Each time the active supporting schedule is
+invalidated, the metascheduler switches to another surviving variant —
+until none remains (the strategy's time-to-live).
+
+Run with::
+
+    python examples/strategy_reallocation.py
+"""
+
+from repro.core import StrategyGenerator, StrategyType
+from repro.flow import invalidates, strategy_time_to_live
+from repro.grid import GridEnvironment
+from repro.sim import RandomStreams
+from repro.workload import generate_job, generate_pool
+
+
+def main(seed: int = 21) -> None:
+    streams = RandomStreams(seed)
+    pool = generate_pool(streams.stream("pool"))
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(streams.stream("background"),
+                                      busy_fraction=0.3, horizon=200,
+                                      max_burst=20)
+
+    job = generate_job(streams.fork("jobs", 0), 0)
+    generator = StrategyGenerator(pool)
+    events = environment.sample_background_events(
+        streams.stream("drift"), rate=3.0, horizon=200)
+    print(f"Job {job.job_id!r} (deadline {job.deadline}); replaying "
+          f"{len(events)} drift events against each strategy family\n")
+
+    for stype in (StrategyType.S1, StrategyType.S2, StrategyType.S3,
+                  StrategyType.MS1):
+        strategy = generator.generate(job, environment.snapshot(), stype)
+        print(f"{stype.value}: {len(strategy.schedules)} supporting "
+              f"schedules")
+        for schedule in strategy.schedules:
+            status = ("cost %.0f, makespan %d, nodes %s"
+                      % (schedule.outcome.cost, schedule.outcome.makespan,
+                         sorted(schedule.distribution.node_ids()))
+                      if schedule.admissible else "inadmissible")
+            print(f"  level {schedule.level:.2f}: {status}")
+
+        active = strategy.best_schedule()
+        for event in events:
+            if (active is not None
+                    and invalidates(event, active.distribution)):
+                print(f"  t={event.arrival}: node {event.node_id} slot "
+                      f"[{event.start},{event.end}) steals from the "
+                      f"active level-{active.level:.2f} schedule")
+                break
+        result = strategy_time_to_live(strategy, events, horizon=200)
+        print(f"  time-to-live: {result.ttl} slots "
+              f"({'survived' if result.survived else 'exhausted'}), "
+              f"{result.switches} reallocation(s)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baseline schedulers the paper's method is compared against:
+independent-task heuristics (ref. [13]), HEFT list scheduling, and a
+greedy earliest-finish co-allocator."""
+
+from .greedy import greedy_schedule
+from .heuristics import Heuristic, MappingResult, map_independent_tasks
+from .list_scheduling import heft_schedule, upward_ranks
+
+__all__ = [
+    "Heuristic",
+    "MappingResult",
+    "map_independent_tasks",
+    "heft_schedule",
+    "upward_ranks",
+    "greedy_schedule",
+]

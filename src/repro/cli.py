@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro`` / ``repro``.
+
+Examples
+--------
+List experiments::
+
+    repro list
+
+Run one experiment at the default (laptop) scale::
+
+    repro run fig3a
+
+Run at the paper's scale::
+
+    repro run fig3a --jobs 12000
+
+Run everything::
+
+    repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of Toporkov (PaCT 2009): application-"
+                     "level and job-flow scheduling for QoS in "
+                     "distributed computing"),
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                     help="experiment id (table/figure)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="number of jobs (default: laptop scale)")
+    run.add_argument("--seed", type=int, default=2009,
+                     help="experiment seed (default 2009)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the table as JSON to PATH")
+
+    everything = commands.add_parser("all", help="run every experiment")
+    everything.add_argument("--jobs", type=int, default=None,
+                            help="number of jobs for every experiment")
+    everything.add_argument("--seed", type=int, default=2009)
+    return parser
+
+
+def _run_one(experiment_id: str, jobs: Optional[int], seed: int,
+             json_path: Optional[str] = None) -> None:
+    runner = EXPERIMENTS[experiment_id]
+    kwargs = {"seed": seed}
+    if jobs is not None:
+        kwargs["n_jobs"] = jobs
+    table = runner(**kwargs)
+    table.show()
+    print()
+    if json_path is not None:
+        from .io import dump_json, table_to_dict
+
+        dump_json(table_to_dict(table), json_path)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment, args.jobs, args.seed, args.json)
+        return 0
+    if args.command == "all":
+        for experiment_id in sorted(EXPERIMENTS):
+            _run_one(experiment_id, args.jobs, args.seed)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

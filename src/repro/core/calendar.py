@@ -1,0 +1,190 @@
+"""Reservation calendars: per-node busy intervals and advance reservations.
+
+A local batch-job management system interprets each task as a job with a
+wall-time resource reservation ``[Start, End)``.  The calendar tracks those
+reservations, answers availability queries, and supports the what-if
+copies the application-level scheduler uses while building supporting
+schedules.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["Reservation", "ReservationConflict", "ReservationCalendar"]
+
+
+class ReservationConflict(RuntimeError):
+    """Attempted to reserve a slot overlapping an existing reservation."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One wall-time reservation ``[start, end)`` on a node.
+
+    ``tag`` identifies the owner (job id, task id, "background", ...).
+    """
+
+    start: int
+    end: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"empty or inverted interval [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> int:
+        """Reserved wall time (the paper's real load time ``T_i``)."""
+        return self.end - self.start
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` intersects this reservation."""
+        return self.start < end and start < self.end
+
+
+class ReservationCalendar:
+    """Sorted, non-overlapping reservations for a single node."""
+
+    def __init__(self, reservations: Iterable[Reservation] = ()):
+        self._reservations: list[Reservation] = []
+        self._starts: list[int] = []
+        for reservation in sorted(reservations, key=lambda r: r.start):
+            self.reserve(reservation.start, reservation.end, reservation.tag)
+
+    def __len__(self) -> int:
+        return len(self._reservations)
+
+    def __iter__(self) -> Iterator[Reservation]:
+        return iter(self._reservations)
+
+    @property
+    def reservations(self) -> list[Reservation]:
+        """A copy of the reservations in start order."""
+        return list(self._reservations)
+
+    def copy(self) -> "ReservationCalendar":
+        """An independent what-if copy of this calendar."""
+        clone = ReservationCalendar()
+        clone._reservations = list(self._reservations)
+        clone._starts = list(self._starts)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def conflicts(self, start: int, end: int) -> list[Reservation]:
+        """All reservations intersecting ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty or inverted interval [{start}, {end})")
+        # Candidates start before `end`; scan left while overlap possible.
+        index = bisect.bisect_left(self._starts, end)
+        found = []
+        for reservation in reversed(self._reservations[:index]):
+            if reservation.end > start:
+                found.append(reservation)
+            # Reservations are disjoint and sorted: once one ends at or
+            # before `start`, all earlier ones do too.
+            elif reservation.end <= start:
+                break
+        found.reverse()
+        return found
+
+    def is_free(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` overlaps no reservation."""
+        return not self.conflicts(start, end)
+
+    def free_windows(self, earliest: int, horizon: int
+                     ) -> list[tuple[int, int]]:
+        """Maximal free intervals within ``[earliest, horizon)``."""
+        if horizon <= earliest:
+            return []
+        windows: list[tuple[int, int]] = []
+        cursor = earliest
+        for reservation in self._reservations:
+            if reservation.end <= earliest:
+                continue
+            if reservation.start >= horizon:
+                break
+            if reservation.start > cursor:
+                windows.append((cursor, min(reservation.start, horizon)))
+            cursor = max(cursor, reservation.end)
+            if cursor >= horizon:
+                break
+        if cursor < horizon:
+            windows.append((cursor, horizon))
+        return windows
+
+    def earliest_fit(self, duration: int, earliest: int = 0,
+                     deadline: Optional[int] = None) -> Optional[int]:
+        """Earliest start of a free slot of ``duration`` before ``deadline``.
+
+        Returns None when no such slot exists.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        horizon = deadline if deadline is not None else self._implied_horizon(
+            earliest, duration)
+        for window_start, window_end in self.free_windows(earliest, horizon):
+            if window_end - window_start >= duration:
+                return window_start
+        return None
+
+    def _implied_horizon(self, earliest: int, duration: int) -> int:
+        """A horizon guaranteed to contain a fit when no deadline is given."""
+        last_end = self._reservations[-1].end if self._reservations else 0
+        return max(earliest, last_end) + duration
+
+    def utilization(self, start: int, end: int) -> float:
+        """Fraction of ``[start, end)`` covered by reservations."""
+        if end <= start:
+            raise ValueError(f"empty or inverted interval [{start}, {end})")
+        busy = 0
+        for reservation in self.conflicts(start, end):
+            busy += min(reservation.end, end) - max(reservation.start, start)
+        return busy / (end - start)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def reserve(self, start: int, end: int, tag: str = "") -> Reservation:
+        """Book ``[start, end)``; raises ReservationConflict on overlap."""
+        blockers = self.conflicts(start, end)
+        if blockers:
+            raise ReservationConflict(
+                f"[{start}, {end}) overlaps {blockers[0].tag!r} "
+                f"[{blockers[0].start}, {blockers[0].end})")
+        reservation = Reservation(start, end, tag)
+        index = bisect.bisect_left(self._starts, start)
+        self._reservations.insert(index, reservation)
+        self._starts.insert(index, start)
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        """Remove a reservation previously returned by :meth:`reserve`."""
+        try:
+            index = self._reservations.index(reservation)
+        except ValueError:
+            raise KeyError(f"{reservation} is not booked") from None
+        del self._reservations[index]
+        del self._starts[index]
+
+    def release_tag(self, tag: str) -> int:
+        """Remove every reservation with the given tag; returns the count."""
+        keep = [r for r in self._reservations if r.tag != tag]
+        removed = len(self._reservations) - len(keep)
+        self._reservations = keep
+        self._starts = [r.start for r in keep]
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        spans = ", ".join(
+            f"[{r.start},{r.end}){'/' + r.tag if r.tag else ''}"
+            for r in self._reservations[:6])
+        suffix = ", ..." if len(self._reservations) > 6 else ""
+        return f"<ReservationCalendar {spans}{suffix}>"

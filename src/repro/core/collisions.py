@@ -1,0 +1,83 @@
+"""Collision records and statistics.
+
+A *collision* (Section 3) occurs when tasks belonging to different
+critical works attempt to occupy the same processor node at overlapping
+times — e.g. tasks P4 and P5 both claiming node 3 in Distribution 2 of
+Fig. 2.  Collisions are resolved by reallocating the later-arriving task
+to its next-best node, possibly at a higher cost ("in order to take a
+higher performance processor node, user should pay more").
+
+Fig. 3b reports how collisions distribute across node performance
+groups, so every record carries the group of the contested node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .resources import NodeGroup
+
+__all__ = ["Collision", "CollisionStats"]
+
+
+@dataclass(frozen=True)
+class Collision:
+    """One contention event between two tasks on a node."""
+
+    job_id: str
+    #: Task that had to move.
+    task_id: str
+    #: Task (or reservation tag) that keeps the contested slot.
+    holder: str
+    node_id: int
+    node_group: NodeGroup
+    #: Start of the contested interval.
+    time: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"collision on node {self.node_id} ({self.node_group}): "
+                f"{self.task_id} vs {self.holder} at {self.time}")
+
+
+@dataclass
+class CollisionStats:
+    """Aggregated collision counts by node performance group."""
+
+    by_group: dict[NodeGroup, int] = field(
+        default_factory=lambda: {group: 0 for group in NodeGroup})
+
+    @classmethod
+    def of(cls, collisions: Iterable[Collision]) -> "CollisionStats":
+        """Tally a collection of collision records."""
+        stats = cls()
+        for collision in collisions:
+            stats.by_group[collision.node_group] += 1
+        return stats
+
+    @property
+    def total(self) -> int:
+        """All collisions across groups."""
+        return sum(self.by_group.values())
+
+    def merge(self, other: "CollisionStats") -> "CollisionStats":
+        """Combine two tallies (used when aggregating across jobs)."""
+        merged = CollisionStats()
+        for group in NodeGroup:
+            merged.by_group[group] = self.by_group[group] + other.by_group[group]
+        return merged
+
+    def fraction(self, group: NodeGroup) -> float:
+        """Share of collisions in one group (0 when there are none)."""
+        if self.total == 0:
+            return 0.0
+        return self.by_group[group] / self.total
+
+    def fast_vs_slow(self) -> tuple[float, float]:
+        """The paper's Fig. 3b split: fast group vs everything slower.
+
+        Section 4 contrasts "fast" nodes (2–3× faster) with "slow" ones;
+        medium and slow groups are pooled on the slow side.
+        """
+        fast = self.fraction(NodeGroup.FAST)
+        return (fast, 1.0 - fast if self.total else 0.0)

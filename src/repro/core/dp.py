@@ -1,0 +1,217 @@
+"""Dynamic-programming allocation of one critical work (task chain).
+
+Section 2 of the paper: "The strategy is built by using methods of
+dynamic programming in a way that allows optimizing scheduling and
+resource allocation for a set of tasks comprising the compound job."
+
+Given a chain of tasks that must run sequentially, the DP chooses, for
+every task, a processor node and a start slot so that
+
+* each task fits a free window of its node's reservation calendar;
+* precedence holds, including data-transfer lags between the chosen
+  nodes and constraints from already-placed neighbour tasks;
+* the whole chain finishes by the job's fixed completion time;
+
+while minimizing total cost (the paper's ``CF``), with earliest finish
+as the tie-breaker.  The state is ``(chain position, data-ready time,
+previous node)``; for a fixed node choice the earliest feasible start
+dominates all later ones (it can only enlarge downstream feasibility),
+so each transition considers one start per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from .calendar import ReservationCalendar
+from .costs import CostModel, VolumeOverTimeCost
+from .job import Job
+from .resources import ProcessorNode, ResourcePool
+from .schedule import Placement
+from .transfers import NeutralTransferModel, TransferModel
+
+__all__ = ["ChainAllocation", "allocate_chain"]
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class ChainAllocation:
+    """Optimal placements for one chain, with bookkeeping."""
+
+    placements: list[Placement]
+    cost: float
+    finish: int
+    #: Number of DP state expansions — the strategy generation expense
+    #: metric (S1 vs MS1 comparison in Section 4).
+    evaluations: int
+
+
+def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
+                   calendars: Mapping[int, ReservationCalendar],
+                   deadline: int,
+                   level: float = 0.0,
+                   transfer_model: Optional[TransferModel] = None,
+                   cost_model: Optional[CostModel] = None,
+                   fixed: Optional[Mapping[str, Placement]] = None,
+                   release: int = 0,
+                   allowed_nodes: Optional[set[int]] = None,
+                   objective: str = "cost",
+                   ) -> Optional[ChainAllocation]:
+    """Allocate every task of ``chain`` or return None if infeasible.
+
+    Parameters
+    ----------
+    job:
+        The compound job the chain belongs to.
+    chain:
+        Task ids in precedence order; consecutive tasks must be joined
+        by a transfer edge of the job.
+    pool, calendars:
+        Candidate nodes and their availability; tasks are *not* booked
+        here — the caller owns calendar mutation.
+    deadline:
+        Absolute completion bound for every task of the chain.
+    level:
+        Estimation level in [0, 1] (0 = best case, 1 = worst case).
+    transfer_model:
+        Data-policy timing model (default: neutral).
+    cost_model:
+        Placement pricing (default: the paper's CF term).
+    fixed:
+        Placements of already-assigned tasks; they impose release times
+        (placed predecessors) and latest-end bounds (placed successors)
+        on chain tasks.
+    release:
+        Earliest slot any chain task may start (the job's arrival).
+    allowed_nodes:
+        Optional whitelist of node ids (used by flow-level policies and
+        the S3 family's resource monopolization).
+    objective:
+        ``"cost"`` minimizes total CF with earliest finish as the
+        tie-break (the economic strategies S1/MS1/S3); ``"time"``
+        minimizes finish time with cost as the tie-break (the paper's
+        "fastest, most expensive, most accurate" S2 family).
+    """
+    if not chain:
+        return ChainAllocation([], 0.0, release, 0)
+    transfer_model = transfer_model or NeutralTransferModel()
+    cost_model = cost_model or VolumeOverTimeCost()
+    fixed = fixed or {}
+    if objective not in ("cost", "time"):
+        raise ValueError(f"unknown objective {objective!r}")
+    # Candidate ranking: (primary, secondary) per the chosen objective.
+    if objective == "cost":
+        rank = lambda cost, finish: (cost, finish)  # noqa: E731
+    else:
+        rank = lambda cost, finish: (finish, cost)  # noqa: E731
+
+    for earlier, later in zip(chain, chain[1:]):
+        if job.transfer_between(earlier, later) is None:
+            raise ValueError(
+                f"chain edge ({earlier!r}, {later!r}) is not in job "
+                f"{job.job_id!r}")
+    for task_id in chain:
+        if task_id in fixed:
+            raise ValueError(f"chain task {task_id!r} is already placed")
+
+    nodes = [node for node in pool
+             if allowed_nodes is None or node.node_id in allowed_nodes]
+    if not nodes:
+        return None
+
+    durations = {
+        (task_id, node.node_id): job.task(task_id).duration_on(
+            node.performance, level)
+        for task_id in chain for node in nodes
+    }
+
+    def external_release(task_id: str, node: ProcessorNode) -> int:
+        """Earliest start implied by already-placed predecessors."""
+        bound = release
+        for pred in job.predecessors(task_id):
+            placed = fixed.get(pred)
+            if placed is None:
+                continue
+            transfer = job.transfer_between(pred, task_id)
+            lag = transfer_model.time(transfer, pool.node(placed.node_id),
+                                      node)
+            bound = max(bound, placed.end + lag)
+        return bound
+
+    def latest_end(task_id: str, node: ProcessorNode) -> int:
+        """Latest end implied by the deadline and placed successors."""
+        bound = deadline
+        for succ in job.successors(task_id):
+            placed = fixed.get(succ)
+            if placed is None:
+                continue
+            transfer = job.transfer_between(task_id, succ)
+            lag = transfer_model.time(transfer, node,
+                                      pool.node(placed.node_id))
+            bound = min(bound, placed.start - lag)
+        return bound
+
+    evaluations = 0
+    # memo[(index, prev_node_id, ready)] -> (cost, finish, choice placement,
+    #                                        next state key)
+    memo: dict[tuple[int, Optional[int], int], tuple] = {}
+
+    def best_from(index: int, prev_node_id: Optional[int], ready: int
+                  ) -> tuple[float, int]:
+        """Min (cost, finish) for chain[index:] with data ready at `ready`."""
+        nonlocal evaluations
+        if index == len(chain):
+            return (0.0, ready)
+        key = (index, prev_node_id, ready)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached[0], cached[1]
+        evaluations += 1
+
+        task_id = chain[index]
+        task = job.task(task_id)
+        incoming = (job.transfer_between(chain[index - 1], task_id)
+                    if index > 0 else None)
+        prev_node = pool.node(prev_node_id) if prev_node_id is not None else None
+
+        best = (_INFINITY, _INFINITY, None, None)
+        for node in nodes:
+            lag = (transfer_model.time(incoming, prev_node, node)
+                   if incoming is not None else 0)
+            start_bound = max(ready + lag, external_release(task_id, node))
+            end_bound = latest_end(task_id, node)
+            duration = durations[(task_id, node.node_id)]
+            if start_bound + duration > end_bound:
+                continue
+            start = calendars[node.node_id].earliest_fit(
+                duration, earliest=start_bound, deadline=end_bound)
+            if start is None:
+                continue
+            end = start + duration
+            placement = Placement(task_id, node.node_id, start, end)
+            own_cost = cost_model.task_cost(task, placement, node)
+            tail_cost, tail_finish = best_from(index + 1, node.node_id, end)
+            if tail_cost is _INFINITY or tail_cost == _INFINITY:
+                continue
+            candidate = (own_cost + tail_cost, max(end, tail_finish),
+                         placement, (index + 1, node.node_id, end))
+            if rank(candidate[0], candidate[1]) < rank(best[0], best[1]):
+                best = candidate
+
+        memo[key] = best
+        return best[0], best[1]
+
+    start_key = (0, None, release)
+    total_cost, finish = best_from(*start_key)
+    if total_cost == _INFINITY:
+        return None
+
+    placements: list[Placement] = []
+    key = start_key
+    while key is not None and key[0] < len(chain):
+        _, _, placement, next_key = memo[key]
+        placements.append(placement)
+        key = next_key
+    return ChainAllocation(placements, total_cost, int(finish), evaluations)

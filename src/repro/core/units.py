@@ -1,0 +1,69 @@
+"""Small numeric helpers shared across the scheduling core.
+
+The scheduling core works in integer time slots (wall-time reservations in
+a local batch system are integral), while node performance factors are
+floats such as 1/3.  Naive ``ceil(a / b)`` on floats produces off-by-one
+errors (``2 / (1/3)`` is ``6.000000000000001``), so all slot arithmetic
+goes through the tolerant helpers here.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EPSILON", "ceil_div", "ceil_units", "scale_duration", "interpolate"]
+
+#: Tolerance absorbing float representation noise in slot arithmetic.
+EPSILON = 1e-9
+
+
+def ceil_units(value: float) -> int:
+    """Round ``value`` up to an integer slot count, tolerating float noise.
+
+    >>> ceil_units(6.000000000000001)
+    6
+    >>> ceil_units(6.2)
+    7
+    """
+    return int(math.ceil(value - EPSILON))
+
+
+def ceil_div(numerator: float, denominator: float) -> int:
+    """``ceil(numerator / denominator)`` with float-noise tolerance.
+
+    Used for the paper's cost function ``CF = Σ ceil(V_ij / T_i)``
+    ("rounded to nearest not-smaller integer").
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return ceil_units(numerator / denominator)
+
+
+def scale_duration(base: float, performance: float) -> int:
+    """Execution slots of a task with ``base`` reference time on a node.
+
+    ``performance`` is relative to the reference (fastest) node, so a node
+    with performance 1/2 takes twice the base time.
+
+    >>> scale_duration(2, 0.5)
+    4
+    >>> scale_duration(2, 1/3)
+    6
+    """
+    if performance <= 0:
+        raise ValueError(f"performance must be positive, got {performance}")
+    if base < 0:
+        raise ValueError(f"base duration must be non-negative, got {base}")
+    return ceil_units(base / performance)
+
+
+def interpolate(best: float, worst: float, level: float) -> float:
+    """Linear interpolation between best- and worst-case estimates.
+
+    ``level`` 0 selects the optimistic estimate, 1 the pessimistic one.
+    """
+    if not 0.0 <= level <= 1.0:
+        raise ValueError(f"level must lie in [0, 1], got {level}")
+    if best > worst:
+        raise ValueError(f"best ({best}) must not exceed worst ({worst})")
+    return best + (worst - best) * level

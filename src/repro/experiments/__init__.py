@@ -1,0 +1,54 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Registry keys match the ids used in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from typing import Callable
+
+from . import (
+    abl_baselines,
+    abl_strategy_size,
+    ext_local_policies,
+    ext_reservations,
+    fig2_example,
+    fig3_admissible,
+    fig3_collisions,
+    fig4_cost_time,
+    fig4_load,
+    fig4_ttl_deviation,
+    sens_policy,
+)
+from .common import ExperimentTable, select_nodes_for_job
+from .study import (
+    ApplicationStudyConfig,
+    CoordinatedRow,
+    CoordinatedStudyConfig,
+    application_level_study,
+    coordinated_flow_study,
+)
+
+#: All runnable experiments, by id.
+EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
+    "fig2": fig2_example.run,
+    "fig3a": fig3_admissible.run,
+    "fig3b": fig3_collisions.run,
+    "fig4a": fig4_load.run,
+    "fig4b": fig4_cost_time.run,
+    "fig4c": fig4_ttl_deviation.run,
+    "ext-local": ext_local_policies.run,
+    "ext-reservations": ext_reservations.run,
+    "abl-dp": abl_baselines.run,
+    "abl-strategy": abl_strategy_size.run,
+    "sens-policy": sens_policy.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "select_nodes_for_job",
+    "ApplicationStudyConfig",
+    "application_level_study",
+    "CoordinatedStudyConfig",
+    "CoordinatedRow",
+    "coordinated_flow_study",
+]

@@ -1,0 +1,115 @@
+"""Ablation: the critical works method vs standard baselines.
+
+Compares, on identical jobs and background load:
+
+* the critical works method (DP per critical work, CF objective);
+* a greedy earliest-finish co-allocator (no cost optimization);
+* HEFT list scheduling (makespan objective);
+* min-min over the job's tasks treated as independent (precedence
+  dropped, as the paper's ref. [13] heuristics assume) — a structure-
+  blindness baseline.
+
+The expected pattern: all DAG-aware schedulers find comparable numbers
+of admissible schedules; the critical works method pays the least CF;
+HEFT/greedy finish earlier; the independent-task mapping breaks
+precedence and therefore does not produce valid compound-job schedules
+at all (we report its admissibility as the fraction whose mapping
+happens to satisfy precedence).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.greedy import greedy_schedule
+from ..baselines.heuristics import Heuristic, map_independent_tasks
+from ..baselines.list_scheduling import heft_schedule
+from ..core.costs import distribution_cost
+from ..core.critical_works import CriticalWorksScheduler
+from ..core.schedule import Distribution, check_distribution
+from ..core.strategy import DataPolicyKind
+from ..grid.data import default_policy_models
+from ..grid.environment import GridEnvironment
+from ..metrics.stats import mean
+from ..sim.rng import RandomStreams
+from ..workload.generator import generate_job, generate_pool
+from .common import ExperimentTable, select_nodes_for_job
+from .study import ApplicationStudyConfig
+
+__all__ = ["run"]
+
+
+def run(n_jobs: int = 150, seed: int = 2009,
+        config: Optional[ApplicationStudyConfig] = None) -> ExperimentTable:
+    """Compare application-level schedulers under background load."""
+    config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
+    streams = RandomStreams(config.seed)
+    pool = generate_pool(streams.stream("pool"), config.workload)
+    transfer_model = default_policy_models()[DataPolicyKind.REPLICATION]
+
+    stats = {name: {"admissible": 0, "costs": [], "makespans": []}
+             for name in ("critical-works", "greedy", "heft", "min-min")}
+
+    for index in range(config.n_jobs):
+        job = generate_job(streams.fork("jobs", index), index,
+                           config.workload)
+        subset = select_nodes_for_job(pool, streams.fork("nodes", index),
+                                      config.nodes_per_job)
+        environment = GridEnvironment(subset)
+        horizon = max(1, int(job.deadline * config.horizon_factor))
+        environment.apply_background_load(
+            streams.fork("background", index), config.busy_fraction,
+            horizon, max_burst=config.background_burst)
+        calendars = environment.snapshot()
+
+        outcome = CriticalWorksScheduler(
+            subset, transfer_model).build_schedule(job, calendars)
+        if outcome.admissible:
+            stats["critical-works"]["admissible"] += 1
+            stats["critical-works"]["costs"].append(outcome.cost)
+            stats["critical-works"]["makespans"].append(outcome.makespan)
+
+        for name, scheduler in (("greedy", greedy_schedule),
+                                ("heft", heft_schedule)):
+            distribution = scheduler(job, subset, calendars,
+                                     transfer_model=transfer_model)
+            if distribution is not None:
+                stats[name]["admissible"] += 1
+                stats[name]["costs"].append(
+                    distribution_cost(distribution, job, subset))
+                stats[name]["makespans"].append(distribution.makespan)
+
+        mapping = map_independent_tasks(
+            list(job.tasks.values()), subset, Heuristic.MIN_MIN)
+        independent = Distribution(job.job_id,
+                                   mapping.placements.values())
+        violations = check_distribution(job, independent, subset)
+        if not violations and independent.makespan <= job.deadline:
+            stats["min-min"]["admissible"] += 1
+            stats["min-min"]["costs"].append(
+                distribution_cost(independent, job, subset))
+            stats["min-min"]["makespans"].append(independent.makespan)
+
+    table = ExperimentTable(
+        experiment_id="abl-dp",
+        title=(f"Critical works vs baselines "
+               f"({config.n_jobs} jobs, background "
+               f"{config.busy_fraction:.0%})"),
+        columns=["scheduler", "admissible %", "mean CF", "mean makespan"],
+    )
+    for name, bucket in stats.items():
+        table.add_row(**{
+            "scheduler": name,
+            "admissible %": 100.0 * bucket["admissible"] / config.n_jobs,
+            "mean CF": mean(bucket["costs"]),
+            "mean makespan": mean(bucket["makespans"]),
+        })
+    table.notes.append(
+        "critical works should pay the least CF among DAG-aware "
+        "schedulers; min-min ignores precedence and transfer lags, so "
+        "its mappings are rarely valid compound-job schedules")
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().show()

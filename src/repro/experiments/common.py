@@ -1,0 +1,104 @@
+"""Shared infrastructure for the experiment harness.
+
+Every experiment produces an :class:`ExperimentTable` — the rows the
+paper's corresponding table or figure reports — and can render itself
+as plain text.  The helpers here also cover per-job environment setup
+(node subsets "conformed to a job structure", background load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.resources import NodeGroup, ProcessorNode, ResourcePool
+
+__all__ = ["ExperimentTable", "select_nodes_for_job"]
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure: titled rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; keys must match the declared columns."""
+        missing = [c for c in self.columns if c not in values]
+        extra = [k for k in values if k not in self.columns]
+        if missing or extra:
+            raise ValueError(
+                f"row mismatch: missing {missing}, unexpected {extra}")
+        self.rows.append(dict(values))
+
+    def formatted(self) -> str:
+        """Plain-text rendering (fixed-width columns)."""
+        def text(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        widths = {
+            column: max([len(column)]
+                        + [len(text(row[column])) for row in self.rows])
+            for column in self.columns
+        }
+        header = "  ".join(column.ljust(widths[column])
+                           for column in self.columns)
+        rule = "-" * len(header)
+        lines = [f"[{self.experiment_id}] {self.title}", rule, header, rule]
+        for row in self.rows:
+            lines.append("  ".join(
+                text(row[column]).ljust(widths[column])
+                for column in self.columns))
+        lines.append(rule)
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table."""
+        print(self.formatted())
+
+    def row_map(self, key_column: str) -> dict[Any, dict[str, Any]]:
+        """Rows indexed by one column (for tests and comparisons)."""
+        return {row[key_column]: row for row in self.rows}
+
+
+def select_nodes_for_job(pool: ResourcePool, rng: np.random.Generator,
+                         count: int) -> ResourcePool:
+    """Pick a job's candidate nodes, stratified over performance groups.
+
+    Section 4: "A number of nodes was conformed to a job structure,
+    i.e. a task parallelism degree".  The subset keeps the VO's group
+    proportions so every strategy still faces the fast/medium/slow
+    trade-off.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    count = min(count, len(pool))
+    chosen: list[ProcessorNode] = []
+    remaining = count
+    groups = [pool.by_group(group) for group in NodeGroup]
+    present = [nodes for nodes in groups if nodes]
+    # One representative per present group first (keeps heterogeneity),
+    # then fill proportionally at random.
+    for nodes in present:
+        if remaining == 0:
+            break
+        pick = nodes[int(rng.integers(0, len(nodes)))]
+        if pick not in chosen:
+            chosen.append(pick)
+            remaining -= 1
+    leftovers = [node for node in pool if node not in chosen]
+    if remaining > 0 and leftovers:
+        indices = rng.choice(len(leftovers),
+                             size=min(remaining, len(leftovers)),
+                             replace=False)
+        chosen.extend(leftovers[int(i)] for i in np.atleast_1d(indices))
+    return ResourcePool(sorted(chosen, key=lambda n: n.node_id))

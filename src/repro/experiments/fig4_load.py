@@ -1,0 +1,59 @@
+"""Fig. 4a reproduction: average node load level per performance group.
+
+Paper: "The strategy S2 performs the best in the term of load balancing
+for different groups of processor nodes, while the strategy S1 tries to
+occupy 'slow' nodes, and the strategy S3 — the processors with the
+highest performance."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.resources import NodeGroup
+from ..core.strategy import StrategyType
+from .common import ExperimentTable
+from .study import CoordinatedStudyConfig, coordinated_flow_study
+
+__all__ = ["run"]
+
+#: Families shown in Fig. 4a.
+FIG4A_TYPES = (StrategyType.S1, StrategyType.S2, StrategyType.S3)
+
+
+def run(n_jobs: int = 60, seed: int = 2009,
+        config: Optional[CoordinatedStudyConfig] = None) -> ExperimentTable:
+    """Regenerate the Fig. 4a load-level bars."""
+    config = config or CoordinatedStudyConfig(seed=seed, n_jobs=n_jobs,
+                                              stypes=FIG4A_TYPES)
+    rows = coordinated_flow_study(config)
+
+    table = ExperimentTable(
+        experiment_id="fig4a",
+        title=(f"Average node load level per performance group "
+               f"({config.n_jobs} jobs per family)"),
+        columns=["strategy", "fast %", "medium %", "slow %",
+                 "committed", "slow share"],
+    )
+    for stype in config.stypes:
+        row = rows[stype]
+        fast = 100 * row.load_by_group.get(NodeGroup.FAST, 0.0)
+        medium = 100 * row.load_by_group.get(NodeGroup.MEDIUM, 0.0)
+        slow = 100 * row.load_by_group.get(NodeGroup.SLOW, 0.0)
+        total = fast + medium + slow
+        table.add_row(**{
+            "strategy": stype.value,
+            "fast %": fast,
+            "medium %": medium,
+            "slow %": slow,
+            "committed": row.committed,
+            "slow share": (slow / total if total else 0.0),
+        })
+    table.notes.append(
+        "shape contract: S1 uses the slow group the most, S3 "
+        "concentrates on the fast group and barely touches slow nodes")
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().show()

@@ -1,0 +1,33 @@
+"""Job-flow level: the hierarchical scheduling framework of Fig. 1.
+
+Metascheduler → domain job managers → local batch systems, with quota
+economics and the dynamic reallocation mechanism between supporting
+schedules."""
+
+from .economics import InsufficientBudget, UserAccount, VOEconomics
+from .manager import JobManager
+from .metascheduler import FlowRecord, Metascheduler
+from .reallocation import (
+    TimeToLiveResult,
+    invalidates,
+    strategy_time_to_live,
+)
+from .simulation import JobOutcome, OnlineConfig, OnlineSimulation
+from .vo import FlowSummary, VirtualOrganization
+
+__all__ = [
+    "VOEconomics",
+    "UserAccount",
+    "InsufficientBudget",
+    "JobManager",
+    "Metascheduler",
+    "FlowRecord",
+    "invalidates",
+    "strategy_time_to_live",
+    "TimeToLiveResult",
+    "VirtualOrganization",
+    "FlowSummary",
+    "OnlineSimulation",
+    "OnlineConfig",
+    "JobOutcome",
+]

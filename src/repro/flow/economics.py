@@ -1,0 +1,150 @@
+"""Economic model of the virtual organization.
+
+Section 3: cost functions "can be used in economical models of resource
+distribution in virtual organizations ... full costing in CF is not
+calculated in real money, but in some conventional units (quotas) ...
+user should pay additional cost in order to use more powerful resource
+or to start the task faster."  Section 5 adds dynamic priority changes,
+"when virtual organization user changes execution cost for a specific
+resource".
+
+Accounts hold quota units; scheduling charges the CF cost of the chosen
+distribution; users may bid a surge factor that raises both their charge
+and their flow priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.costs import CostModel, VolumeOverTimeCost, distribution_cost
+from ..core.job import Job
+from ..core.resources import ResourcePool
+from ..core.schedule import Distribution
+
+__all__ = ["InsufficientBudget", "UserAccount", "VOEconomics"]
+
+
+class InsufficientBudget(RuntimeError):
+    """The user's quota cannot cover the requested schedule."""
+
+
+@dataclass
+class UserAccount:
+    """One VO user's quota account."""
+
+    name: str
+    budget: float
+    spent: float = 0.0
+    #: Current bid multiplier; > 1 buys priority, paid on every charge.
+    surge: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"budget must be non-negative, got {self.budget}")
+        if self.surge <= 0:
+            raise ValueError(f"surge must be positive, got {self.surge}")
+
+    @property
+    def remaining(self) -> float:
+        """Unspent quota."""
+        return self.budget - self.spent
+
+    def can_afford(self, amount: float) -> bool:
+        """True when the (surged) amount fits the remaining quota."""
+        return self.remaining >= amount * self.surge
+
+
+class VOEconomics:
+    """Quota accounting plus per-job pricing for one VO."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or VolumeOverTimeCost()
+        self._accounts: dict[str, UserAccount] = {}
+        #: Per-node price multipliers ("user changes execution cost for
+        #: a specific resource" — Section 5's dynamic priority lever).
+        self._node_surge: dict[int, float] = {}
+
+    def open_account(self, name: str, budget: float) -> UserAccount:
+        """Create a user account (error on duplicates)."""
+        if name in self._accounts:
+            raise ValueError(f"account {name!r} already exists")
+        account = UserAccount(name=name, budget=budget)
+        self._accounts[name] = account
+        return account
+
+    def account(self, name: str) -> UserAccount:
+        """Look up an account."""
+        try:
+            return self._accounts[name]
+        except KeyError:
+            raise KeyError(f"no account {name!r}") from None
+
+    def has_account(self, name: str) -> bool:
+        """True when the user has an account."""
+        return name in self._accounts
+
+    def set_surge(self, name: str, surge: float) -> None:
+        """Dynamic priority change: the user re-bids their factor."""
+        if surge <= 0:
+            raise ValueError(f"surge must be positive, got {surge}")
+        self.account(name).surge = surge
+
+    def priority_of(self, name: str) -> float:
+        """Flow priority: higher surge bids are served first."""
+        return self.account(name).surge
+
+    def set_node_surge(self, node_id: int, factor: float) -> None:
+        """Re-price one resource: its slots now cost ``factor``× more.
+
+        Raising a node's price steers cost-minimizing flows away from
+        it — the VO's owner-side counterpart of user surge bids.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self._node_surge[node_id] = factor
+
+    def node_surge(self, node_id: int) -> float:
+        """The current price multiplier of one node (default 1)."""
+        return self._node_surge.get(node_id, 1.0)
+
+    def quote(self, distribution: Distribution, job: Job,
+              pool: ResourcePool) -> float:
+        """Price of a distribution in quota units (before user surge).
+
+        Each placement's cost is scaled by its node's surge factor.
+        """
+        if not self._node_surge:
+            return distribution_cost(distribution, job, pool,
+                                     self.cost_model)
+        total = 0.0
+        for placement in distribution:
+            task = job.task(placement.task_id)
+            node = pool.node(placement.node_id)
+            total += (self.cost_model.task_cost(task, placement, node)
+                      * self.node_surge(node.node_id))
+        return total
+
+    def charge(self, name: str, distribution: Distribution, job: Job,
+               pool: ResourcePool) -> float:
+        """Debit the user for a committed schedule; returns the amount.
+
+        Raises :class:`InsufficientBudget` (leaving the account intact)
+        when the surged price exceeds the remaining quota.
+        """
+        account = self.account(name)
+        amount = self.quote(distribution, job, pool) * account.surge
+        if account.remaining < amount:
+            raise InsufficientBudget(
+                f"user {name!r} needs {amount:.1f} quota units but has "
+                f"{account.remaining:.1f}")
+        account.spent += amount
+        return amount
+
+    def refund(self, name: str, amount: float) -> None:
+        """Credit back a previously charged amount (cancelled job)."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        account = self.account(name)
+        account.spent = max(0.0, account.spent - amount)

@@ -1,0 +1,112 @@
+"""Dynamic reallocation: switching between supporting schedules.
+
+"Innovation of our approach consists in mechanisms of dynamic job-flow
+environment reallocation based on scheduling strategies."  A strategy
+holds several supporting schedules; when the environment drifts (new
+background reservations appear), the metascheduler abandons the active
+schedule and activates another variant that is still consistent with
+everything observed so far.  The time until *no* variant survives is
+the strategy's **time-to-live** — Fig. 4c's persistence factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.schedule import Distribution
+from ..core.strategy import Strategy, SupportingSchedule
+from ..grid.environment import BackgroundEvent
+
+__all__ = ["invalidates", "TimeToLiveResult", "strategy_time_to_live"]
+
+
+def invalidates(event: BackgroundEvent, distribution: Distribution,
+                executed_before: Optional[int] = None) -> bool:
+    """True if the new reservation clashes with the schedule.
+
+    By default the distribution is treated as a *plan*: every placement
+    window is stealable until the plan is committed, whenever the event
+    arrives.  Pass ``executed_before`` (a simulation time) to grant
+    immunity to placements that already completed by then — the
+    committed-and-running interpretation.
+    """
+    for placement in distribution:
+        if placement.node_id != event.node_id:
+            continue
+        if executed_before is not None and placement.end <= executed_before:
+            continue  # already executed
+        if placement.start < event.end and event.start < placement.end:
+            return True
+    return False
+
+
+@dataclass
+class TimeToLiveResult:
+    """Outcome of replaying environment drift against one strategy."""
+
+    #: Slots from strategy activation until no variant remained
+    #: (the horizon when the strategy survived the whole replay).
+    ttl: int
+    #: True when some variant was still alive at the horizon.
+    survived: bool
+    #: How many times the active schedule had to be switched.
+    switches: int
+    #: The variant active at the end (None when the strategy died).
+    final: Optional[SupportingSchedule]
+
+
+def strategy_time_to_live(strategy: Strategy,
+                          events: Sequence[BackgroundEvent],
+                          horizon: int,
+                          min_level: float = 0.0) -> TimeToLiveResult:
+    """Replay drift events and measure the strategy's time-to-live.
+
+    The cheapest admissible variant covering ``min_level`` (the
+    environment's forecast estimation level — a variant planned below it
+    reserves too little to be usable) is activated first.  Each arriving
+    event is checked against the *active* schedule only — other covering
+    variants are kept as fallbacks and validated against the full event
+    history when activated.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if not 0.0 <= min_level <= 1.0:
+        raise ValueError(f"min_level must lie in [0, 1], got {min_level}")
+
+    alive = [schedule for schedule in strategy.admissible_schedules()
+             if schedule.level >= min_level - 1e-9]
+    if not alive:
+        # Nothing covers the forecast: fall back to whatever exists
+        # (the metascheduler would rather run optimistically than not).
+        alive = list(strategy.admissible_schedules())
+    if not alive:
+        return TimeToLiveResult(ttl=0, survived=False, switches=0, final=None)
+    active = min(alive, key=lambda s: (s.outcome.cost, s.outcome.makespan))
+
+    seen: list[BackgroundEvent] = []
+    switches = 0
+    for event in sorted(events, key=lambda e: e.arrival):
+        if event.arrival >= horizon:
+            break
+        seen.append(event)
+        if not invalidates(event, active.distribution):
+            continue
+        # The active schedule died; look for a fallback consistent with
+        # every event observed so far.
+        alive = [
+            candidate for candidate in alive
+            if candidate is not active
+            and not any(invalidates(past, candidate.distribution)
+                        for past in seen)
+        ]
+        if not alive:
+            return TimeToLiveResult(ttl=event.arrival, survived=False,
+                                    switches=switches, final=None)
+        # Prefer the cheapest surviving variant, like the initial choice.
+        active = min(alive, key=lambda s: (s.outcome.cost,
+                                           s.outcome.makespan))
+        switches += 1
+
+    return TimeToLiveResult(ttl=horizon, survived=True, switches=switches,
+                            final=active)

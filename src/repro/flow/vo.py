@@ -1,0 +1,110 @@
+"""Virtual organization: the full framework wired together.
+
+Bundles the resource pool, the Grid environment state, the quota
+economics, and the hierarchical metascheduler into a single façade —
+what a deployment of the paper's framework would look like from a user's
+point of view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.costs import CostModel
+from ..core.job import Job
+from ..core.resources import NodeGroup, ResourcePool
+from ..core.strategy import StrategyType
+from ..grid.environment import GridEnvironment
+from .economics import VOEconomics
+from .metascheduler import FlowRecord, Metascheduler
+
+__all__ = ["FlowSummary", "VirtualOrganization"]
+
+
+@dataclass
+class FlowSummary:
+    """Aggregate view of a dispatched batch."""
+
+    total: int
+    committed: int
+    inadmissible: int
+    conflicts: int
+    budget_rejections: int
+    reallocations: int
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of jobs that got a committed schedule."""
+        return self.committed / self.total if self.total else 0.0
+
+
+class VirtualOrganization:
+    """One VO: users, resources, economics, and the scheduling hierarchy."""
+
+    def __init__(self, pool: ResourcePool,
+                 cost_model: Optional[CostModel] = None,
+                 with_economics: bool = True,
+                 full_hierarchy: bool = False):
+        """``full_hierarchy`` routes commitments through per-domain
+        local resource managers (the complete Fig. 1 stack)."""
+        self.pool = pool
+        self.grid = GridEnvironment(pool)
+        self.economics = VOEconomics(cost_model) if with_economics else None
+        self.metascheduler = Metascheduler(
+            self.grid, cost_model=cost_model, economics=self.economics,
+            use_local_managers=full_hierarchy)
+
+    # ------------------------------------------------------------------
+
+    def register_user(self, name: str, budget: float):
+        """Open a quota account for a user."""
+        if self.economics is None:
+            raise RuntimeError("this VO runs without economics")
+        return self.economics.open_account(name, budget)
+
+    def preload_background(self, rng: np.random.Generator,
+                           busy_fraction: float, horizon: int) -> int:
+        """Occupy resources with independent-flow background load."""
+        return self.grid.apply_background_load(rng, busy_fraction, horizon)
+
+    def submit(self, job: Job, stype: StrategyType) -> None:
+        """Queue a job on the flow of the given strategy type."""
+        self.metascheduler.submit(job, stype)
+
+    def dispatch(self, release: int = 0) -> list[FlowRecord]:
+        """Plan and commit everything pending."""
+        return self.metascheduler.dispatch(release=release)
+
+    def run_flow(self, jobs: Iterable[tuple[Job, StrategyType]],
+                 release: int = 0) -> list[FlowRecord]:
+        """Submit and dispatch a batch in one call."""
+        for job, stype in jobs:
+            self.submit(job, stype)
+        return self.dispatch(release=release)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def summarize(records: Iterable[FlowRecord]) -> FlowSummary:
+        """Aggregate dispatch outcomes."""
+        records = list(records)
+        return FlowSummary(
+            total=len(records),
+            committed=sum(1 for r in records if r.committed),
+            inadmissible=sum(1 for r in records
+                             if r.reason == "inadmissible"),
+            conflicts=sum(1 for r in records if r.reason == "conflict"),
+            budget_rejections=sum(1 for r in records
+                                  if r.reason == "budget"),
+            reallocations=sum(r.reallocations for r in records),
+        )
+
+    def load_by_group(self, start: int, end: int,
+                      jobs_only: bool = True) -> dict[NodeGroup, float]:
+        """Average node load per performance group (Fig. 4a)."""
+        if jobs_only:
+            return self.grid.utilization_by_group_tagged(start, end)
+        return self.grid.utilization_by_group(start, end)

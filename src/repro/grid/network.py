@@ -1,0 +1,76 @@
+"""Network model: where transfer base times come from.
+
+Transfer base times on job edges are derived from data volumes and the
+interconnect: ``base_time = latency + ceil(volume / bandwidth)``.  The
+workload generator uses this to turn randomized data volumes (Section 4:
+"randomized ... data transfer times and volumes") into slot counts; the
+data-policy models in :mod:`repro.grid.data` then scale those base times
+per strategy family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.units import ceil_units
+
+__all__ = ["Link", "Network"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point connection between two domains (or nodes)."""
+
+    bandwidth: float
+    latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(
+                f"latency must be non-negative, got {self.latency}")
+
+    def transfer_slots(self, volume: float) -> int:
+        """Slots to move ``volume`` data units over this link."""
+        if volume < 0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        if volume == 0:
+            return self.latency
+        return self.latency + max(1, ceil_units(volume / self.bandwidth))
+
+
+class Network:
+    """Domain-to-domain connectivity with a default link.
+
+    The hierarchical framework groups similar nodes under one domain
+    manager; traffic inside a domain uses the (fast) default intra-domain
+    link, traffic between domains the inter-domain default or an
+    explicitly registered link.
+    """
+
+    def __init__(self, intra_domain: Optional[Link] = None,
+                 inter_domain: Optional[Link] = None):
+        self.intra_domain = intra_domain or Link(bandwidth=10.0, latency=0)
+        self.inter_domain = inter_domain or Link(bandwidth=2.0, latency=1)
+        self._links: dict[frozenset[str], Link] = {}
+
+    def connect(self, domain_a: str, domain_b: str, link: Link) -> None:
+        """Register a dedicated link between two domains."""
+        if domain_a == domain_b:
+            raise ValueError("use intra_domain for same-domain traffic")
+        self._links[frozenset((domain_a, domain_b))] = link
+
+    def link_between(self, domain_a: str, domain_b: str) -> Link:
+        """The link used for traffic between two domains."""
+        if domain_a == domain_b:
+            return self.intra_domain
+        return self._links.get(frozenset((domain_a, domain_b)),
+                               self.inter_domain)
+
+    def transfer_slots(self, volume: float, domain_a: str,
+                       domain_b: str) -> int:
+        """Slots to move ``volume`` between the two domains."""
+        return self.link_between(domain_a, domain_b).transfer_slots(volume)

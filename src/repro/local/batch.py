@@ -1,0 +1,323 @@
+"""A local batch-job management system simulator.
+
+Simulates one cluster queue with pluggable policies (FCFS, LWF, EASY /
+conservative backfilling, gang) and advance reservations.  The scheduler
+plans with *user estimates* (wall-time requests) while jobs complete at
+their *actual* runtimes — the gap drives the start-forecast errors and
+waiting-time effects discussed in the paper's Section 5.
+
+The simulation is event-driven over integer slots: events are job
+arrivals and job completions; after each event the scheduler tries to
+dispatch from the queue according to its policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..workload.traces import BatchJob
+from .policies import FCFSPolicy, GangPolicy, QueuePolicy
+from .profile import AvailabilityProfile
+
+__all__ = ["QueuedJob", "JobRecord", "AdvanceReservation",
+           "LocalBatchSystem"]
+
+
+@dataclass
+class QueuedJob:
+    """A job waiting in the local queue."""
+
+    job: BatchJob
+    #: Submission sequence number (FCFS tie-break).
+    seq: int
+    #: Start-time forecast computed when the job arrived.
+    forecast: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Final accounting for one completed job."""
+
+    job_id: str
+    arrival: int
+    start: int
+    end: int
+    width: int
+    runtime: int
+    estimate: int
+    forecast: Optional[int] = None
+    reserved: bool = False
+
+    @property
+    def wait(self) -> int:
+        """Queue waiting time."""
+        return self.start - self.arrival
+
+    @property
+    def forecast_error(self) -> Optional[int]:
+        """Absolute start-forecast error (None when no forecast)."""
+        if self.forecast is None:
+            return None
+        return abs(self.start - self.forecast)
+
+
+@dataclass(frozen=True)
+class AdvanceReservation:
+    """A fixed future slot granted before the job enters the queue."""
+
+    job_id: str
+    start: int
+    width: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if self.width < 1 or self.duration < 1:
+            raise ValueError("width and duration must be positive")
+
+
+@dataclass
+class _Running:
+    job: BatchJob
+    start: int
+    actual_end: int
+    estimated_end: int
+    reserved: bool = False
+
+
+class LocalBatchSystem:
+    """One cluster queue with a scheduling policy.
+
+    Parameters
+    ----------
+    capacity:
+        Number of identical nodes in the cluster.
+    policy:
+        Queue policy (default FCFS, as in the paper's experiments).
+    """
+
+    def __init__(self, capacity: int, policy: Optional[QueuePolicy] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.policy = policy or FCFSPolicy()
+        self._pending: list[BatchJob] = []
+        self._reservations: dict[str, AdvanceReservation] = {}
+        self._records: list[JobRecord] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: BatchJob) -> None:
+        """Enqueue a job for arrival at its trace arrival time."""
+        if job.width > self.capacity:
+            raise ValueError(
+                f"job {job.job_id!r} needs {job.width} nodes, cluster has "
+                f"{self.capacity}")
+        self._pending.append(job)
+
+    def submit_many(self, jobs: Iterable[BatchJob]) -> None:
+        """Enqueue a whole trace."""
+        for job in jobs:
+            self.submit(job)
+
+    def reserve(self, job: BatchJob, start: int) -> AdvanceReservation:
+        """Grant the job an advance reservation at or after ``start``.
+
+        The granted slot is the earliest one at or after the requested
+        start that does not oversubscribe the cluster together with the
+        already-granted reservations (a negotiated reservation, as real
+        resource managers do).
+        """
+        if start < job.arrival:
+            raise ValueError(
+                f"reservation at {start} precedes arrival {job.arrival}")
+        profile = AvailabilityProfile(self.capacity)
+        for existing in self._reservations.values():
+            profile.add(existing.start, existing.duration, existing.width)
+        granted = profile.earliest_start(job.estimate, job.width,
+                                         from_=start)
+        reservation = AdvanceReservation(job.job_id, granted, job.width,
+                                         job.estimate)
+        self._reservations[job.job_id] = reservation
+        return reservation
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[JobRecord]:
+        """Simulate until every submitted job completes."""
+        pending = sorted(self._pending, key=lambda j: j.arrival)
+        queue: list[QueuedJob] = []
+        running: list[_Running] = []
+        arrived_gang_members: dict[str, int] = {}
+        started: set[str] = set()
+        now = 0
+
+        def next_event() -> Optional[int]:
+            times = []
+            if pending:
+                times.append(pending[0].arrival)
+            if running:
+                times.append(min(r.actual_end for r in running))
+            # A reserved job may start with no other event pending.
+            for queued in queue:
+                reservation = self._reservations.get(queued.job.job_id)
+                if reservation is not None:
+                    times.append(max(reservation.start, queued.job.arrival))
+            return min(times) if times else None
+
+        def used_nodes(at: int) -> int:
+            return sum(r.job.width for r in running if r.actual_end > at)
+
+        def estimate_profile(at: int) -> AvailabilityProfile:
+            """Profile from running-job estimates and reservations."""
+            profile = AvailabilityProfile(self.capacity)
+            for run in running:
+                if run.actual_end <= at:
+                    continue
+                # The scheduler only knows the estimate; a job never runs
+                # past it (overruns are killed at the wall time).
+                end = max(run.estimated_end, at + 1)
+                profile.add(at, end - at, run.job.width)
+            for reservation in self._reservations.values():
+                if reservation.job_id in started:
+                    continue  # already counted through `running`
+                end = reservation.start + reservation.duration
+                if end <= at:
+                    continue
+                profile.add(max(reservation.start, at),
+                            end - max(reservation.start, at),
+                            reservation.width)
+            return profile
+
+        def start_job(queued: QueuedJob, at: int, reserved: bool) -> None:
+            job = queued.job
+            started.add(job.job_id)
+            running.append(_Running(
+                job=job, start=at, actual_end=at + job.runtime,
+                estimated_end=at + job.estimate, reserved=reserved))
+            queue.remove(queued)
+            self._records.append(JobRecord(
+                job_id=job.job_id, arrival=job.arrival, start=at,
+                end=at + job.runtime, width=job.width, runtime=job.runtime,
+                estimate=job.estimate, forecast=queued.forecast,
+                reserved=reserved))
+
+        def eligible(queued: QueuedJob) -> bool:
+            if not isinstance(self.policy, GangPolicy):
+                return True
+            tag = GangPolicy.gang_tag(queued.job.job_id)
+            expected = self.policy.expected_sizes.get(tag, 1)
+            return arrived_gang_members.get(tag, 0) >= expected
+
+        def dispatch(at: int) -> None:
+            # Reserved jobs start exactly at their reserved slot.
+            for queued in list(queue):
+                reservation = self._reservations.get(queued.job.job_id)
+                if reservation is not None and reservation.start <= at:
+                    start_job(queued, at, reserved=True)
+
+            changed = True
+            while changed:
+                changed = False
+                unreserved = [q for q in queue
+                              if q.job.job_id not in self._reservations]
+                ordered = self.policy.order(unreserved, at)
+                profile = estimate_profile(at)
+                blocked_head = False
+                for queued in ordered:
+                    job = queued.job
+                    if not eligible(queued):
+                        if self.policy.backfill == "none":
+                            break
+                        continue
+                    fits_now = (profile.earliest_start(
+                        job.estimate, job.width, at) == at)
+                    if fits_now:
+                        start_job(queued, at, reserved=False)
+                        changed = True
+                        break  # restart with a fresh profile
+                    if self.policy.backfill == "none":
+                        break  # head-of-queue blocking
+                    if self.policy.backfill == "easy" and not blocked_head:
+                        # Reserve the head's shadow slot, then backfill.
+                        shadow = profile.earliest_start(
+                            job.estimate, job.width, at)
+                        profile.add(shadow, job.estimate, job.width)
+                        blocked_head = True
+                        continue
+                    if self.policy.backfill == "conservative":
+                        shadow = profile.earliest_start(
+                            job.estimate, job.width, at)
+                        profile.add(shadow, job.estimate, job.width)
+                        continue
+                    # EASY: jobs behind the blocked head may only start
+                    # now; otherwise they are skipped (no reservation).
+
+        def forecast_for(queued_new: QueuedJob, at: int) -> int:
+            """Start forecast at submission: conservative projection of
+            the jobs the policy would serve ahead of the new one."""
+            profile = estimate_profile(at)
+            candidates = [q for q in queue
+                          if q.job.job_id not in self._reservations]
+            ordered = self.policy.order(candidates + [queued_new], at)
+            for queued in ordered:
+                if queued is queued_new:
+                    break
+                slot = profile.earliest_start(queued.job.estimate,
+                                              queued.job.width, at)
+                profile.add(slot, queued.job.estimate, queued.job.width)
+            return profile.earliest_start(queued_new.job.estimate,
+                                          queued_new.job.width, at)
+
+        while pending or queue or running:
+            event_time = next_event()
+            if event_time is None:
+                raise RuntimeError(
+                    f"queue stalled at t={now} with {len(queue)} jobs "
+                    f"waiting — no arrival, completion, or reservation due")
+            now = max(now, event_time)
+            running = [r for r in running if r.actual_end > now]
+            while pending and pending[0].arrival <= now:
+                job = pending.pop(0)
+                queued = QueuedJob(job=job, seq=self._seq)
+                self._seq += 1
+                tag = GangPolicy.gang_tag(job.job_id)
+                arrived_gang_members[tag] = arrived_gang_members.get(tag, 0) + 1
+                if job.job_id not in self._reservations:
+                    queued.forecast = forecast_for(queued, now)
+                queue.append(queued)
+            dispatch(now)
+
+        self._pending = []
+        return sorted(self._records, key=lambda r: (r.start, r.job_id))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[JobRecord]:
+        """Records of completed jobs so far."""
+        return list(self._records)
+
+    @staticmethod
+    def mean_wait(records: Iterable[JobRecord],
+                  include_reserved: bool = False) -> float:
+        """Average queue waiting time."""
+        waits = [r.wait for r in records
+                 if include_reserved or not r.reserved]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    @staticmethod
+    def mean_forecast_error(records: Iterable[JobRecord]) -> float:
+        """Average absolute start-forecast error."""
+        errors = [r.forecast_error for r in records
+                  if r.forecast_error is not None]
+        return sum(errors) / len(errors) if errors else 0.0

@@ -1,0 +1,160 @@
+"""Local job-queue management policies.
+
+Section 5: "Different job-queue management models and scheduling
+algorithms can be used (FCFS modifications, least-work-first (LWF),
+backfilling, gang scheduling etc.)".  The policies here plug into
+:class:`repro.local.batch.LocalBatchSystem`:
+
+* **FCFS** — strict arrival order (the policy used in the paper's
+  Section 4 experiments);
+* **LWF** — least work first: ascending ``estimate × width``;
+* **EASY backfilling** — FCFS head gets a reservation; later jobs may
+  jump ahead if they do not delay the head's reserved start;
+* **conservative backfilling** — every queued job holds a reservation;
+  a job may only start in a hole that delays no reservation;
+* **gang** — jobs of the same gang tag are only eligible together (a
+  simplified co-scheduling rule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .batch import QueuedJob
+
+__all__ = [
+    "QueuePolicy",
+    "FCFSPolicy",
+    "LWFPolicy",
+    "EasyBackfillPolicy",
+    "ConservativeBackfillPolicy",
+    "AgedPriorityPolicy",
+    "GangPolicy",
+]
+
+
+class QueuePolicy:
+    """Base policy: ordering plus backfilling behaviour flags."""
+
+    #: Human-readable policy name (used in experiment tables).
+    name = "base"
+    #: "none"  — head-of-queue blocking (pure priority order);
+    #: "easy"  — one reservation for the head, aggressive backfill;
+    #: "conservative" — reservations for every queued job.
+    backfill = "none"
+
+    def order(self, queue: Sequence["QueuedJob"], now: int
+              ) -> list["QueuedJob"]:
+        """Service order of the queue at time ``now``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class FCFSPolicy(QueuePolicy):
+    """First come, first served."""
+
+    name = "FCFS"
+
+    def order(self, queue, now):
+        """Arrival order with submission-sequence tie-break."""
+        return sorted(queue, key=lambda q: (q.job.arrival, q.seq))
+
+
+class LWFPolicy(QueuePolicy):
+    """Least work first: smallest ``estimate × width`` goes first."""
+
+    name = "LWF"
+
+    def order(self, queue, now):
+        """Ascending requested work (estimate × width)."""
+        return sorted(queue,
+                      key=lambda q: (q.job.estimate * q.job.width,
+                                     q.job.arrival, q.seq))
+
+
+class EasyBackfillPolicy(FCFSPolicy):
+    """FCFS with EASY (aggressive) backfilling."""
+
+    name = "EASY"
+    backfill = "easy"
+
+
+class ConservativeBackfillPolicy(FCFSPolicy):
+    """FCFS with conservative backfilling (all jobs hold reservations)."""
+
+    name = "CONS"
+    backfill = "conservative"
+
+
+class AgedPriorityPolicy(QueuePolicy):
+    """Priority order with linear aging (an LWF/FCFS compromise).
+
+    Jobs carry external priorities (lower value = more urgent, default
+    0); a job's effective priority improves by ``aging_rate`` per slot
+    spent waiting, so large or low-priority jobs cannot starve — the
+    fairness repair the Section 5 discussion of LWF starvation calls
+    for.
+    """
+
+    name = "AGED"
+
+    def __init__(self, priorities: dict[str, float] | None = None,
+                 aging_rate: float = 0.1):
+        if aging_rate < 0:
+            raise ValueError(
+                f"aging_rate must be non-negative, got {aging_rate}")
+        self.priorities = dict(priorities or {})
+        self.aging_rate = aging_rate
+
+    def effective_priority(self, queued: "QueuedJob", now: int) -> float:
+        """Base priority minus the waiting-time credit."""
+        base = self.priorities.get(queued.job.job_id, 0.0)
+        return base - self.aging_rate * max(0, now - queued.job.arrival)
+
+    def order(self, queue, now):
+        """Ascending effective (aged) priority."""
+        return sorted(queue,
+                      key=lambda q: (self.effective_priority(q, now),
+                                     q.job.arrival, q.seq))
+
+
+class GangPolicy(QueuePolicy):
+    """Simplified gang scheduling: a gang's members start together.
+
+    Jobs carry a gang tag in ``job_id`` as ``"gang:<tag>:<member>"``;
+    untagged jobs behave as singleton gangs.  The queue is FCFS over
+    gangs, and a gang is only eligible once all ``expected_sizes[tag]``
+    members have arrived — the batch system then starts them back to
+    back.
+    """
+
+    name = "GANG"
+
+    def __init__(self, expected_sizes: dict[str, int] | None = None):
+        #: Members each gang must assemble before any of them may start.
+        self.expected_sizes = dict(expected_sizes or {})
+
+    @staticmethod
+    def gang_tag(job_id: str) -> str:
+        """The gang a job belongs to (its own id when untagged)."""
+        if job_id.startswith("gang:"):
+            parts = job_id.split(":", 2)
+            if len(parts) == 3:
+                return parts[1]
+        return job_id
+
+    def order(self, queue, now):
+        """FCFS over gangs, members kept adjacent."""
+        tags: dict[str, list] = {}
+        for queued in queue:
+            tags.setdefault(self.gang_tag(queued.job.job_id), []).append(queued)
+        # Gangs ordered by their earliest member arrival; members FCFS.
+        ordered = []
+        for tag in sorted(tags, key=lambda t: min(
+                (q.job.arrival, q.seq) for q in tags[t])):
+            ordered.extend(sorted(tags[tag],
+                                  key=lambda q: (q.job.arrival, q.seq)))
+        return ordered

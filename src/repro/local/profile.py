@@ -1,0 +1,124 @@
+"""Node-availability profiles for backfilling and reservations.
+
+A local batch system owns a homogeneous cluster of ``capacity`` nodes.
+The profile is a step function *free(t)* describing how many nodes are
+free at each future instant, given the (estimated) ends of running jobs
+and the reservations already granted.  Both backfilling variants and
+advance reservations are built on two queries:
+
+* :meth:`AvailabilityProfile.earliest_start` — first time ``t ≥ from_``
+  where at least ``width`` nodes stay free for ``duration`` slots;
+* :meth:`AvailabilityProfile.add` — subtract ``width`` nodes over
+  ``[start, start + duration)`` (granting a job or a reservation).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["AvailabilityProfile"]
+
+#: Sentinel horizon: far enough that every query resolves before it.
+_FAR = 10**12
+
+
+class AvailabilityProfile:
+    """Step function of free node counts over future time."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        # Sorted breakpoints: free count from times[i] until times[i+1].
+        self._times: list[int] = [0]
+        self._free: list[int] = [capacity]
+
+    def free_at(self, time: int) -> int:
+        """Free nodes at ``time`` (before any change scheduled there)."""
+        index = self._locate(time)
+        return self._free[index]
+
+    def _locate(self, time: int) -> int:
+        """Index of the segment containing ``time``."""
+        return bisect.bisect_right(self._times, time) - 1
+
+    def _ensure_breakpoint(self, time: int) -> int:
+        """Split the segment at ``time``; return its index."""
+        index = self._locate(time)
+        if self._times[index] == time:
+            return index
+        self._times.insert(index + 1, time)
+        self._free.insert(index + 1, self._free[index])
+        return index + 1
+
+    def add(self, start: int, duration: int, width: int) -> None:
+        """Occupy ``width`` nodes over ``[start, start + duration)``."""
+        if duration < 1:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        first = self._ensure_breakpoint(start)
+        last = self._ensure_breakpoint(start + duration)
+        for index in range(first, last):
+            if self._free[index] < width:
+                raise ValueError(
+                    f"profile underflow at t={self._times[index]}: "
+                    f"{self._free[index]} free < width {width}")
+            self._free[index] -= width
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Merge adjacent segments with equal free counts."""
+        times, free = [self._times[0]], [self._free[0]]
+        for t, f in zip(self._times[1:], self._free[1:]):
+            if f == free[-1]:
+                continue
+            times.append(t)
+            free.append(f)
+        self._times, self._free = times, free
+
+    def earliest_start(self, duration: int, width: int,
+                       from_: int = 0) -> int:
+        """Earliest slot ≥ ``from_`` with ``width`` nodes free for
+        ``duration`` consecutive slots."""
+        if duration < 1:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if not 1 <= width <= self.capacity:
+            raise ValueError(
+                f"width must lie in [1, {self.capacity}], got {width}")
+        candidate = max(from_, 0)
+        index = self._locate(candidate)
+        while True:
+            # Scan forward from `candidate` checking the window fits.
+            end_needed = candidate + duration
+            scan = index
+            ok = True
+            while scan < len(self._times):
+                segment_start = max(self._times[scan], candidate)
+                if segment_start >= end_needed:
+                    break
+                if self._free[scan] < width:
+                    ok = False
+                    # Restart after this congested segment.
+                    if scan + 1 < len(self._times):
+                        candidate = self._times[scan + 1]
+                        index = scan + 1
+                    else:  # pragma: no cover - defensive; last segment is
+                        return _FAR  # infinitely long and full
+                    break
+                scan += 1
+            if ok:
+                return candidate
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """The (time, free) breakpoints — for tests and debugging."""
+        return list(zip(self._times, self._free))
+
+    def copy(self) -> "AvailabilityProfile":
+        """An independent copy."""
+        clone = AvailabilityProfile(self.capacity)
+        clone._times = list(self._times)
+        clone._free = list(self._free)
+        return clone

@@ -1,0 +1,443 @@
+"""A small resource-query language (the JDL / ClassAds analogue).
+
+Section 1 surveys resource-query languages — JDL's alternatives and
+preferences, Condor-G's ClassAds — as the way resource requests
+describe what a task needs.  This module provides a compact expression
+language over node attributes with the same flavour:
+
+* **requirements** — a boolean expression a node must satisfy,
+  e.g. ``performance >= 0.5 && domain != 'slowland'``;
+* **rank** — a numeric expression ordering the admissible nodes,
+  e.g. ``performance * 2 - price_rate`` (higher is better).
+
+Grammar (classic recursive descent)::
+
+    expr        := or_expr
+    or_expr     := and_expr ( '||' and_expr )*
+    and_expr    := not_expr ( '&&' not_expr )*
+    not_expr    := '!' not_expr | comparison
+    comparison  := sum ( ('=='|'!='|'<='|'>='|'<'|'>') sum )?
+    sum         := term ( ('+'|'-') term )*
+    term        := unary ( ('*'|'/') unary )*
+    unary       := '-' unary | atom
+    atom        := NUMBER | STRING | IDENT | '(' expr ')'
+
+Node attributes available to identifiers: ``node_id``, ``performance``,
+``type_index``, ``domain``, ``group`` (``"fast"``/``"medium"``/
+``"slow"``), ``price_rate``, plus the boolean literals ``true`` and
+``false``.  Unknown identifiers raise :class:`QueryError` at
+evaluation time, so typos fail loudly rather than silently matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from ..core.resources import ProcessorNode, ResourcePool
+
+__all__ = ["QueryError", "Token", "tokenize", "parse", "unparse",
+           "ResourceQuery"]
+
+
+class QueryError(ValueError):
+    """Lexing, parsing, or evaluation failure of a query expression."""
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+#: Multi-character operators, longest first so '<=' wins over '<'.
+_OPERATORS = ("&&", "||", "==", "!=", "<=", ">=",
+              "<", ">", "!", "+", "-", "*", "/", "(", ")")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (for error messages)."""
+
+    kind: str          # "number" | "string" | "ident" | "op" | "end"
+    text: str
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r})@{self.position}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a query into tokens; raises QueryError on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and text[index + 1].isdigit()):
+            start = index
+            seen_dot = False
+            while index < length and (text[index].isdigit()
+                                      or (text[index] == "."
+                                          and not seen_dot)):
+                seen_dot = seen_dot or text[index] == "."
+                index += 1
+            tokens.append(Token("number", text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum()
+                                      or text[index] == "_"):
+                index += 1
+            tokens.append(Token("ident", text[start:index], start))
+            continue
+        if char in ("'", '"'):
+            quote = char
+            start = index
+            index += 1
+            while index < length and text[index] != quote:
+                index += 1
+            if index >= length:
+                raise QueryError(
+                    f"unterminated string starting at column {start}")
+            tokens.append(Token("string", text[start + 1:index], start))
+            index += 1
+            continue
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                tokens.append(Token("op", operator, index))
+                index += len(operator)
+                break
+        else:
+            raise QueryError(
+                f"unexpected character {char!r} at column {index}")
+    tokens.append(Token("end", "", length))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    """A number, string, or boolean constant."""
+
+    value: Any
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        """Constants evaluate to themselves."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A node attribute reference."""
+
+    name: str
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        """Look the attribute up in the node context."""
+        try:
+            return context[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unknown attribute {self.name!r}; available: "
+                f"{', '.join(sorted(context))}") from None
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``!expr`` or ``-expr``."""
+
+    operator: str
+    operand: Any
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        """Apply logical negation or numeric minus."""
+        value = self.operand.evaluate(context)
+        if self.operator == "!":
+            return not _truthy(value)
+        return -_numeric(value, "unary -")
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Any two-operand operation."""
+
+    operator: str
+    left: Any
+    right: Any
+
+    def evaluate(self, context: dict[str, Any]) -> Any:
+        """Apply the operator with short-circuit && and ||."""
+        operator = self.operator
+        if operator == "&&":
+            return (_truthy(self.left.evaluate(context))
+                    and _truthy(self.right.evaluate(context)))
+        if operator == "||":
+            return (_truthy(self.left.evaluate(context))
+                    or _truthy(self.right.evaluate(context)))
+        left = self.left.evaluate(context)
+        right = self.right.evaluate(context)
+        if operator == "==":
+            return left == right
+        if operator == "!=":
+            return left != right
+        if operator in ("<", "<=", ">", ">="):
+            _comparable(left, right, operator)
+            if operator == "<":
+                return left < right
+            if operator == "<=":
+                return left <= right
+            if operator == ">":
+                return left > right
+            return left >= right
+        numeric_left = _numeric(left, operator)
+        numeric_right = _numeric(right, operator)
+        if operator == "+":
+            return numeric_left + numeric_right
+        if operator == "-":
+            return numeric_left - numeric_right
+        if operator == "*":
+            return numeric_left * numeric_right
+        if operator == "/":
+            if numeric_right == 0:
+                raise QueryError("division by zero in rank expression")
+            return numeric_left / numeric_right
+        raise QueryError(f"unknown operator {operator!r}")  # pragma: no cover
+
+
+Expr = Union[Literal, Attribute, Unary, Binary]
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise QueryError(
+        f"expected a boolean, got {value!r} — comparisons are required "
+        f"(write 'performance > 0' rather than bare attributes)")
+
+
+def _numeric(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"{where} needs a number, got {value!r}")
+    return value
+
+
+def _comparable(left: Any, right: Any, operator: str) -> None:
+    both_numbers = (isinstance(left, (int, float))
+                    and not isinstance(left, bool)
+                    and isinstance(right, (int, float))
+                    and not isinstance(right, bool))
+    both_strings = isinstance(left, str) and isinstance(right, str)
+    if not (both_numbers or both_strings):
+        raise QueryError(
+            f"cannot compare {left!r} {operator} {right!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        """The token under the cursor."""
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def _expect_op(self, text: str) -> None:
+        if self.current.kind != "op" or self.current.text != text:
+            raise QueryError(
+                f"expected {text!r} at column {self.current.position}, "
+                f"got {self.current.text!r}")
+        self._advance()
+
+    def _match_op(self, *texts: str) -> Optional[str]:
+        if self.current.kind == "op" and self.current.text in texts:
+            return self._advance().text
+        return None
+
+    def parse(self) -> Expr:
+        """Parse the whole token stream as one expression."""
+        expression = self._or_expr()
+        if self.current.kind != "end":
+            raise QueryError(
+                f"trailing input at column {self.current.position}: "
+                f"{self.current.text!r}")
+        return expression
+
+    def _or_expr(self) -> Expr:
+        node = self._and_expr()
+        while self._match_op("||"):
+            node = Binary("||", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Expr:
+        node = self._not_expr()
+        while self._match_op("&&"):
+            node = Binary("&&", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Expr:
+        if self._match_op("!"):
+            return Unary("!", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        node = self._sum()
+        operator = self._match_op("==", "!=", "<=", ">=", "<", ">")
+        if operator:
+            node = Binary(operator, node, self._sum())
+        return node
+
+    def _sum(self) -> Expr:
+        node = self._term()
+        while True:
+            operator = self._match_op("+", "-")
+            if not operator:
+                return node
+            node = Binary(operator, node, self._term())
+
+    def _term(self) -> Expr:
+        node = self._unary()
+        while True:
+            operator = self._match_op("*", "/")
+            if not operator:
+                return node
+            node = Binary(operator, node, self._unary())
+
+    def _unary(self) -> Expr:
+        if self._match_op("-"):
+            return Unary("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self._advance()
+            value = float(token.text)
+            return Literal(int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "ident":
+            self._advance()
+            if token.text == "true":
+                return Literal(True)
+            if token.text == "false":
+                return Literal(False)
+            return Attribute(token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            node = self._or_expr()
+            self._expect_op(")")
+            return node
+        raise QueryError(
+            f"unexpected {token.text or 'end of input'!r} at column "
+            f"{token.position}")
+
+
+def parse(text: str) -> Expr:
+    """Parse a query expression into its AST."""
+    if not text.strip():
+        raise QueryError("empty query")
+    return _Parser(tokenize(text)).parse()
+
+
+def unparse(expression: Expr) -> str:
+    """Render an AST back to source; ``parse(unparse(e)) == e``.
+
+    Conservatively parenthesizes every compound sub-expression, so the
+    output is unambiguous regardless of precedence.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return f"'{value}'"
+        return repr(value)
+    if isinstance(expression, Attribute):
+        return expression.name
+    if isinstance(expression, Unary):
+        return f"{expression.operator}({unparse(expression.operand)})"
+    if isinstance(expression, Binary):
+        return (f"({unparse(expression.left)} {expression.operator} "
+                f"{unparse(expression.right)})")
+    raise QueryError(f"cannot unparse {expression!r}")
+
+
+# ----------------------------------------------------------------------
+# Query object
+# ----------------------------------------------------------------------
+
+def _node_context(node: ProcessorNode) -> dict[str, Any]:
+    return {
+        "node_id": node.node_id,
+        "performance": node.performance,
+        "type_index": node.type_index,
+        "domain": node.domain,
+        "group": node.group.value,
+        "price_rate": node.price_rate,
+    }
+
+
+class ResourceQuery:
+    """Compiled requirements + rank over processor nodes.
+
+    >>> from repro.core.resources import ProcessorNode, ResourcePool
+    >>> pool = ResourcePool([ProcessorNode(node_id=1, performance=0.9),
+    ...                      ProcessorNode(node_id=2, performance=0.4)])
+    >>> query = ResourceQuery("performance >= 0.5", rank="performance")
+    >>> [node.node_id for node in query.select(pool)]
+    [1]
+    """
+
+    def __init__(self, requirements: str, rank: Optional[str] = None):
+        self.requirements_text = requirements
+        self.rank_text = rank
+        self._requirements = parse(requirements)
+        self._rank = parse(rank) if rank else None
+
+    def matches(self, node: ProcessorNode) -> bool:
+        """True when the node satisfies the requirements."""
+        result = self._requirements.evaluate(_node_context(node))
+        if not isinstance(result, bool):
+            raise QueryError(
+                f"requirements must be boolean, got {result!r} — "
+                f"did you mean a comparison?")
+        return result
+
+    def rank_of(self, node: ProcessorNode) -> float:
+        """The node's preference score (0 when no rank was given)."""
+        if self._rank is None:
+            return 0.0
+        value = self._rank.evaluate(_node_context(node))
+        return _numeric(value, "rank")
+
+    def select(self, pool: ResourcePool,
+               count: Optional[int] = None) -> list[ProcessorNode]:
+        """Admissible nodes, best rank first (ties: lowest id)."""
+        admitted = [node for node in pool if self.matches(node)]
+        admitted.sort(key=lambda n: (-self.rank_of(n), n.node_id))
+        if count is not None:
+            if count < 1:
+                raise QueryError(f"count must be positive, got {count}")
+            admitted = admitted[:count]
+        return admitted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rank = f", rank={self.rank_text!r}" if self.rank_text else ""
+        return f"<ResourceQuery {self.requirements_text!r}{rank}>"

@@ -1,0 +1,20 @@
+"""Efficiency indices and statistics helpers for the experiments."""
+
+from .indices import StrategyAggregate, aggregate_strategies
+from .stats import (
+    confidence_interval,
+    mean,
+    normalize_relative,
+    percentage,
+    std,
+)
+
+__all__ = [
+    "StrategyAggregate",
+    "aggregate_strategies",
+    "mean",
+    "std",
+    "confidence_interval",
+    "normalize_relative",
+    "percentage",
+]

@@ -1,0 +1,90 @@
+"""Efficiency indices of the paper's Section 4 evaluation.
+
+Aggregates per-job scheduling outcomes into the quantities printed in
+Figs. 3 and 4: admissible-schedule percentages, collision splits by node
+group, average node load levels, relative job completion cost, relative
+task execution time, strategy time-to-live, and start-deviation ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.collisions import CollisionStats
+from ..core.strategy import Strategy, StrategyType
+from .stats import mean, percentage
+
+__all__ = ["StrategyAggregate", "aggregate_strategies"]
+
+
+@dataclass
+class StrategyAggregate:
+    """Accumulated statistics for one strategy family."""
+
+    stype: StrategyType
+    jobs: int = 0
+    admissible_jobs: int = 0
+    collisions: CollisionStats = field(default_factory=CollisionStats)
+    generation_expense: int = 0
+    costs: list[float] = field(default_factory=list)
+    makespans: list[int] = field(default_factory=list)
+    coverages: list[float] = field(default_factory=list)
+
+    def add(self, strategy: Strategy) -> None:
+        """Fold one generated strategy into the aggregate."""
+        self.jobs += 1
+        if strategy.admissible:
+            self.admissible_jobs += 1
+        self.collisions = self.collisions.merge(
+            CollisionStats.of(strategy.all_collisions()))
+        self.generation_expense += strategy.generation_expense
+        self.coverages.append(strategy.coverage)
+        best = strategy.best_schedule()
+        if best is not None:
+            self.costs.append(best.outcome.cost)
+            self.makespans.append(best.outcome.makespan)
+
+    @property
+    def admissible_pct(self) -> float:
+        """Fig. 3a: percentage of jobs with an admissible schedule."""
+        return percentage(self.admissible_jobs, self.jobs)
+
+    @property
+    def collision_split(self) -> tuple[float, float]:
+        """Fig. 3b: collision shares on fast vs slower nodes (percent)."""
+        fast, slow = self.collisions.fast_vs_slow()
+        return (100.0 * fast, 100.0 * slow)
+
+    @property
+    def mean_cost(self) -> float:
+        """Average CF of the chosen supporting schedules."""
+        return mean(self.costs)
+
+    @property
+    def mean_makespan(self) -> float:
+        """Average completion time of the chosen schedules."""
+        return mean(self.makespans)
+
+    @property
+    def mean_coverage(self) -> float:
+        """Average fraction of covered estimation events."""
+        return mean(self.coverages)
+
+    @property
+    def mean_expense(self) -> float:
+        """Average DP evaluations per job (generation cost)."""
+        if self.jobs == 0:
+            return 0.0
+        return self.generation_expense / self.jobs
+
+
+def aggregate_strategies(strategies: Iterable[Strategy]
+                         ) -> dict[StrategyType, StrategyAggregate]:
+    """Group strategies by family and aggregate their statistics."""
+    aggregates: dict[StrategyType, StrategyAggregate] = {}
+    for strategy in strategies:
+        bucket = aggregates.setdefault(
+            strategy.stype, StrategyAggregate(stype=strategy.stype))
+        bucket.add(strategy)
+    return aggregates

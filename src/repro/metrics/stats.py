@@ -1,0 +1,54 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["mean", "std", "confidence_interval", "normalize_relative",
+           "percentage"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 on empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 with fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values)
+                     / (len(values) - 1))
+
+
+def confidence_interval(values: Sequence[float],
+                        z: float = 1.96) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean."""
+    values = list(values)
+    if not values:
+        return (0.0, 0.0)
+    centre = mean(values)
+    half = z * std(values) / math.sqrt(len(values))
+    return (centre - half, centre + half)
+
+
+def normalize_relative(values: dict[str, float]) -> dict[str, float]:
+    """Scale a named series so its maximum is 1 (the paper's relative
+    bars in Fig. 4b/4c)."""
+    if not values:
+        return {}
+    peak = max(values.values())
+    if peak <= 0:
+        return {key: 0.0 for key in values}
+    return {key: value / peak for key, value in values.items()}
+
+
+def percentage(numerator: float, denominator: float) -> float:
+    """Percentage with a zero-safe denominator."""
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator

@@ -1,0 +1,110 @@
+"""Statistics collection for simulation runs.
+
+Two collectors cover most DES measurement needs:
+
+* :class:`Tally` — independent observations (waiting times, costs):
+  count / mean / variance via Welford's algorithm, plus extremes;
+* :class:`TimeWeightedStat` — a piecewise-constant signal over simulated
+  time (queue length, jobs in service): the time-weighted mean weights
+  each value by how long it held.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["Tally", "TimeWeightedStat"]
+
+
+class Tally:
+    """Streaming count/mean/std/min/max of independent samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = value if self.minimum is None else min(
+            self.minimum, value)
+        self.maximum = value if self.maximum is None else max(
+            self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0.0 below two samples)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Tally n={self.count} mean={self.mean:.3f} "
+                f"std={self.std:.3f}>")
+
+
+class TimeWeightedStat:
+    """Time-weighted statistics of a piecewise-constant signal.
+
+    >>> stat = TimeWeightedStat(initial=0)
+    >>> stat.record(10, 4)   # value becomes 4 at t=10
+    >>> stat.record(30, 1)   # value becomes 1 at t=30
+    >>> stat.mean(until=40)  # 0 for 10, 4 for 20, 1 for 10 slots
+    2.25
+    """
+
+    def __init__(self, initial: float = 0.0, start: float = 0.0):
+        self._start = start
+        self._last_time = start
+        self._value = initial
+        self._area = 0.0
+        self.maximum = initial
+        self.minimum = initial
+
+    @property
+    def value(self) -> float:
+        """The current value of the signal."""
+        return self._value
+
+    def record(self, time: float, value: float) -> None:
+        """The signal takes ``value`` from ``time`` onward."""
+        if time < self._last_time:
+            raise ValueError(
+                f"time went backwards: {time} < {self._last_time}")
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+        self.maximum = max(self.maximum, value)
+        self.minimum = min(self.minimum, value)
+
+    def increment(self, time: float, delta: float = 1.0) -> None:
+        """Shift the signal by ``delta`` at ``time`` (queue joins/leaves)."""
+        self.record(time, self._value + delta)
+
+    def mean(self, until: float) -> float:
+        """Time-weighted mean over ``[start, until]``."""
+        if until < self._last_time:
+            raise ValueError(
+                f"until ({until}) precedes the last record "
+                f"({self._last_time})")
+        width = until - self._start
+        if width <= 0:
+            return self._value
+        area = self._area + self._value * (until - self._last_time)
+        return area / width
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TimeWeightedStat value={self._value:g} "
+                f"max={self.maximum:g}>")

@@ -1,0 +1,113 @@
+"""Plain-text rendering of schedules and calendars.
+
+Terminal-friendly Gantt charts in the spirit of the paper's Fig. 2b —
+one row per node, task ids drawn across their wall-time reservations —
+used by examples and handy when debugging strategies.
+
+>>> from repro.core import Distribution, Placement
+>>> from repro.workload import fig2_pool
+>>> dist = Distribution("demo", [Placement("P1", 1, 0, 2),
+...                              Placement("P2", 2, 3, 9)])
+>>> print(render_distribution(dist, fig2_pool()))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .core.calendar import ReservationCalendar
+from .core.resources import ResourcePool
+from .core.schedule import Distribution
+
+__all__ = ["render_distribution", "render_calendars", "render_timeline"]
+
+#: Character drawn for slots inside a labelled block past the label.
+_FILL = "="
+#: Character drawn for idle slots.
+_IDLE = "."
+
+
+def _draw_blocks(width: int,
+                 blocks: Iterable[tuple[int, int, str]]) -> str:
+    """One Gantt row: ``blocks`` are (start, end, label) triples."""
+    row = [_IDLE] * width
+    for start, end, label in sorted(blocks):
+        span = max(0, min(end, width) - start)
+        if span <= 0 or start >= width:
+            continue
+        text = label[:span].ljust(span, _FILL)
+        row[start:start + span] = list(text)
+    return "".join(row)
+
+
+def _axis(width: int, step: int = 10) -> str:
+    """A time axis with tick labels every ``step`` slots."""
+    marks = [" "] * width
+    for tick in range(0, width, step):
+        label = str(tick)
+        for offset, char in enumerate(label):
+            if tick + offset < width:
+                marks[tick + offset] = char
+    return "".join(marks)
+
+
+def render_distribution(distribution: Distribution,
+                        pool: Optional[ResourcePool] = None,
+                        width: Optional[int] = None) -> str:
+    """Render a distribution as a node-per-row Gantt chart."""
+    horizon = width or max(distribution.makespan, 1)
+    lines = [f"Distribution {distribution.job_id!r}"
+             + (f" ({distribution.scenario})" if distribution.scenario
+                else "")]
+    node_ids = sorted(distribution.node_ids())
+    if pool is not None:
+        node_ids = [node.node_id for node in pool
+                    if node.node_id in set(node_ids)] or node_ids
+    label_width = max((len(_node_label(node_id, pool))
+                       for node_id in node_ids), default=6)
+    for node_id in node_ids:
+        blocks = [(p.start, p.end, p.task_id)
+                  for p in distribution if p.node_id == node_id]
+        lines.append(f"{_node_label(node_id, pool):<{label_width}} |"
+                     f"{_draw_blocks(horizon, blocks)}|")
+    lines.append(f"{'':<{label_width}}  {_axis(horizon)}")
+    return "\n".join(lines)
+
+
+def _node_label(node_id: int, pool: Optional[ResourcePool]) -> str:
+    if pool is not None and node_id in pool:
+        node = pool.node(node_id)
+        return f"n{node_id}({node.performance:.2f})"
+    return f"n{node_id}"
+
+
+def render_calendars(calendars: Mapping[int, ReservationCalendar],
+                     horizon: int,
+                     pool: Optional[ResourcePool] = None,
+                     label: str = "Calendars") -> str:
+    """Render node calendars (background + committed jobs) over time."""
+    if horizon < 1:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    lines = [f"{label} [0, {horizon})"]
+    node_ids = sorted(calendars)
+    label_width = max((len(_node_label(node_id, pool))
+                       for node_id in node_ids), default=6)
+    for node_id in node_ids:
+        blocks = [
+            (reservation.start, reservation.end,
+             reservation.tag or "busy")
+            for reservation in calendars[node_id].conflicts(0, horizon)
+        ]
+        lines.append(f"{_node_label(node_id, pool):<{label_width}} |"
+                     f"{_draw_blocks(horizon, blocks)}|")
+    lines.append(f"{'':<{label_width}}  {_axis(horizon)}")
+    return "\n".join(lines)
+
+
+def render_timeline(events: Iterable[tuple[int, str]],
+                    label: str = "Timeline") -> str:
+    """Render (time, description) events as an ordered list."""
+    lines = [label]
+    for time, description in sorted(events):
+        lines.append(f"  t={time:>5}  {description}")
+    return "\n".join(lines)

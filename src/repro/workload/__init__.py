@@ -1,0 +1,34 @@
+"""Workload generators: random compound jobs per Section 4, the exact
+Fig. 2 worked example, and synthetic local batch traces."""
+
+from .generator import (
+    WorkloadConfig,
+    generate_job,
+    generate_pool,
+    generate_workload,
+)
+from .paper_example import (
+    FIG2_DEADLINE,
+    FIG2_TASK_BASE_TIMES,
+    FIG2_TASK_VOLUMES,
+    fig2_estimate_table,
+    fig2_job,
+    fig2_pool,
+)
+from .traces import BatchJob, BatchTraceConfig, generate_batch_trace
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_job",
+    "generate_pool",
+    "generate_workload",
+    "fig2_job",
+    "fig2_pool",
+    "fig2_estimate_table",
+    "FIG2_DEADLINE",
+    "FIG2_TASK_BASE_TIMES",
+    "FIG2_TASK_VOLUMES",
+    "BatchJob",
+    "BatchTraceConfig",
+    "generate_batch_trace",
+]

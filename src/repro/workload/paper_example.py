@@ -1,0 +1,95 @@
+"""The exact worked example of the paper's Fig. 2.
+
+The information graph has six tasks ``P1..P6`` and eight data transfers
+``D1..D8``::
+
+    P1 ──D1──▶ P2 ──D3──▶ P4 ──D7──▶ P6
+     │          └──D4──▶ P5 ──D8──▶ P6
+     └──D2──▶ P3 ──D5──▶ P4
+                └──D6──▶ P5
+
+(P4 and P6 also receive D5/D8 as drawn above; precisely: P1→{P2,P3},
+{P2,P3}→{P4,P5}, {P4,P5}→P6.)
+
+The estimate table gives, per task, the execution times on the four
+node types (performance 1, 1/2, 1/3, 1/4) and the relative volumes:
+
+    task      P1  P2  P3  P4  P5  P6
+    T_i1       2   3   1   2   1   2
+    T_i2       4   6   2   4   2   4
+    T_i3       6   9   3   6   3   6
+    T_i4       8  12   4   8   4   8
+    V_i       20  30  10  20  10  20
+
+With unit transfer times the four critical works measure 12, 11, 10 and
+9 slots on type-1 nodes — exactly the figures quoted in Section 3.
+"""
+
+from __future__ import annotations
+
+from ..core.job import DataTransfer, Job, Task
+from ..core.resources import ResourcePool
+
+__all__ = [
+    "FIG2_TASK_BASE_TIMES",
+    "FIG2_TASK_VOLUMES",
+    "FIG2_DEADLINE",
+    "fig2_job",
+    "fig2_pool",
+    "fig2_estimate_table",
+]
+
+#: Base (type-1 node) execution times from the Fig. 2 table's first row.
+FIG2_TASK_BASE_TIMES: dict[str, int] = {
+    "P1": 2, "P2": 3, "P3": 1, "P4": 2, "P5": 1, "P6": 2,
+}
+
+#: Relative computation volumes from the Fig. 2 table's last row.
+FIG2_TASK_VOLUMES: dict[str, int] = {
+    "P1": 20, "P2": 30, "P3": 10, "P4": 20, "P5": 10, "P6": 20,
+}
+
+#: The distributions in Fig. 2b span a 0..20 time axis.
+FIG2_DEADLINE = 20
+
+#: Edges of the information graph, in D1..D8 order.
+_FIG2_EDGES: tuple[tuple[str, str], ...] = (
+    ("P1", "P2"),  # D1
+    ("P1", "P3"),  # D2
+    ("P2", "P4"),  # D3
+    ("P2", "P5"),  # D4
+    ("P3", "P4"),  # D5
+    ("P3", "P5"),  # D6
+    ("P4", "P6"),  # D7
+    ("P5", "P6"),  # D8
+)
+
+
+def fig2_job(deadline: int = FIG2_DEADLINE) -> Job:
+    """The compound job of the Fig. 2 worked example."""
+    tasks = [
+        Task(task_id, volume=FIG2_TASK_VOLUMES[task_id],
+             best_time=FIG2_TASK_BASE_TIMES[task_id])
+        for task_id in FIG2_TASK_BASE_TIMES
+    ]
+    transfers = [
+        DataTransfer(f"D{index + 1}", src, dst, volume=1.0, base_time=1)
+        for index, (src, dst) in enumerate(_FIG2_EDGES)
+    ]
+    return Job("fig2", tasks, transfers, deadline=deadline)
+
+
+def fig2_pool() -> ResourcePool:
+    """One node of each of the four types (performance 1, ½, ⅓, ¼)."""
+    return ResourcePool.fig2_pool()
+
+
+def fig2_estimate_table() -> dict[str, list[int]]:
+    """The full T_ij table (rows Ti1..Ti4 per task), for display/tests."""
+    pool = fig2_pool()
+    return {
+        task_id: [Task(task_id, FIG2_TASK_VOLUMES[task_id],
+                       base).duration_on(node.performance)
+                  for node in pool]
+        for task_id, base in FIG2_TASK_BASE_TIMES.items()
+    }

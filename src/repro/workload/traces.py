@@ -1,0 +1,93 @@
+"""Synthetic traces for local batch-queue experiments.
+
+Section 5 discusses local job-queue management (FCFS, LWF, backfilling,
+advance reservations).  Those experiments need a stream of independent
+batch jobs with arrival times, node requirements, runtimes, and — since
+forecast error matters — *user runtime estimates* that may overshoot the
+actual runtime (as real batch traces famously do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..sim.rng import RandomStreams
+
+__all__ = ["BatchJob", "BatchTraceConfig", "generate_batch_trace"]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One independent job submitted to a local batch system."""
+
+    job_id: str
+    arrival: int
+    #: Number of nodes the job needs simultaneously.
+    width: int
+    #: True runtime (unknown to the scheduler until completion).
+    runtime: int
+    #: User-supplied wall-time estimate (the scheduler plans with this).
+    estimate: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"arrival must be non-negative, got {self.arrival}")
+        if self.width < 1:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.runtime < 1:
+            raise ValueError(f"runtime must be positive, got {self.runtime}")
+        if self.estimate < self.runtime:
+            raise ValueError(
+                f"estimate ({self.estimate}) must cover the runtime "
+                f"({self.runtime}) — batch systems kill overruns")
+
+
+@dataclass(frozen=True)
+class BatchTraceConfig:
+    """Knobs of the synthetic batch trace."""
+
+    #: Mean inter-arrival gap (slots); arrivals are geometric.
+    mean_interarrival: float = 4.0
+    #: Job width (nodes), uniform ints.
+    width: tuple[int, int] = (1, 4)
+    #: True runtime, uniform ints.
+    runtime: tuple[int, int] = (2, 20)
+    #: Estimate = runtime × factor, uniform (≥ 1: users overestimate).
+    overestimate: tuple[float, float] = (1.0, 3.0)
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        for name in ("width", "runtime", "overestimate"):
+            low, high = getattr(self, name)
+            if low > high:
+                raise ValueError(f"{name}: min {low} exceeds max {high}")
+        if self.width[0] < 1 or self.runtime[0] < 1:
+            raise ValueError("width and runtime must be at least 1")
+        if self.overestimate[0] < 1:
+            raise ValueError("overestimate factor must be at least 1")
+
+
+def generate_batch_trace(seed: int, n_jobs: int,
+                         config: Optional[BatchTraceConfig] = None
+                         ) -> Iterator[BatchJob]:
+    """Deterministic stream of batch jobs in arrival order."""
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be non-negative, got {n_jobs}")
+    config = config or BatchTraceConfig()
+    streams = RandomStreams(seed)
+    clock = 0
+    for index in range(n_jobs):
+        rng = streams.fork("batch", index)
+        clock += int(rng.geometric(1.0 / config.mean_interarrival))
+        runtime = int(rng.integers(config.runtime[0], config.runtime[1] + 1))
+        factor = float(rng.uniform(*config.overestimate))
+        estimate = max(runtime, int(round(runtime * factor)))
+        yield BatchJob(
+            job_id=f"batch{index}",
+            arrival=clock,
+            width=int(rng.integers(config.width[0], config.width[1] + 1)),
+            runtime=runtime,
+            estimate=estimate,
+        )

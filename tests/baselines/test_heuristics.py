@@ -1,0 +1,118 @@
+"""Unit tests for the independent-task mapping heuristics."""
+
+import pytest
+
+from repro.baselines.heuristics import (
+    Heuristic,
+    MappingResult,
+    map_independent_tasks,
+)
+from repro.core.job import Task
+from repro.core.resources import ProcessorNode, ResourcePool
+
+
+def pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+    ])
+
+
+def tasks(*base_times):
+    return [Task(f"T{i}", volume=10, best_time=b)
+            for i, b in enumerate(base_times)]
+
+
+def test_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        map_independent_tasks(tasks(2), ResourcePool(), Heuristic.OLB)
+
+
+def test_met_always_picks_fastest_node():
+    result = map_independent_tasks(tasks(2, 2, 2), pool(), Heuristic.MET)
+    assert all(p.node_id == 1 for p in result.placements.values())
+    # All piled on one node: serialized.
+    assert result.makespan == 6
+
+
+def test_olb_balances_by_ready_time():
+    result = map_independent_tasks(tasks(2, 2), pool(), Heuristic.OLB)
+    nodes_used = {p.node_id for p in result.placements.values()}
+    assert nodes_used == {1, 2}
+
+
+def test_mct_beats_met_on_makespan_under_load():
+    batch = tasks(2, 2, 2, 2)
+    met = map_independent_tasks(batch, pool(), Heuristic.MET)
+    mct = map_independent_tasks(batch, pool(), Heuristic.MCT)
+    assert mct.makespan <= met.makespan
+
+
+def test_min_min_schedules_small_tasks_first():
+    batch = tasks(6, 1)
+    result = map_independent_tasks(batch, pool(), Heuristic.MIN_MIN)
+    # The small task (T1) is mapped first onto the fast node at t=0.
+    assert result.placements["T1"].start == 0
+    assert result.placements["T1"].node_id == 1
+
+
+def test_max_min_schedules_large_tasks_first():
+    batch = tasks(6, 1)
+    result = map_independent_tasks(batch, pool(), Heuristic.MAX_MIN)
+    assert result.placements["T0"].start == 0
+    assert result.placements["T0"].node_id == 1
+
+
+def test_sufferage_prioritizes_high_penalty_tasks():
+    batch = tasks(4, 4)
+    result = map_independent_tasks(batch, pool(), Heuristic.SUFFERAGE)
+    assert len(result.placements) == 2
+    # Valid complete mapping with no overlap per node.
+    by_node: dict[int, list] = {}
+    for p in result.placements.values():
+        by_node.setdefault(p.node_id, []).append(p)
+    for group in by_node.values():
+        group.sort(key=lambda p: p.start)
+        for a, b in zip(group, group[1:]):
+            assert a.end <= b.start
+
+
+def test_ready_times_offset_start():
+    result = map_independent_tasks(tasks(2), pool(), Heuristic.MCT,
+                                   ready={1: 10, 2: 0})
+    placement = result.placements["T0"]
+    # Fast node busy until 10 (finish 12); slow free now (finish 4).
+    assert placement.node_id == 2
+    assert placement.start == 0
+
+
+def test_level_scales_durations():
+    batch = [Task("T0", volume=10, best_time=2, worst_time=6)]
+    best = map_independent_tasks(batch, pool(), Heuristic.MCT, level=0.0)
+    worst = map_independent_tasks(batch, pool(), Heuristic.MCT, level=1.0)
+    assert worst.placements["T0"].duration > best.placements["T0"].duration
+
+
+@pytest.mark.parametrize("heuristic", list(Heuristic))
+def test_every_heuristic_produces_complete_valid_mapping(heuristic):
+    batch = tasks(3, 1, 4, 2, 5)
+    result = map_independent_tasks(batch, pool(), heuristic)
+    assert set(result.placements) == {t.task_id for t in batch}
+    by_node: dict[int, list] = {}
+    for p in result.placements.values():
+        by_node.setdefault(p.node_id, []).append(p)
+    for group in by_node.values():
+        group.sort(key=lambda p: p.start)
+        for a, b in zip(group, group[1:]):
+            assert a.end <= b.start
+    assert result.makespan > 0
+    assert result.flowtime >= result.makespan
+
+
+def test_mapping_result_metrics():
+    result = map_independent_tasks(tasks(2, 2), pool(), Heuristic.OLB)
+    finish = result.node_finish_times()
+    assert set(finish) == {1, 2}
+    empty = MappingResult({}, Heuristic.OLB)
+    assert empty.makespan == 0
+    assert empty.flowtime == 0

@@ -1,0 +1,104 @@
+"""Unit tests for HEFT list scheduling and the greedy co-allocator."""
+
+import pytest
+
+from repro.baselines.greedy import greedy_schedule
+from repro.baselines.list_scheduling import heft_schedule, upward_ranks
+from repro.core.calendar import ReservationCalendar
+from repro.core.costs import distribution_cost
+from repro.core.schedule import check_distribution
+from repro.core.transfers import NeutralTransferModel, transfer_time_fn
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def empty_calendars(pool):
+    return {node.node_id: ReservationCalendar() for node in pool}
+
+
+def test_upward_ranks_decrease_along_edges():
+    job = fig2_job()
+    pool = fig2_pool()
+    ranks = upward_ranks(job, pool)
+    for transfer in job.transfers:
+        assert ranks[transfer.src] > ranks[transfer.dst]
+    # The source has the largest rank; the sink the smallest.
+    assert max(ranks, key=ranks.get) == "P1"
+    assert min(ranks, key=ranks.get) == "P6"
+
+
+def test_heft_produces_valid_admissible_schedule():
+    job = fig2_job()
+    pool = fig2_pool()
+    dist = heft_schedule(job, pool, empty_calendars(pool))
+    assert dist is not None
+    violations = check_distribution(
+        job, dist, pool, transfer_time_fn(NeutralTransferModel()))
+    assert violations == []
+    assert dist.makespan <= job.deadline
+
+
+def test_heft_returns_none_when_deadline_impossible():
+    job = fig2_job(deadline=3)
+    pool = fig2_pool()
+    assert heft_schedule(job, pool, empty_calendars(pool)) is None
+
+
+def test_heft_respects_busy_calendars():
+    job = fig2_job(deadline=40)
+    pool = fig2_pool()
+    calendars = empty_calendars(pool)
+    for calendar in calendars.values():
+        calendar.reserve(0, 6, "background")
+    dist = heft_schedule(job, pool, calendars)
+    assert dist is not None
+    assert dist.start_time >= 6
+
+
+def test_greedy_produces_valid_schedule():
+    job = fig2_job()
+    pool = fig2_pool()
+    dist = greedy_schedule(job, pool, empty_calendars(pool))
+    assert dist is not None
+    violations = check_distribution(
+        job, dist, pool, transfer_time_fn(NeutralTransferModel()))
+    assert violations == []
+
+
+def test_greedy_returns_none_when_infeasible():
+    job = fig2_job(deadline=3)
+    pool = fig2_pool()
+    assert greedy_schedule(job, pool, empty_calendars(pool)) is None
+
+
+def test_heft_makespan_at_most_greedy():
+    """HEFT's global ranking should not lose to pure greedy here."""
+    job = fig2_job(deadline=60)
+    pool = fig2_pool()
+    heft = heft_schedule(job, pool, empty_calendars(pool))
+    greedy = greedy_schedule(job, pool, empty_calendars(pool))
+    assert heft.makespan <= greedy.makespan + 2  # allow small slack
+
+
+def test_critical_works_cheaper_than_heft_under_cf():
+    """The DP optimizes CF cost; HEFT optimizes makespan — the paper's
+    method should win on cost (the whole point of the ablation)."""
+    from repro.core.critical_works import CriticalWorksScheduler
+
+    job = fig2_job()
+    pool = fig2_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    heft = heft_schedule(job, pool, empty_calendars(pool))
+    cw_cost = distribution_cost(outcome.distribution, job, pool)
+    heft_cost = distribution_cost(heft, job, pool)
+    assert cw_cost <= heft_cost
+
+
+def test_release_offsets_heft_and_greedy():
+    job = fig2_job(deadline=30)
+    pool = fig2_pool()
+    for fn in (heft_schedule, greedy_schedule):
+        dist = fn(job, pool, empty_calendars(pool), release=50)
+        assert dist is not None
+        assert dist.start_time >= 50
+        assert dist.makespan <= 80

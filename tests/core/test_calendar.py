@@ -1,0 +1,151 @@
+"""Unit tests for reservation calendars."""
+
+import pytest
+
+from repro.core.calendar import (
+    Reservation,
+    ReservationCalendar,
+    ReservationConflict,
+)
+
+
+def test_reservation_validation_and_duration():
+    with pytest.raises(ValueError):
+        Reservation(5, 5)
+    with pytest.raises(ValueError):
+        Reservation(5, 3)
+    assert Reservation(2, 7).duration == 5
+
+
+def test_reservation_overlaps():
+    reservation = Reservation(5, 10)
+    assert reservation.overlaps(9, 12)
+    assert reservation.overlaps(0, 6)
+    assert reservation.overlaps(6, 8)
+    assert not reservation.overlaps(10, 12)  # half-open: touching is fine
+    assert not reservation.overlaps(0, 5)
+
+
+def test_reserve_and_conflicts():
+    cal = ReservationCalendar()
+    cal.reserve(0, 5, "a")
+    cal.reserve(10, 15, "b")
+    assert cal.is_free(5, 10)
+    assert not cal.is_free(4, 6)
+    assert [r.tag for r in cal.conflicts(3, 12)] == ["a", "b"]
+
+
+def test_reserve_conflict_raises():
+    cal = ReservationCalendar()
+    cal.reserve(0, 5, "a")
+    with pytest.raises(ReservationConflict):
+        cal.reserve(4, 6, "b")
+    # Failed reserve must not corrupt the calendar.
+    assert len(cal) == 1
+
+
+def test_adjacent_reservations_allowed():
+    cal = ReservationCalendar()
+    cal.reserve(0, 5)
+    cal.reserve(5, 10)
+    assert len(cal) == 2
+
+
+def test_constructor_accepts_unordered_reservations():
+    cal = ReservationCalendar([Reservation(10, 15, "b"),
+                               Reservation(0, 5, "a")])
+    assert [r.tag for r in cal] == ["a", "b"]
+
+
+def test_free_windows_basic():
+    cal = ReservationCalendar()
+    cal.reserve(3, 5)
+    cal.reserve(8, 10)
+    assert cal.free_windows(0, 12) == [(0, 3), (5, 8), (10, 12)]
+
+
+def test_free_windows_edge_cases():
+    cal = ReservationCalendar()
+    assert cal.free_windows(0, 10) == [(0, 10)]
+    assert cal.free_windows(5, 5) == []
+    cal.reserve(0, 10)
+    assert cal.free_windows(0, 10) == []
+    assert cal.free_windows(2, 8) == []
+
+
+def test_free_windows_clips_to_range():
+    cal = ReservationCalendar()
+    cal.reserve(0, 4)
+    cal.reserve(20, 30)
+    assert cal.free_windows(2, 25) == [(4, 20)]
+
+
+def test_earliest_fit():
+    cal = ReservationCalendar()
+    cal.reserve(0, 4)
+    cal.reserve(6, 10)
+    assert cal.earliest_fit(2, earliest=0, deadline=20) == 4
+    assert cal.earliest_fit(3, earliest=0, deadline=20) == 10
+    assert cal.earliest_fit(3, earliest=0, deadline=10) is None
+
+
+def test_earliest_fit_without_deadline_always_finds_slot():
+    cal = ReservationCalendar()
+    cal.reserve(0, 100)
+    assert cal.earliest_fit(5) == 100
+
+
+def test_earliest_fit_validation():
+    with pytest.raises(ValueError):
+        ReservationCalendar().earliest_fit(0)
+
+
+def test_release():
+    cal = ReservationCalendar()
+    booking = cal.reserve(0, 5, "a")
+    cal.release(booking)
+    assert cal.is_free(0, 5)
+    with pytest.raises(KeyError):
+        cal.release(booking)
+
+
+def test_release_tag():
+    cal = ReservationCalendar()
+    cal.reserve(0, 2, "job1")
+    cal.reserve(3, 5, "job1")
+    cal.reserve(6, 8, "job2")
+    assert cal.release_tag("job1") == 2
+    assert [r.tag for r in cal] == ["job2"]
+    assert cal.release_tag("ghost") == 0
+
+
+def test_copy_is_independent():
+    cal = ReservationCalendar()
+    cal.reserve(0, 5, "a")
+    clone = cal.copy()
+    clone.reserve(5, 10, "b")
+    assert len(cal) == 1
+    assert len(clone) == 2
+
+
+def test_utilization():
+    cal = ReservationCalendar()
+    cal.reserve(0, 5)
+    assert cal.utilization(0, 10) == 0.5
+    assert cal.utilization(0, 5) == 1.0
+    assert cal.utilization(5, 10) == 0.0
+    with pytest.raises(ValueError):
+        cal.utilization(5, 5)
+
+
+def test_conflicts_validation():
+    with pytest.raises(ValueError):
+        ReservationCalendar().conflicts(3, 3)
+
+
+def test_many_reservations_scan_correctness():
+    cal = ReservationCalendar()
+    for i in range(100):
+        cal.reserve(i * 10, i * 10 + 5, f"r{i}")
+    assert [r.tag for r in cal.conflicts(250, 275)] == ["r25", "r26", "r27"]
+    assert cal.is_free(255, 260)

@@ -1,0 +1,70 @@
+"""Unit tests for collision records and statistics."""
+
+import pytest
+
+from repro.core.collisions import Collision, CollisionStats
+from repro.core.resources import NodeGroup
+
+
+def make_collision(group, node_id=1, task="T", holder="H", time=0):
+    return Collision(job_id="j", task_id=task, holder=holder,
+                     node_id=node_id, node_group=group, time=time)
+
+
+def test_stats_of_empty():
+    stats = CollisionStats.of([])
+    assert stats.total == 0
+    assert stats.fraction(NodeGroup.FAST) == 0.0
+    assert stats.fast_vs_slow() == (0.0, 0.0)
+
+
+def test_stats_counts_by_group():
+    collisions = [
+        make_collision(NodeGroup.FAST),
+        make_collision(NodeGroup.FAST),
+        make_collision(NodeGroup.MEDIUM),
+        make_collision(NodeGroup.SLOW),
+    ]
+    stats = CollisionStats.of(collisions)
+    assert stats.total == 4
+    assert stats.by_group[NodeGroup.FAST] == 2
+    assert stats.by_group[NodeGroup.MEDIUM] == 1
+    assert stats.by_group[NodeGroup.SLOW] == 1
+
+
+def test_fraction_and_fast_vs_slow():
+    collisions = [make_collision(NodeGroup.FAST)] * 3 + [
+        make_collision(NodeGroup.SLOW)]
+    stats = CollisionStats.of(collisions)
+    assert stats.fraction(NodeGroup.FAST) == 0.75
+    fast, slow = stats.fast_vs_slow()
+    assert fast == 0.75
+    assert slow == 0.25
+
+
+def test_fast_vs_slow_pools_medium_with_slow():
+    stats = CollisionStats.of([
+        make_collision(NodeGroup.MEDIUM),
+        make_collision(NodeGroup.SLOW),
+    ])
+    fast, slow = stats.fast_vs_slow()
+    assert fast == 0.0
+    assert slow == 1.0
+
+
+def test_merge():
+    a = CollisionStats.of([make_collision(NodeGroup.FAST)])
+    b = CollisionStats.of([make_collision(NodeGroup.SLOW),
+                           make_collision(NodeGroup.FAST)])
+    merged = a.merge(b)
+    assert merged.total == 3
+    assert merged.by_group[NodeGroup.FAST] == 2
+    # Inputs untouched.
+    assert a.total == 1 and b.total == 2
+
+
+def test_collision_str_mentions_parties():
+    collision = make_collision(NodeGroup.FAST, node_id=7, task="P5",
+                               holder="P4", time=10)
+    text = str(collision)
+    assert "P5" in text and "P4" in text and "7" in text

@@ -1,0 +1,113 @@
+"""Unit tests for the CF cost function and cost models."""
+
+import pytest
+
+from repro.core.costs import (
+    PricedTimeCost,
+    VolumeOverTimeCost,
+    cheapest_possible_cost,
+    distribution_cost,
+    relative_cost,
+)
+from repro.core.job import DataTransfer, Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.schedule import Distribution, Placement
+
+
+def fig2_like_job():
+    return Job(
+        "j",
+        [Task("P1", volume=20, best_time=2),
+         Task("P2", volume=30, best_time=3)],
+        [DataTransfer("D1", "P1", "P2")],
+        deadline=20,
+    )
+
+
+def pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+    ])
+
+
+def test_volume_over_time_is_ceil_of_quotient():
+    model = VolumeOverTimeCost()
+    task = Task("t", volume=10, best_time=1)
+    node = ProcessorNode(node_id=1, performance=1.0)
+    assert model.task_cost(task, Placement("t", 1, 0, 3), node) == 4
+    assert model.task_cost(task, Placement("t", 1, 0, 5), node) == 2
+
+
+def test_faster_node_costs_more_under_cf():
+    """The paper's economics: shorter real load time => higher cost."""
+    model = VolumeOverTimeCost()
+    task = Task("t", volume=20, best_time=2)
+    fast = ProcessorNode(node_id=1, performance=1.0)
+    slow = ProcessorNode(node_id=2, performance=0.5)
+    fast_cost = model.task_cost(
+        task, Placement("t", 1, 0, task.duration_on(1.0)), fast)
+    slow_cost = model.task_cost(
+        task, Placement("t", 2, 0, task.duration_on(0.5)), slow)
+    assert fast_cost > slow_cost
+
+
+def test_distribution_cost_sums_task_costs():
+    job = fig2_like_job()
+    dist = Distribution("j", [
+        Placement("P1", 1, 0, 2),   # 20/2 = 10
+        Placement("P2", 1, 3, 6),   # 30/3 = 10
+    ])
+    assert distribution_cost(dist, job, pool()) == 20
+
+
+def test_priced_time_cost():
+    model = PricedTimeCost()
+    task = Task("t", volume=1, best_time=2)
+    node = ProcessorNode(node_id=1, performance=1.0, price_rate=2.0)
+    assert model.task_cost(task, Placement("t", 1, 0, 3), node) == 6.0
+
+
+def test_priced_time_cost_surge():
+    model = PricedTimeCost(surge=1.5)
+    task = Task("t", volume=1, best_time=2)
+    node = ProcessorNode(node_id=1, performance=1.0, price_rate=2.0)
+    assert model.task_cost(task, Placement("t", 1, 0, 2), node) == 6.0
+    with pytest.raises(ValueError):
+        PricedTimeCost(surge=0)
+
+
+def test_cheapest_possible_cost_is_a_lower_bound():
+    job = fig2_like_job()
+    resource_pool = pool()
+    floor = cheapest_possible_cost(job, resource_pool)
+    dist = Distribution("j", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    assert distribution_cost(dist, job, resource_pool) >= floor
+
+
+def test_relative_cost_at_least_one():
+    job = fig2_like_job()
+    resource_pool = pool()
+    dist = Distribution("j", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    assert relative_cost(dist, job, resource_pool) >= 1.0
+
+
+def test_relative_cost_orders_cheap_vs_expensive():
+    job = fig2_like_job()
+    resource_pool = pool()
+    expensive = Distribution("j", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    cheap = Distribution("j", [
+        Placement("P1", 2, 0, 8),
+        Placement("P2", 2, 9, 20),
+    ])
+    assert (relative_cost(cheap, job, resource_pool)
+            < relative_cost(expensive, job, resource_pool))

@@ -1,0 +1,176 @@
+"""Unit tests for the critical works method."""
+
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.critical_works import (
+    CriticalWorksScheduler,
+    _unassigned_segments,
+)
+from repro.core.job import DataTransfer, Job, Task
+from repro.core.resources import NodeGroup, ProcessorNode, ResourcePool
+from repro.core.schedule import Placement, check_distribution
+from repro.core.transfers import NeutralTransferModel, transfer_time_fn
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def empty_calendars(pool):
+    return {node.node_id: ReservationCalendar() for node in pool}
+
+
+def test_critical_works_ranking_matches_paper():
+    """Section 3: four critical works of 12, 11, 10, 9 slots on type 1."""
+    scheduler = CriticalWorksScheduler(fig2_pool())
+    works = scheduler.critical_works(fig2_job())
+    assert [length for length, _ in works] == [12, 11, 10, 9]
+    assert works[0][1] == ["P1", "P2", "P4", "P6"]
+    assert works[1][1] == ["P1", "P2", "P5", "P6"]
+    assert works[2][1] == ["P1", "P3", "P4", "P6"]
+    assert works[3][1] == ["P1", "P3", "P5", "P6"]
+
+
+def test_fig2_schedule_is_valid_and_admissible():
+    job = fig2_job()
+    pool = fig2_pool()
+    scheduler = CriticalWorksScheduler(pool)
+    outcome = scheduler.build_schedule(job, empty_calendars(pool))
+    assert outcome.admissible
+    assert outcome.distribution is not None
+    assert len(outcome.distribution) == len(job)
+    violations = check_distribution(
+        job, outcome.distribution, pool,
+        transfer_time_fn(NeutralTransferModel()))
+    assert violations == []
+    assert outcome.makespan <= job.deadline
+    assert outcome.cost > 0
+
+
+def test_fig2_collision_between_p4_and_p5():
+    """The paper's Fig. 2 collision: P4 and P5 competing for one node."""
+    job = fig2_job()
+    pool = fig2_pool()
+    scheduler = CriticalWorksScheduler(pool)
+    outcome = scheduler.build_schedule(job, empty_calendars(pool))
+    pairs = {(c.task_id, c.holder) for c in outcome.collisions}
+    assert ("P5", "P4") in pairs or ("P4", "P5") in pairs
+
+
+def test_calendars_are_not_mutated():
+    job = fig2_job()
+    pool = fig2_pool()
+    calendars = empty_calendars(pool)
+    CriticalWorksScheduler(pool).build_schedule(job, calendars)
+    assert all(len(calendar) == 0 for calendar in calendars.values())
+
+
+def test_inadmissible_when_deadline_too_tight():
+    job = fig2_job(deadline=5)  # critical work needs 12 slots minimum
+    pool = fig2_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    assert not outcome.admissible
+    assert outcome.distribution is None
+
+
+def test_background_load_can_break_admissibility():
+    job = fig2_job(deadline=13)
+    pool = fig2_pool()
+    calendars = empty_calendars(pool)
+    # Saturate every node for the whole window.
+    for calendar in calendars.values():
+        calendar.reserve(0, 13, "background")
+    outcome = CriticalWorksScheduler(pool).build_schedule(job, calendars)
+    assert not outcome.admissible
+
+
+def test_background_load_shifts_placements():
+    job = Job("j", [Task("A", volume=10, best_time=2)], deadline=10)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    calendars = empty_calendars(pool)
+    calendars[1].reserve(0, 3, "background")
+    outcome = CriticalWorksScheduler(pool).build_schedule(job, calendars)
+    assert outcome.admissible
+    assert outcome.distribution.placement("A").start == 3
+
+
+def test_zero_deadline_job_uses_generous_horizon():
+    job = Job("j", [Task("A", volume=10, best_time=2)], deadline=0)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    assert outcome.admissible
+    assert outcome.distribution is not None
+
+
+def test_collision_resolution_respects_structure():
+    """After collision resolution the schedule must still be valid."""
+    job = fig2_job()
+    pool = fig2_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    assert outcome.collisions  # the fig2 job does collide
+    assert outcome.distribution.internal_overlaps() == []
+
+
+def test_collision_records_node_group():
+    job = fig2_job()
+    pool = fig2_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    for collision in outcome.collisions:
+        node = pool.node(collision.node_id)
+        assert collision.node_group is node.group
+
+
+def test_evaluations_accumulate_over_chains():
+    job = fig2_job()
+    pool = fig2_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    assert outcome.evaluations >= len(job)
+
+
+def test_level_changes_reservation_lengths():
+    tasks = [Task("A", volume=10, best_time=2, worst_time=6)]
+    job = Job("j", tasks, deadline=20)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    scheduler = CriticalWorksScheduler(pool)
+    best = scheduler.build_schedule(job, empty_calendars(pool), level=0.0)
+    worst = scheduler.build_schedule(job, empty_calendars(pool), level=1.0)
+    assert best.distribution.placement("A").duration == 2
+    assert worst.distribution.placement("A").duration == 6
+
+
+def test_release_offsets_schedule_and_deadline():
+    job = Job("j", [Task("A", volume=10, best_time=2)], deadline=10)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool), release=100)
+    placement = outcome.distribution.placement("A")
+    assert placement.start >= 100
+    assert placement.end <= 110
+    assert outcome.admissible
+
+
+def test_unassigned_segments_helper():
+    placed = {"B": Placement("B", 1, 0, 1), "D": Placement("D", 1, 2, 3)}
+    assert _unassigned_segments(["A", "B", "C", "D", "E"], placed) == [
+        ["A"], ["C"], ["E"]]
+    assert _unassigned_segments(["B", "D"], placed) == []
+    assert _unassigned_segments(["A", "C"], {}) == [["A", "C"]]
+
+
+def test_parallel_tasks_do_not_overlap_on_one_node():
+    """Two independent tasks forced onto one node must serialize."""
+    job = Job(
+        "par",
+        [Task("A", volume=10, best_time=3), Task("B", volume=10, best_time=3)],
+        deadline=10,
+    )
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    assert outcome.admissible
+    assert outcome.distribution.internal_overlaps() == []
+    # Serializing two independent tasks on one node is a collision.
+    assert len(outcome.collisions) == 1

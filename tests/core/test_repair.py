@@ -1,0 +1,67 @@
+"""Regression tests for the critical-works descendant-release repair.
+
+Before the repair existed, the first critical work's sink placement
+pinned every later chain: a fork-join on a two-node pool was infeasible
+at level 0 even though valid schedules existed (and, absurdly, feasible
+at level 1 where longer durations happened to leave room).
+"""
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.workload.shapes import fork_join_job, intree_job
+
+
+def two_node_pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+    ])
+
+
+def empty_calendars(pool):
+    return {node.node_id: ReservationCalendar() for node in pool}
+
+
+def test_fork_join_feasible_at_every_level():
+    """The historical failure mode: level 0 infeasible, level 1 fine."""
+    pool = two_node_pool()
+    scheduler = CriticalWorksScheduler(pool)
+    job = fork_join_job()  # width 3 on 2 nodes: sink must be repaired
+    for level in (0.0, 1 / 3, 2 / 3, 1.0):
+        outcome = scheduler.build_schedule(job, empty_calendars(pool),
+                                           level=level)
+        assert outcome.admissible, f"level {level} regressed"
+
+
+def test_intree_feasible_after_repair():
+    pool = two_node_pool()
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        intree_job(depth=2), empty_calendars(pool))
+    assert outcome.admissible
+
+
+def test_repair_never_leaves_partial_distributions():
+    """Whatever happens, an admissible outcome places every task and an
+    inadmissible one places none."""
+    pool = two_node_pool()
+    scheduler = CriticalWorksScheduler(pool)
+    for width in (2, 3, 4, 5):
+        for deadline in (8, 12, 16, 24, 40):
+            job = fork_join_job(width=width, deadline=deadline)
+            outcome = scheduler.build_schedule(job, empty_calendars(pool))
+            if outcome.admissible:
+                assert len(outcome.distribution) == len(job)
+                assert outcome.distribution.internal_overlaps() == []
+            else:
+                assert outcome.distribution is None
+
+
+def test_repair_does_not_duplicate_collision_records():
+    pool = two_node_pool()
+    job = fork_join_job(width=4)
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, empty_calendars(pool))
+    records = [(c.task_id, c.holder, c.node_id, c.time)
+               for c in outcome.collisions]
+    assert len(records) == len(set(records))

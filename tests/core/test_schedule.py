@@ -1,0 +1,201 @@
+"""Unit tests for placements, distributions, and schedule validation."""
+
+import pytest
+
+from repro.core.job import DataTransfer, Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.schedule import (
+    Distribution,
+    Placement,
+    check_distribution,
+)
+
+
+def chain_job():
+    """P1 -> P2 chain with a unit transfer, deadline 20."""
+    return Job(
+        "chain",
+        [Task("P1", volume=20, best_time=2),
+         Task("P2", volume=30, best_time=3)],
+        [DataTransfer("D1", "P1", "P2")],
+        deadline=20,
+    )
+
+
+def two_node_pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+    ])
+
+
+def test_placement_validation():
+    with pytest.raises(ValueError):
+        Placement("t", 1, -1, 3)
+    with pytest.raises(ValueError):
+        Placement("t", 1, 3, 3)
+    assert Placement("t", 1, 2, 6).duration == 4
+
+
+def test_placement_overlap_requires_same_node():
+    a = Placement("a", 1, 0, 5)
+    b = Placement("b", 1, 4, 8)
+    c = Placement("c", 2, 4, 8)
+    d = Placement("d", 1, 5, 8)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert not a.overlaps(d)
+
+
+def test_distribution_basic_accessors():
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    assert len(dist) == 2
+    assert "P1" in dist and "P9" not in dist
+    assert dist.placement("P2").start == 3
+    assert dist.makespan == 6
+    assert dist.start_time == 0
+    assert dist.node_ids() == {1}
+    with pytest.raises(KeyError):
+        dist.placement("P9")
+
+
+def test_distribution_duplicate_placement_rejected():
+    with pytest.raises(ValueError):
+        Distribution("j", [Placement("a", 1, 0, 1), Placement("a", 2, 1, 2)])
+
+
+def test_distribution_by_node_sorted():
+    dist = Distribution("j", [
+        Placement("b", 1, 5, 8),
+        Placement("a", 1, 0, 2),
+        Placement("c", 2, 1, 4),
+    ])
+    groups = dist.by_node()
+    assert [p.task_id for p in groups[1]] == ["a", "b"]
+    assert [p.task_id for p in groups[2]] == ["c"]
+
+
+def test_distribution_admissibility():
+    dist = Distribution("j", [Placement("a", 1, 0, 10)])
+    assert dist.is_admissible(10)
+    assert not dist.is_admissible(9)
+
+
+def test_distribution_internal_overlaps():
+    dist = Distribution("j", [
+        Placement("a", 1, 0, 5),
+        Placement("b", 1, 4, 8),
+    ])
+    clashes = dist.internal_overlaps()
+    assert len(clashes) == 1
+    assert clashes[0][0].task_id == "a"
+    assert clashes[0][1].task_id == "b"
+
+
+def test_distribution_replace():
+    dist = Distribution("j", [Placement("a", 1, 0, 5)])
+    moved = dist.replace(Placement("a", 2, 3, 8))
+    assert moved.placement("a").node_id == 2
+    assert dist.placement("a").node_id == 1  # original untouched
+    with pytest.raises(KeyError):
+        dist.replace(Placement("ghost", 1, 0, 1))
+
+
+def test_check_distribution_accepts_valid_schedule():
+    job = chain_job()
+    pool = two_node_pool()
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    assert check_distribution(job, dist, pool) == []
+
+
+def test_check_distribution_colocated_tasks_skip_transfer():
+    job = chain_job()
+    pool = two_node_pool()
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 2, 5),  # back-to-back is fine on one node
+    ])
+    assert check_distribution(job, dist, pool) == []
+
+
+def test_check_distribution_flags_missing_task():
+    job = chain_job()
+    dist = Distribution("chain", [Placement("P1", 1, 0, 2)])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "missing" in kinds
+
+
+def test_check_distribution_flags_unknown_task_and_node():
+    job = chain_job()
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 3, 6),
+        Placement("P9", 1, 0, 1),
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "unknown-task" in kinds
+
+    dist = Distribution("chain", [
+        Placement("P1", 99, 0, 2),
+        Placement("P2", 1, 3, 6),
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "unknown-node" in kinds
+
+
+def test_check_distribution_flags_short_reservation():
+    job = chain_job()
+    dist = Distribution("chain", [
+        Placement("P1", 2, 0, 2),   # needs 4 slots on the half-speed node
+        Placement("P2", 1, 3, 6),
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "too-short" in kinds
+
+
+def test_check_distribution_flags_precedence_violation():
+    job = chain_job()
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 2, 2, 8),  # cross-node needs 1 slot of transfer
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "precedence" in kinds
+
+
+def test_check_distribution_flags_deadline():
+    job = chain_job()
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 1, 18, 21),
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "deadline" in kinds
+
+
+def test_check_distribution_flags_overlap():
+    job = chain_job()
+    # Ignore precedence by placing P2 before P1 ends on the same node.
+    dist = Distribution("chain", [
+        Placement("P1", 1, 0, 4),
+        Placement("P2", 1, 1, 6),
+    ])
+    kinds = {v.kind for v in check_distribution(job, dist, two_node_pool())}
+    assert "overlap" in kinds
+
+
+def test_check_distribution_estimation_level():
+    job = Job("j", [Task("P1", volume=1, best_time=2, worst_time=6)],
+              deadline=10)
+    pool = two_node_pool()
+    dist = Distribution("j", [Placement("P1", 1, 0, 2)])
+    assert check_distribution(job, dist, pool, estimation_level=0.0) == []
+    kinds = {v.kind for v in
+             check_distribution(job, dist, pool, estimation_level=1.0)}
+    assert "too-short" in kinds

@@ -1,0 +1,33 @@
+"""Unit tests for transfer models and the adapter."""
+
+from repro.core.job import DataTransfer
+from repro.core.resources import ProcessorNode
+from repro.core.transfers import NeutralTransferModel, transfer_time_fn
+
+
+def nodes():
+    return (ProcessorNode(node_id=1, performance=1.0),
+            ProcessorNode(node_id=2, performance=0.5))
+
+
+def test_neutral_model_free_on_same_node():
+    model = NeutralTransferModel()
+    a, _ = nodes()
+    transfer = DataTransfer("d", "x", "y", base_time=3)
+    assert model.time(transfer, a, a) == 0
+
+
+def test_neutral_model_base_time_across_nodes():
+    model = NeutralTransferModel()
+    a, b = nodes()
+    transfer = DataTransfer("d", "x", "y", base_time=3)
+    assert model.time(transfer, a, b) == 3
+    assert model.estimate(transfer) == 3
+
+
+def test_transfer_time_fn_adapter():
+    fn = transfer_time_fn(NeutralTransferModel())
+    a, b = nodes()
+    transfer = DataTransfer("d", "x", "y", base_time=2)
+    assert fn(transfer, a, b) == 2
+    assert fn(transfer, a, a) == 0

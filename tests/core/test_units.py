@@ -1,0 +1,64 @@
+"""Unit tests for slot arithmetic helpers."""
+
+import pytest
+
+from repro.core.units import ceil_div, ceil_units, interpolate, scale_duration
+
+
+def test_ceil_units_exact_integer():
+    assert ceil_units(6.0) == 6
+
+
+def test_ceil_units_float_noise():
+    # 2 / (1/3) == 6.000000000000001 — must not round up to 7.
+    assert ceil_units(2 / (1 / 3)) == 6
+
+
+def test_ceil_units_genuine_fraction():
+    assert ceil_units(6.2) == 7
+    assert ceil_units(0.1) == 1
+
+
+def test_ceil_div_basic():
+    assert ceil_div(10, 3) == 4
+    assert ceil_div(9, 3) == 3
+    assert ceil_div(20, 2) == 10
+
+
+def test_ceil_div_rejects_nonpositive_denominator():
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+    with pytest.raises(ValueError):
+        ceil_div(1, -2)
+
+
+def test_scale_duration_matches_fig2_estimate_rows():
+    # Fig. 2 table: P1 base time 2 -> 2, 4, 6, 8 on types 1..4.
+    for perf, expected in [(1.0, 2), (0.5, 4), (1 / 3, 6), (0.25, 8)]:
+        assert scale_duration(2, perf) == expected
+
+
+def test_scale_duration_p2_row():
+    # P2 base 3 -> 3, 6, 9, 12.
+    for perf, expected in [(1.0, 3), (0.5, 6), (1 / 3, 9), (0.25, 12)]:
+        assert scale_duration(3, perf) == expected
+
+
+def test_scale_duration_validation():
+    with pytest.raises(ValueError):
+        scale_duration(2, 0)
+    with pytest.raises(ValueError):
+        scale_duration(-1, 1.0)
+
+
+def test_interpolate_endpoints_and_midpoint():
+    assert interpolate(2, 8, 0.0) == 2
+    assert interpolate(2, 8, 1.0) == 8
+    assert interpolate(2, 8, 0.5) == 5
+
+
+def test_interpolate_validation():
+    with pytest.raises(ValueError):
+        interpolate(2, 8, 1.5)
+    with pytest.raises(ValueError):
+        interpolate(8, 2, 0.5)

@@ -1,0 +1,79 @@
+"""Unit tests for the text Gantt renderers."""
+
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.schedule import Distribution, Placement
+from repro.viz import render_calendars, render_distribution, render_timeline
+from repro.workload.paper_example import fig2_pool
+
+
+def demo_distribution():
+    return Distribution("demo", [
+        Placement("P1", 1, 0, 2),
+        Placement("P2", 2, 3, 9),
+        Placement("P3", 1, 4, 6),
+    ], scenario="level=0")
+
+
+def test_render_distribution_rows_and_labels():
+    text = render_distribution(demo_distribution(), fig2_pool())
+    lines = text.splitlines()
+    assert "Distribution 'demo' (level=0)" in lines[0]
+    assert any(line.startswith("n1(1.00)") for line in lines)
+    assert any(line.startswith("n2(0.50)") for line in lines)
+    assert "P1" in text and "P2" in text and "P3" in text
+
+
+def test_render_distribution_block_positions():
+    text = render_distribution(demo_distribution(), width=12)
+    node1_row = [line for line in text.splitlines()
+                 if line.startswith("n1")][0]
+    body = node1_row.split("|")[1]
+    # P1 occupies slots 0-1, P3 slots 4-5, rest of the row idle.
+    assert body[0:2] == "P1"
+    assert body[4:6] == "P3"
+    assert body[2:4] == ".."
+
+
+def test_render_distribution_without_pool():
+    text = render_distribution(demo_distribution())
+    assert "n1" in text and "n2" in text
+
+
+def test_long_blocks_fill_with_rule():
+    dist = Distribution("d", [Placement("X", 1, 0, 6)])
+    text = render_distribution(dist, width=8)
+    body = [line for line in text.splitlines()
+            if line.startswith("n1")][0].split("|")[1]
+    assert body.startswith("X=====")
+
+
+def test_render_calendars():
+    calendars = {
+        1: ReservationCalendar(),
+        2: ReservationCalendar(),
+    }
+    calendars[1].reserve(0, 4, "background")
+    calendars[2].reserve(2, 5, "job:A")
+    text = render_calendars(calendars, horizon=10)
+    # Labels truncate to their block width.
+    assert "back" in text
+    assert "job" in text
+    with pytest.raises(ValueError):
+        render_calendars(calendars, horizon=0)
+
+
+def test_axis_ticks_present():
+    dist = Distribution("d", [Placement("X", 1, 0, 25)])
+    text = render_distribution(dist)
+    axis = text.splitlines()[-1]
+    assert "0" in axis and "10" in axis and "20" in axis
+
+
+def test_render_timeline_sorts_events():
+    text = render_timeline([(5, "b"), (1, "a")], label="Log")
+    lines = text.splitlines()
+    assert lines[0] == "Log"
+    assert lines[1].endswith("a")
+    assert lines[2].endswith("b")

@@ -1,0 +1,42 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in ("fig2", "fig3a", "fig4c", "ext-local"):
+        assert experiment_id in out
+
+
+def test_run_fig2(capsys):
+    assert main(["run", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "critical works method" in out
+
+
+def test_run_with_jobs_flag(capsys):
+    assert main(["run", "fig3a", "--jobs", "5", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "[fig3a]" in out
+    assert "5" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "repro" in capsys.readouterr().out
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("list", "run", "all"):
+        assert command in text

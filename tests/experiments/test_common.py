@@ -1,0 +1,74 @@
+"""Unit tests for experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import NodeGroup, ProcessorNode, ResourcePool
+from repro.experiments.common import ExperimentTable, select_nodes_for_job
+
+
+def test_table_add_row_validates_columns():
+    table = ExperimentTable("x", "title", columns=["a", "b"])
+    table.add_row(a=1, b=2)
+    with pytest.raises(ValueError):
+        table.add_row(a=1)
+    with pytest.raises(ValueError):
+        table.add_row(a=1, b=2, c=3)
+
+
+def test_table_formatting_contains_everything():
+    table = ExperimentTable("fig9", "demo table", columns=["name", "value"])
+    table.add_row(name="alpha", value=1.234)
+    table.notes.append("a note")
+    text = table.formatted()
+    assert "[fig9] demo table" in text
+    assert "alpha" in text
+    assert "1.23" in text
+    assert "note: a note" in text
+
+
+def test_table_row_map():
+    table = ExperimentTable("x", "t", columns=["k", "v"])
+    table.add_row(k="a", v=1)
+    table.add_row(k="b", v=2)
+    assert table.row_map("k")["b"]["v"] == 2
+
+
+def mixed_pool():
+    performances = [0.9, 0.8, 0.7, 0.5, 0.4, 0.33, 0.33, 0.33]
+    return ResourcePool([
+        ProcessorNode(node_id=i + 1, performance=p)
+        for i, p in enumerate(performances)
+    ])
+
+
+def test_select_nodes_keeps_all_groups():
+    rng = np.random.default_rng(0)
+    subset = select_nodes_for_job(mixed_pool(), rng, count=5)
+    assert len(subset) == 5
+    groups = {node.group for node in subset}
+    assert groups == set(NodeGroup)
+
+
+def test_select_nodes_count_clamped_to_pool():
+    rng = np.random.default_rng(0)
+    subset = select_nodes_for_job(mixed_pool(), rng, count=100)
+    assert len(subset) == 8
+
+
+def test_select_nodes_validation():
+    with pytest.raises(ValueError):
+        select_nodes_for_job(mixed_pool(), np.random.default_rng(0), 0)
+
+
+def test_select_nodes_no_duplicates():
+    rng = np.random.default_rng(3)
+    subset = select_nodes_for_job(mixed_pool(), rng, count=6)
+    ids = [node.node_id for node in subset]
+    assert len(ids) == len(set(ids))
+
+
+def test_select_nodes_deterministic_per_seed():
+    a = select_nodes_for_job(mixed_pool(), np.random.default_rng(7), 5)
+    b = select_nodes_for_job(mixed_pool(), np.random.default_rng(7), 5)
+    assert [n.node_id for n in a] == [n.node_id for n in b]

@@ -1,0 +1,135 @@
+"""Unit tests for VO quota economics."""
+
+import pytest
+
+from repro.core.job import Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.schedule import Distribution, Placement
+from repro.flow.economics import InsufficientBudget, UserAccount, VOEconomics
+
+
+def fixtures():
+    job = Job("j", [Task("A", volume=20, best_time=2)], deadline=10)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0)])
+    dist = Distribution("j", [Placement("A", 1, 0, 2)])  # CF = 10
+    return job, pool, dist
+
+
+def test_account_validation():
+    with pytest.raises(ValueError):
+        UserAccount(name="u", budget=-1)
+    with pytest.raises(ValueError):
+        UserAccount(name="u", budget=1, surge=0)
+
+
+def test_account_remaining_and_afford():
+    account = UserAccount(name="u", budget=100)
+    assert account.remaining == 100
+    assert account.can_afford(100)
+    account.spent = 40
+    assert account.remaining == 60
+    assert not account.can_afford(61)
+
+
+def test_surge_inflates_affordability_check():
+    account = UserAccount(name="u", budget=100, surge=2.0)
+    assert account.can_afford(50)
+    assert not account.can_afford(51)
+
+
+def test_open_account_uniqueness():
+    economics = VOEconomics()
+    economics.open_account("u", 100)
+    with pytest.raises(ValueError):
+        economics.open_account("u", 50)
+    with pytest.raises(KeyError):
+        economics.account("ghost")
+    assert economics.has_account("u")
+    assert not economics.has_account("ghost")
+
+
+def test_quote_uses_cost_model():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    assert economics.quote(dist, job, pool) == 10  # ceil(20/2)
+
+
+def test_charge_debits_account():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    economics.open_account("u", 100)
+    amount = economics.charge("u", dist, job, pool)
+    assert amount == 10
+    assert economics.account("u").remaining == 90
+
+
+def test_charge_with_surge_costs_more():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    economics.open_account("u", 100)
+    economics.set_surge("u", 2.0)
+    assert economics.charge("u", dist, job, pool) == 20
+    assert economics.priority_of("u") == 2.0
+
+
+def test_insufficient_budget_leaves_account_intact():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    economics.open_account("poor", 5)
+    with pytest.raises(InsufficientBudget):
+        economics.charge("poor", dist, job, pool)
+    assert economics.account("poor").spent == 0
+
+
+def test_refund():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    economics.open_account("u", 100)
+    amount = economics.charge("u", dist, job, pool)
+    economics.refund("u", amount)
+    assert economics.account("u").remaining == 100
+    with pytest.raises(ValueError):
+        economics.refund("u", -1)
+
+
+def test_set_surge_validation():
+    economics = VOEconomics()
+    economics.open_account("u", 10)
+    with pytest.raises(ValueError):
+        economics.set_surge("u", 0)
+
+
+def test_node_surge_reprices_quotes():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    assert economics.node_surge(1) == 1.0
+    economics.set_node_surge(1, 3.0)
+    assert economics.node_surge(1) == 3.0
+    assert economics.quote(dist, job, pool) == 30  # 10 * 3
+    with pytest.raises(ValueError):
+        economics.set_node_surge(1, 0)
+
+
+def test_node_surge_only_affects_that_node():
+    from repro.core.resources import ProcessorNode, ResourcePool
+    from repro.core.schedule import Distribution, Placement
+    from repro.core.job import Job, Task
+
+    job = Job("j", [Task("A", volume=20, best_time=2),
+                    Task("B", volume=20, best_time=2)], [], deadline=10)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0),
+                         ProcessorNode(node_id=2, performance=1.0)])
+    dist = Distribution("j", [Placement("A", 1, 0, 2),
+                              Placement("B", 2, 0, 2)])
+    economics = VOEconomics()
+    base = economics.quote(dist, job, pool)
+    economics.set_node_surge(1, 2.0)
+    assert economics.quote(dist, job, pool) == base + 10  # A doubled
+
+
+def test_node_surge_interacts_with_charge():
+    job, pool, dist = fixtures()
+    economics = VOEconomics()
+    economics.open_account("u", 100)
+    economics.set_node_surge(1, 2.0)
+    assert economics.charge("u", dist, job, pool) == 20

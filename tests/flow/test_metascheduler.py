@@ -1,0 +1,201 @@
+"""Unit tests for the metascheduler, job managers, and the VO façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.job import Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.strategy import StrategyType
+from repro.flow.manager import JobManager
+from repro.flow.metascheduler import Metascheduler
+from repro.flow.vo import VirtualOrganization
+from repro.grid.environment import GridEnvironment
+from repro.workload.paper_example import fig2_job
+
+
+def two_domain_pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0, domain="alpha"),
+        ProcessorNode(node_id=2, performance=0.5, domain="alpha"),
+        ProcessorNode(node_id=3, performance=1.0, domain="beta"),
+        ProcessorNode(node_id=4, performance=0.33, domain="beta"),
+    ])
+
+
+def simple_job(job_id="j", deadline=30, owner="anonymous"):
+    return Job(
+        job_id,
+        [Task("A", volume=20, best_time=2), Task("B", volume=10, best_time=1)],
+        [],
+        deadline=deadline,
+        owner=owner,
+    )
+
+
+# ----------------------------------------------------------------------
+# JobManager
+# ----------------------------------------------------------------------
+
+def test_manager_plans_only_on_its_domain():
+    pool = two_domain_pool()
+    manager = JobManager("alpha", pool)
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    strategy = manager.plan(simple_job(), calendars, StrategyType.S1)
+    assert strategy.admissible
+    for schedule in strategy.admissible_schedules():
+        assert schedule.distribution.node_ids() <= {1, 2}
+    assert "j" in manager.strategies
+    manager.drop("j")
+    assert "j" not in manager.strategies
+
+
+def test_manager_rejects_empty_domain():
+    with pytest.raises(ValueError):
+        JobManager("ghost", two_domain_pool())
+
+
+def test_manager_resource_requests_match_best_schedule():
+    pool = two_domain_pool()
+    manager = JobManager("alpha", pool)
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    strategy = manager.plan(simple_job(), calendars, StrategyType.S1)
+    requests = manager.resource_requests(strategy)
+    best = strategy.best_schedule()
+    assert len(requests) == len(best.distribution)
+    for request in requests:
+        placement = best.distribution.placement(
+            request.attributes["task_id"])
+        assert request.reserved_start == placement.start
+        assert request.wall_time == placement.duration
+
+
+# ----------------------------------------------------------------------
+# Metascheduler
+# ----------------------------------------------------------------------
+
+def test_dispatch_commits_job():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    scheduler.submit(simple_job(), StrategyType.S1)
+    records = scheduler.dispatch()
+    assert len(records) == 1
+    record = records[0]
+    assert record.committed
+    assert record.domain in ("alpha", "beta")
+    assert record.chosen is not None
+    # The reservations landed in the environment.
+    booked = sum(len(cal) for cal in grid.calendars.values())
+    assert booked == 2
+
+
+def test_dispatch_rejects_impossible_deadline():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    scheduler.submit(simple_job(deadline=1), StrategyType.S1)
+    records = scheduler.dispatch()
+    assert not records[0].committed
+    assert records[0].reason == "inadmissible"
+
+
+def test_flows_empty_after_dispatch():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    scheduler.submit(simple_job(), StrategyType.S2)
+    scheduler.dispatch()
+    assert scheduler.pending() == []
+
+
+def test_pending_interleaves_flows_round_robin():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    scheduler.submit(simple_job("a"), StrategyType.S1)
+    scheduler.submit(simple_job("b"), StrategyType.S1)
+    scheduler.submit(simple_job("c"), StrategyType.S2)
+    order = [job.job_id for job, _ in scheduler.pending()]
+    assert order == ["a", "c", "b"]
+
+
+def test_sequential_jobs_share_resources_without_overlap():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    for index in range(4):
+        scheduler.submit(simple_job(f"j{index}"), StrategyType.S1)
+    records = scheduler.dispatch()
+    assert all(record.committed for record in records)
+    # Environment calendars enforce disjointness; reaching here without
+    # ReservationConflict proves the schedules interleave correctly.
+
+
+def test_fig2_job_through_framework():
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+        ProcessorNode(node_id=3, performance=1 / 3),
+        ProcessorNode(node_id=4, performance=0.25),
+    ])
+    grid = GridEnvironment(pool)
+    scheduler = Metascheduler(grid)
+    scheduler.submit(fig2_job(), StrategyType.S1)
+    records = scheduler.dispatch()
+    assert records[0].committed
+
+
+# ----------------------------------------------------------------------
+# VirtualOrganization façade
+# ----------------------------------------------------------------------
+
+def test_vo_run_flow_and_summary():
+    vo = VirtualOrganization(two_domain_pool(), with_economics=False)
+    records = vo.run_flow([
+        (simple_job("ok"), StrategyType.S1),
+        (simple_job("late", deadline=1), StrategyType.S1),
+    ])
+    summary = vo.summarize(records)
+    assert summary.total == 2
+    assert summary.committed == 1
+    assert summary.inadmissible == 1
+    assert summary.admission_rate == 0.5
+
+
+def test_vo_economics_charges_and_rejects():
+    vo = VirtualOrganization(two_domain_pool())
+    vo.register_user("rich", budget=1000)
+    vo.register_user("poor", budget=0.1)
+    records = vo.run_flow([
+        (simple_job("a", owner="rich"), StrategyType.S1),
+        (simple_job("b", owner="poor"), StrategyType.S1),
+    ])
+    by_id = {r.job_id: r for r in records}
+    assert by_id["a"].committed
+    assert by_id["a"].charge is not None
+    assert not by_id["b"].committed
+    assert by_id["b"].reason == "budget"
+
+
+def test_vo_surge_priority_orders_dispatch():
+    vo = VirtualOrganization(two_domain_pool())
+    vo.register_user("calm", budget=1000)
+    vo.register_user("urgent", budget=1000)
+    vo.economics.set_surge("urgent", 3.0)
+    vo.submit(simple_job("a", owner="calm"), StrategyType.S1)
+    vo.submit(simple_job("b", owner="urgent"), StrategyType.S1)
+    order = [job.job_id for job, _ in vo.metascheduler.pending()]
+    assert order == ["b", "a"]
+
+
+def test_vo_without_economics_rejects_registration():
+    vo = VirtualOrganization(two_domain_pool(), with_economics=False)
+    with pytest.raises(RuntimeError):
+        vo.register_user("u", 10)
+
+
+def test_vo_background_and_load_metrics():
+    vo = VirtualOrganization(two_domain_pool(), with_economics=False)
+    vo.preload_background(np.random.default_rng(0), busy_fraction=0.3,
+                          horizon=100)
+    records = vo.run_flow([(simple_job(), StrategyType.S1)])
+    load = vo.load_by_group(0, 100)
+    assert set(load) == {group for group in load}
+    total_load = vo.load_by_group(0, 100, jobs_only=False)
+    assert all(total_load[g] >= load[g] for g in load)

@@ -1,0 +1,117 @@
+"""Unit tests for schedule invalidation and strategy time-to-live."""
+
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.schedule import Distribution, Placement
+from repro.core.strategy import StrategyGenerator, StrategyType
+from repro.flow.reallocation import (
+    invalidates,
+    strategy_time_to_live,
+)
+from repro.grid.environment import BackgroundEvent
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def test_invalidates_matches_node_and_interval():
+    dist = Distribution("j", [Placement("A", 1, 5, 10)])
+    assert invalidates(BackgroundEvent(0, 1, 7, 9), dist)
+    assert invalidates(BackgroundEvent(0, 1, 0, 6), dist)
+    assert not invalidates(BackgroundEvent(0, 2, 7, 9), dist)   # other node
+    assert not invalidates(BackgroundEvent(0, 1, 10, 12), dist)  # after
+    assert not invalidates(BackgroundEvent(0, 1, 0, 5), dist)    # before
+
+
+def test_plan_windows_are_stealable_by_default():
+    dist = Distribution("j", [Placement("A", 1, 0, 5)])
+    # Plan semantics: the window is stealable whenever the event arrives.
+    assert invalidates(BackgroundEvent(6, 1, 2, 4), dist)
+
+
+def test_executed_before_grants_immunity():
+    dist = Distribution("j", [Placement("A", 1, 0, 5)])
+    event = BackgroundEvent(6, 1, 2, 4)
+    assert not invalidates(event, dist, executed_before=6)
+    assert invalidates(event, dist, executed_before=3)
+
+
+def make_strategy(stype=StrategyType.S1, deadline=30):
+    pool = fig2_pool()
+    generator = StrategyGenerator(pool)
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    return generator.generate(fig2_job(deadline=deadline), calendars, stype)
+
+
+def test_ttl_survives_without_events():
+    strategy = make_strategy()
+    result = strategy_time_to_live(strategy, [], horizon=100)
+    assert result.survived
+    assert result.ttl == 100
+    assert result.switches == 0
+    assert result.final is not None
+
+
+def test_ttl_zero_for_inadmissible_strategy():
+    strategy = make_strategy(deadline=5)
+    result = strategy_time_to_live(strategy, [], horizon=100)
+    assert not result.survived
+    assert result.ttl == 0
+    assert result.final is None
+
+
+def test_ttl_validation():
+    strategy = make_strategy()
+    with pytest.raises(ValueError):
+        strategy_time_to_live(strategy, [], horizon=0)
+
+
+def test_harmless_events_do_not_switch():
+    strategy = make_strategy()
+    active = strategy.best_schedule()
+    free_node = None
+    for node in fig2_pool():
+        if node.node_id not in active.distribution.node_ids():
+            free_node = node.node_id
+            break
+    events = []
+    if free_node is not None:
+        events = [BackgroundEvent(1, free_node, 0, 5)]
+    result = strategy_time_to_live(strategy, events, horizon=100)
+    assert result.survived
+    assert result.switches == 0
+
+
+def test_invalidation_triggers_switch_or_death():
+    strategy = make_strategy()
+    active = strategy.best_schedule()
+    placement = next(iter(active.distribution))
+    event = BackgroundEvent(1, placement.node_id, placement.start,
+                            placement.end)
+    result = strategy_time_to_live(strategy, [event], horizon=100)
+    if result.survived:
+        assert result.switches >= 1
+        assert result.final is not active
+    else:
+        assert result.ttl == 1
+
+
+def test_saturating_events_kill_strategy():
+    strategy = make_strategy()
+    events = [
+        BackgroundEvent(2, node.node_id, 0, 1000)
+        for node in fig2_pool()
+    ]
+    result = strategy_time_to_live(strategy, events, horizon=100)
+    assert not result.survived
+    assert result.ttl == 2
+
+
+def test_events_beyond_horizon_ignored():
+    strategy = make_strategy()
+    events = [
+        BackgroundEvent(200, node.node_id, 0, 1000)
+        for node in fig2_pool()
+    ]
+    result = strategy_time_to_live(strategy, events, horizon=100)
+    assert result.survived
+    assert result.ttl == 100

@@ -1,0 +1,105 @@
+"""Tests for the online (DES-driven) framework simulation."""
+
+import pytest
+
+from repro.core.strategy import StrategyType
+from repro.flow.simulation import JobOutcome, OnlineConfig, OnlineSimulation
+from repro.sim import RandomStreams
+from repro.workload import generate_pool
+
+
+def make_pool(seed=5):
+    return generate_pool(RandomStreams(seed).stream("pool"))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OnlineConfig(horizon=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(mean_interarrival=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(stypes=())
+
+
+def test_outcome_slack():
+    outcome = JobOutcome("j", StrategyType.S1, submitted=0, committed=True,
+                         planned_makespan=10, actual_makespan=8)
+    assert outcome.slack == 2
+    assert JobOutcome("j", StrategyType.S1, 0, False).slack is None
+
+
+def test_run_is_deterministic():
+    config = OnlineConfig(horizon=150)
+    a = OnlineSimulation(make_pool(), seed=5, config=config).run()
+    b = OnlineSimulation(make_pool(), seed=5, config=config).run()
+    assert [(o.job_id, o.committed, o.actual_makespan) for o in a] == [
+        (o.job_id, o.committed, o.actual_makespan) for o in b]
+
+
+def test_punctual_mode_never_runs_late():
+    """With actual levels within plan, every job meets its schedule."""
+    config = OnlineConfig(horizon=200, actual_within_plan=True)
+    simulation = OnlineSimulation(make_pool(), seed=5, config=config)
+    outcomes = simulation.run()
+    executed = [o for o in outcomes if o.actual_makespan is not None]
+    assert executed
+    for outcome in executed:
+        assert outcome.slack is not None and outcome.slack >= 0
+        assert outcome.met_deadline
+
+
+def test_overrun_mode_can_run_late():
+    """Unbounded actual levels produce at least some lateness."""
+    config = OnlineConfig(horizon=250, mean_interarrival=8.0,
+                          actual_within_plan=False)
+    simulation = OnlineSimulation(make_pool(), seed=5, config=config)
+    outcomes = simulation.run()
+    executed = [o for o in outcomes if o.slack is not None]
+    assert executed
+    assert any(o.slack < 0 for o in executed)
+    # Punctual mode on the same arrivals is never worse on average.
+    punctual = OnlineSimulation(
+        make_pool(), seed=5,
+        config=OnlineConfig(horizon=250, mean_interarrival=8.0,
+                            actual_within_plan=True)).run()
+    mean_late = sum(min(0, o.slack) for o in executed) / len(executed)
+    assert mean_late <= 0
+
+
+def test_strategy_cycle_assignment():
+    config = OnlineConfig(horizon=200,
+                          stypes=(StrategyType.S1, StrategyType.S3))
+    outcomes = OnlineSimulation(make_pool(), seed=5, config=config).run()
+    assert {o.stype for o in outcomes} <= {StrategyType.S1,
+                                           StrategyType.S3}
+    assert [o.stype for o in outcomes[:2]] == [StrategyType.S1,
+                                               StrategyType.S3]
+
+
+def test_metrics_are_consistent():
+    simulation = OnlineSimulation(make_pool(), seed=5,
+                                  config=OnlineConfig(horizon=150))
+    outcomes = simulation.run()
+    committed = sum(1 for o in outcomes if o.committed)
+    assert simulation.admission_rate() == pytest.approx(
+        committed / len(outcomes))
+    utilization = simulation.node_utilization()
+    assert all(0.0 <= value <= 1.0 for value in utilization.values())
+    # Committed jobs did execute on the agents.
+    total_runs = sum(len(agent.completed)
+                     for agent in simulation.agents.values())
+    assert total_runs > 0
+    # Everything admitted eventually left the system.
+    assert simulation.in_system.value == 0
+    assert simulation.mean_concurrency() > 0
+
+
+def test_background_load_reduces_admission():
+    light = OnlineSimulation(
+        make_pool(), seed=5,
+        config=OnlineConfig(horizon=200, busy_fraction=0.0))
+    heavy = OnlineSimulation(
+        make_pool(), seed=5,
+        config=OnlineConfig(horizon=200, busy_fraction=0.6))
+    assert light.run() and heavy.run()
+    assert heavy.admission_rate() <= light.admission_rate()

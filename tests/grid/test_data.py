@@ -1,0 +1,84 @@
+"""Unit tests for the data-policy transfer models."""
+
+import pytest
+
+from repro.core.job import DataTransfer
+from repro.core.resources import ProcessorNode
+from repro.core.strategy import DataPolicyKind
+from repro.grid.data import (
+    RemoteAccessModel,
+    ReplicationModel,
+    StaticStorageModel,
+    default_policy_models,
+)
+
+
+def nodes():
+    return (ProcessorNode(node_id=1, performance=1.0),
+            ProcessorNode(node_id=2, performance=0.5))
+
+
+def transfer(base_time=4):
+    return DataTransfer("d", "x", "y", base_time=base_time)
+
+
+def test_all_policies_free_on_same_node():
+    a, _ = nodes()
+    for model in (ReplicationModel(), RemoteAccessModel(),
+                  StaticStorageModel()):
+        assert model.time(transfer(), a, a) == 0
+
+
+def test_replication_halves_cross_node_time():
+    a, b = nodes()
+    model = ReplicationModel()
+    assert model.time(transfer(4), a, b) == 2
+    assert model.estimate(transfer(4)) == 2
+
+
+def test_replication_rounds_up():
+    a, b = nodes()
+    assert ReplicationModel().time(transfer(3), a, b) == 2  # ceil(1.5)
+
+
+def test_replication_overlap_validation():
+    with pytest.raises(ValueError):
+        ReplicationModel(overlap=1.5)
+    with pytest.raises(ValueError):
+        ReplicationModel(overlap=-0.1)
+
+
+def test_remote_access_full_base_time():
+    a, b = nodes()
+    model = RemoteAccessModel()
+    assert model.time(transfer(4), a, b) == 4
+    assert model.estimate(transfer(4)) == 4
+
+
+def test_static_storage_round_trip():
+    a, b = nodes()
+    model = StaticStorageModel()
+    assert model.time(transfer(4), a, b) == 8
+    assert model.estimate(transfer(4)) == 8
+
+
+def test_static_round_trip_validation():
+    with pytest.raises(ValueError):
+        StaticStorageModel(round_trip=0.5)
+
+
+def test_policy_ordering_cheap_to_expensive():
+    """Replication < remote access < static, driving strategy behaviour."""
+    a, b = nodes()
+    t = transfer(4)
+    assert (ReplicationModel().time(t, a, b)
+            < RemoteAccessModel().time(t, a, b)
+            < StaticStorageModel().time(t, a, b))
+
+
+def test_default_policy_models_complete():
+    models = default_policy_models()
+    assert set(models) == set(DataPolicyKind)
+    assert isinstance(models[DataPolicyKind.REPLICATION], ReplicationModel)
+    assert isinstance(models[DataPolicyKind.REMOTE_ACCESS], RemoteAccessModel)
+    assert isinstance(models[DataPolicyKind.STATIC], StaticStorageModel)

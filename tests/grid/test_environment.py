@@ -1,0 +1,130 @@
+"""Unit tests for the Grid environment state."""
+
+import numpy as np
+import pytest
+
+from repro.core.calendar import ReservationConflict
+from repro.core.resources import NodeGroup, ProcessorNode, ResourcePool
+from repro.core.schedule import Distribution, Placement
+from repro.grid.environment import BackgroundEvent, GridEnvironment
+
+
+def make_env():
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+        ProcessorNode(node_id=3, performance=0.33),
+    ])
+    return GridEnvironment(pool)
+
+
+def test_background_event_validation():
+    with pytest.raises(ValueError):
+        BackgroundEvent(arrival=0, node_id=1, start=5, end=5)
+    with pytest.raises(ValueError):
+        BackgroundEvent(arrival=-1, node_id=1, start=0, end=1)
+
+
+def test_snapshot_is_independent():
+    env = make_env()
+    snapshot = env.snapshot()
+    snapshot[1].reserve(0, 5, "what-if")
+    assert env.calendars[1].is_free(0, 5)
+
+
+def test_commit_and_release_distribution():
+    env = make_env()
+    dist = Distribution("job1", [
+        Placement("A", 1, 0, 3),
+        Placement("B", 2, 4, 8),
+    ])
+    assert env.can_commit(dist)
+    env.commit_distribution(dist)
+    assert not env.calendars[1].is_free(0, 3)
+    assert not env.can_commit(dist)
+    assert env.release_job("job1") == 2
+    assert env.calendars[1].is_free(0, 3)
+
+
+def test_commit_is_all_or_nothing():
+    env = make_env()
+    env.calendars[2].reserve(5, 6, "background")
+    dist = Distribution("job1", [
+        Placement("A", 1, 0, 3),
+        Placement("B", 2, 4, 8),  # conflicts with background
+    ])
+    with pytest.raises(ReservationConflict):
+        env.commit_distribution(dist)
+    # The first placement must have been rolled back.
+    assert env.calendars[1].is_free(0, 3)
+
+
+def test_release_job_only_touches_that_job():
+    env = make_env()
+    env.commit_distribution(Distribution("a", [Placement("T", 1, 0, 2)]))
+    env.commit_distribution(Distribution("b", [Placement("T", 1, 2, 4)]))
+    assert env.release_job("a") == 1
+    assert not env.calendars[1].is_free(2, 4)
+
+
+def test_apply_background_load_hits_target_roughly():
+    env = make_env()
+    rng = np.random.default_rng(0)
+    env.apply_background_load(rng, busy_fraction=0.5, horizon=1000)
+    for node_id in (1, 2, 3):
+        utilization = env.calendars[node_id].utilization(0, 1000)
+        assert 0.35 <= utilization <= 0.65
+
+
+def test_apply_background_load_validation():
+    env = make_env()
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        env.apply_background_load(rng, busy_fraction=1.0, horizon=10)
+    with pytest.raises(ValueError):
+        env.apply_background_load(rng, busy_fraction=0.5, horizon=0)
+
+
+def test_background_load_zero_fraction_reserves_nothing():
+    env = make_env()
+    created = env.apply_background_load(np.random.default_rng(0),
+                                        busy_fraction=0.0, horizon=100)
+    assert created == 0
+
+
+def test_sample_background_events_sorted_and_bounded():
+    env = make_env()
+    events = env.sample_background_events(np.random.default_rng(1),
+                                          rate=0.2, horizon=100)
+    assert events
+    arrivals = [e.arrival for e in events]
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= e.arrival < 100 for e in events)
+    assert all(e.node_id in (1, 2, 3) for e in events)
+
+
+def test_sample_background_events_validation():
+    env = make_env()
+    with pytest.raises(ValueError):
+        env.sample_background_events(np.random.default_rng(0), rate=0,
+                                     horizon=10)
+
+
+def test_utilization_by_group():
+    env = make_env()
+    env.calendars[1].reserve(0, 10, "job:x")   # FAST fully busy
+    env.calendars[3].reserve(0, 5, "job:y")    # SLOW half busy
+    levels = env.utilization_by_group(0, 10)
+    assert levels[NodeGroup.FAST] == 1.0
+    assert levels[NodeGroup.MEDIUM] == 0.0
+    assert levels[NodeGroup.SLOW] == 0.5
+
+
+def test_utilization_by_group_tagged_excludes_background():
+    env = make_env()
+    env.calendars[1].reserve(0, 10, "background")
+    env.calendars[1].reserve(10, 20, "job:x")
+    levels = env.utilization_by_group_tagged(0, 20)
+    assert levels[NodeGroup.FAST] == 0.5
+    with pytest.raises(ValueError):
+        env.utilization_by_group_tagged(5, 5)

@@ -1,0 +1,98 @@
+"""Unit tests for deterministic execution replay."""
+
+import pytest
+
+from repro.core.job import DataTransfer, Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.schedule import Distribution, Placement
+from repro.grid.execution import simulate_execution
+
+
+def job_and_pool():
+    job = Job(
+        "j",
+        [Task("A", volume=10, best_time=2, worst_time=4),
+         Task("B", volume=10, best_time=3, worst_time=6)],
+        [DataTransfer("D1", "A", "B", base_time=1)],
+        deadline=20,
+    )
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=1.0),
+    ])
+    return job, pool
+
+
+def test_replay_on_time_when_estimates_hold():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 0, 2),
+        Placement("B", 2, 3, 6),
+    ])
+    trace = simulate_execution(job, dist, pool, actual_level=0.0)
+    assert trace.runs["A"].start_deviation == 0
+    assert trace.runs["B"].start_deviation == 0
+    assert trace.makespan == 6
+    assert trace.met_deadline(job.deadline)
+
+
+def test_underestimated_task_delays_successor():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 0, 2),     # planned with the best case (2)
+        Placement("B", 2, 3, 6),
+    ])
+    trace = simulate_execution(job, dist, pool, actual_level=1.0)  # worst
+    # A actually runs 4 slots, so B's data is ready at 4 + 1 = 5.
+    assert trace.runs["A"].actual_end == 4
+    assert trace.runs["B"].actual_start == 5
+    assert trace.runs["B"].start_deviation == 2
+    assert trace.makespan == 11  # B runs its worst case of 6
+
+
+def test_task_never_starts_before_reservation():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 5, 7),
+        Placement("B", 2, 10, 13),
+    ])
+    trace = simulate_execution(job, dist, pool, actual_level=0.0)
+    assert trace.runs["A"].actual_start == 5
+    assert trace.runs["B"].actual_start == 10
+
+
+def test_colocated_tasks_skip_transfer_lag():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 0, 2),
+        Placement("B", 1, 2, 5),
+    ])
+    trace = simulate_execution(job, dist, pool, actual_level=0.0)
+    assert trace.runs["B"].actual_start == 2
+
+
+def test_explicit_actual_durations():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 0, 2),
+        Placement("B", 2, 3, 6),
+    ])
+    trace = simulate_execution(job, dist, pool,
+                               actual_durations={"A": 7, "B": 1})
+    assert trace.runs["A"].actual_duration == 7
+    assert trace.runs["B"].actual_duration == 1
+    with pytest.raises(ValueError):
+        simulate_execution(job, dist, pool, actual_durations={"A": 0})
+
+
+def test_trace_metrics():
+    job, pool = job_and_pool()
+    dist = Distribution("j", [
+        Placement("A", 1, 0, 2),
+        Placement("B", 2, 3, 6),
+    ])
+    trace = simulate_execution(job, dist, pool, actual_level=1.0)
+    assert trace.total_execution_time == 4 + 6
+    assert trace.run_time == trace.makespan  # first start is 0
+    assert trace.mean_start_deviation() == pytest.approx((0 + 2) / 2)
+    assert 0 < trace.deviation_to_runtime_ratio() < 1

@@ -1,0 +1,52 @@
+"""Unit tests for the interconnect model."""
+
+import pytest
+
+from repro.grid.network import Link, Network
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(bandwidth=0)
+    with pytest.raises(ValueError):
+        Link(bandwidth=1, latency=-1)
+
+
+def test_link_transfer_slots():
+    link = Link(bandwidth=2.0, latency=1)
+    assert link.transfer_slots(4) == 3      # 1 + ceil(4/2)
+    assert link.transfer_slots(0.5) == 2    # 1 + max(1, ceil(0.25))
+    assert link.transfer_slots(0) == 1      # latency only
+    with pytest.raises(ValueError):
+        link.transfer_slots(-1)
+
+
+def test_network_intra_vs_inter_domain():
+    network = Network()
+    volume = 10
+    intra = network.transfer_slots(volume, "a", "a")
+    inter = network.transfer_slots(volume, "a", "b")
+    assert intra < inter
+
+
+def test_network_dedicated_link():
+    network = Network()
+    network.connect("a", "b", Link(bandwidth=100.0, latency=0))
+    assert network.transfer_slots(10, "a", "b") == 1
+    assert network.transfer_slots(10, "b", "a") == 1  # symmetric
+    # Unregistered pair falls back to the inter-domain default.
+    assert network.transfer_slots(10, "a", "c") > 1
+
+
+def test_network_connect_same_domain_rejected():
+    with pytest.raises(ValueError):
+        Network().connect("a", "a", Link(bandwidth=1.0))
+
+
+def test_link_between_lookup():
+    network = Network()
+    dedicated = Link(bandwidth=5.0)
+    network.connect("x", "y", dedicated)
+    assert network.link_between("x", "y") is dedicated
+    assert network.link_between("p", "p") is network.intra_domain
+    assert network.link_between("p", "q") is network.inter_domain

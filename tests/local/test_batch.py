@@ -1,0 +1,214 @@
+"""Unit tests for the local batch-system simulator."""
+
+import pytest
+
+from repro.local.batch import LocalBatchSystem
+from repro.local.policies import (
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FCFSPolicy,
+    GangPolicy,
+    LWFPolicy,
+)
+from repro.workload.traces import BatchJob
+
+
+def job(job_id, arrival, width=1, runtime=2, estimate=None):
+    return BatchJob(job_id=job_id, arrival=arrival, width=width,
+                    runtime=runtime,
+                    estimate=estimate if estimate is not None else runtime)
+
+
+def by_id(records):
+    return {record.job_id: record for record in records}
+
+
+def test_single_job_runs_immediately():
+    system = LocalBatchSystem(capacity=2)
+    system.submit(job("a", arrival=0, runtime=5))
+    records = by_id(system.run())
+    assert records["a"].start == 0
+    assert records["a"].end == 5
+    assert records["a"].wait == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LocalBatchSystem(capacity=0)
+    system = LocalBatchSystem(capacity=2)
+    with pytest.raises(ValueError):
+        system.submit(job("too-wide", arrival=0, width=3))
+
+
+def test_fcfs_serializes_when_full():
+    system = LocalBatchSystem(capacity=1)
+    system.submit_many([
+        job("a", arrival=0, runtime=4),
+        job("b", arrival=1, runtime=2),
+        job("c", arrival=2, runtime=1),
+    ])
+    records = by_id(system.run())
+    assert records["a"].start == 0
+    assert records["b"].start == 4
+    assert records["c"].start == 6
+
+
+def test_fcfs_head_of_queue_blocking():
+    """A wide head blocks later narrow jobs even when nodes are free."""
+    system = LocalBatchSystem(capacity=2, policy=FCFSPolicy())
+    system.submit_many([
+        job("running", arrival=0, width=1, runtime=10),
+        job("wide-head", arrival=1, width=2, runtime=2),
+        job("narrow", arrival=2, width=1, runtime=2),
+    ])
+    records = by_id(system.run())
+    assert records["wide-head"].start == 10
+    # FCFS without backfilling: narrow waits behind the head.
+    assert records["narrow"].start >= 10
+
+
+def test_easy_backfills_narrow_job():
+    system = LocalBatchSystem(capacity=2, policy=EasyBackfillPolicy())
+    system.submit_many([
+        job("running", arrival=0, width=1, runtime=10, estimate=10),
+        job("wide-head", arrival=1, width=2, runtime=2, estimate=2),
+        job("narrow", arrival=2, width=1, runtime=3, estimate=3),
+    ])
+    records = by_id(system.run())
+    # narrow fits beside `running` and ends (t=5) before the head's
+    # shadow start (t=10): it backfills immediately.
+    assert records["narrow"].start == 2
+    assert records["wide-head"].start == 10
+
+
+def test_easy_does_not_delay_the_head():
+    system = LocalBatchSystem(capacity=2, policy=EasyBackfillPolicy())
+    system.submit_many([
+        job("running", arrival=0, width=1, runtime=4, estimate=4),
+        job("wide-head", arrival=1, width=2, runtime=2, estimate=2),
+        job("long-narrow", arrival=2, width=1, runtime=10, estimate=10),
+    ])
+    records = by_id(system.run())
+    # long-narrow would push the head past its shadow (t=4): no backfill.
+    assert records["wide-head"].start == 4
+    assert records["long-narrow"].start == 6
+
+
+def test_conservative_backfilling_also_fills_holes():
+    system = LocalBatchSystem(capacity=2,
+                              policy=ConservativeBackfillPolicy())
+    system.submit_many([
+        job("running", arrival=0, width=1, runtime=10, estimate=10),
+        job("wide-head", arrival=1, width=2, runtime=2, estimate=2),
+        job("narrow", arrival=2, width=1, runtime=3, estimate=3),
+    ])
+    records = by_id(system.run())
+    assert records["narrow"].start == 2
+
+
+def test_lwf_prefers_small_jobs():
+    system = LocalBatchSystem(capacity=1, policy=LWFPolicy())
+    system.submit_many([
+        job("running", arrival=0, runtime=5),
+        job("big", arrival=1, runtime=20),
+        job("small", arrival=2, runtime=1),
+    ])
+    records = by_id(system.run())
+    assert records["small"].start == 5
+    assert records["big"].start == 6
+
+
+def test_early_completion_frees_nodes_before_estimate():
+    """Jobs run their actual runtime, not the (over)estimate."""
+    system = LocalBatchSystem(capacity=1)
+    system.submit_many([
+        job("over", arrival=0, runtime=2, estimate=10),
+        job("next", arrival=1, runtime=1),
+    ])
+    records = by_id(system.run())
+    assert records["over"].end == 2
+    assert records["next"].start == 2  # not 10
+
+
+def test_forecast_recorded_and_error_measured():
+    system = LocalBatchSystem(capacity=1)
+    system.submit_many([
+        job("first", arrival=0, runtime=2, estimate=8),
+        job("second", arrival=1, runtime=2, estimate=2),
+    ])
+    records = by_id(system.run())
+    # Forecast for `second` assumed `first` runs its full 8-slot estimate.
+    assert records["second"].forecast == 8
+    assert records["second"].start == 2
+    assert records["second"].forecast_error == 6
+    assert records["first"].forecast_error == 0
+
+
+def test_advance_reservation_starts_exactly_on_time():
+    system = LocalBatchSystem(capacity=1)
+    reserved = job("vip", arrival=0, runtime=3, estimate=3)
+    system.submit(reserved)
+    system.reserve(reserved, start=5)
+    system.submit(job("other", arrival=0, runtime=2, estimate=2))
+    records = by_id(system.run())
+    assert records["vip"].start == 5
+    assert records["vip"].reserved
+    assert records["other"].start == 0
+
+
+def test_advance_reservation_blocks_conflicting_jobs():
+    system = LocalBatchSystem(capacity=1)
+    reserved = job("vip", arrival=0, runtime=5, estimate=5)
+    system.submit(reserved)
+    system.reserve(reserved, start=2)
+    system.submit(job("long", arrival=0, runtime=4, estimate=4))
+    records = by_id(system.run())
+    # `long` cannot fit before the reservation; it waits until after.
+    assert records["long"].start == 7
+
+
+def test_reservation_validation():
+    system = LocalBatchSystem(capacity=1)
+    late = job("late", arrival=10, runtime=1)
+    with pytest.raises(ValueError):
+        system.reserve(late, start=5)
+
+
+def test_gang_members_wait_for_each_other():
+    policy = GangPolicy(expected_sizes={"g": 2})
+    system = LocalBatchSystem(capacity=2, policy=policy)
+    system.submit_many([
+        BatchJob("gang:g:a", arrival=0, width=1, runtime=3, estimate=3),
+        BatchJob("gang:g:b", arrival=5, width=1, runtime=3, estimate=3),
+    ])
+    records = by_id(system.run())
+    # Member a waits for member b to arrive; both start together at 5.
+    assert records["gang:g:a"].start == 5
+    assert records["gang:g:b"].start == 5
+
+
+def test_mean_wait_and_forecast_error_helpers():
+    system = LocalBatchSystem(capacity=1)
+    system.submit_many([
+        job("a", arrival=0, runtime=4, estimate=4),
+        job("b", arrival=0, runtime=2, estimate=2),
+    ])
+    records = system.run()
+    assert LocalBatchSystem.mean_wait(records) == pytest.approx(2.0)
+    assert LocalBatchSystem.mean_forecast_error(records) == pytest.approx(0.0)
+    assert LocalBatchSystem.mean_wait([]) == 0.0
+    assert LocalBatchSystem.mean_forecast_error([]) == 0.0
+
+
+def test_utilization_conserved():
+    """No two jobs may overlap beyond capacity at any instant."""
+    system = LocalBatchSystem(capacity=2, policy=EasyBackfillPolicy())
+    jobs = [job(f"j{i}", arrival=i % 5, width=1 + i % 2, runtime=3 + i % 4,
+                estimate=5 + i % 4) for i in range(12)]
+    system.submit_many(jobs)
+    records = system.run()
+    events = sorted({r.start for r in records} | {r.end for r in records})
+    for t in events:
+        active = sum(r.width for r in records if r.start <= t < r.end)
+        assert active <= 2
+    assert len(records) == 12

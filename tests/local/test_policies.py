@@ -1,0 +1,78 @@
+"""Unit tests for queue-ordering policies."""
+
+from repro.local.batch import QueuedJob
+from repro.local.policies import (
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FCFSPolicy,
+    GangPolicy,
+    LWFPolicy,
+)
+from repro.workload.traces import BatchJob
+
+
+def queued(job_id, arrival, width=1, runtime=2, estimate=None, seq=0):
+    return QueuedJob(
+        job=BatchJob(job_id=job_id, arrival=arrival, width=width,
+                     runtime=runtime,
+                     estimate=estimate if estimate is not None else runtime),
+        seq=seq)
+
+
+def test_fcfs_orders_by_arrival_then_seq():
+    policy = FCFSPolicy()
+    queue = [queued("b", 5, seq=1), queued("a", 2, seq=0),
+             queued("c", 5, seq=2)]
+    assert [q.job.job_id for q in policy.order(queue, now=10)] == [
+        "a", "b", "c"]
+
+
+def test_lwf_orders_by_work():
+    policy = LWFPolicy()
+    queue = [
+        queued("big", 0, width=4, runtime=10, estimate=10, seq=0),
+        queued("small", 5, width=1, runtime=2, estimate=2, seq=1),
+        queued("medium", 1, width=2, runtime=3, estimate=3, seq=2),
+    ]
+    assert [q.job.job_id for q in policy.order(queue, now=10)] == [
+        "small", "medium", "big"]
+
+
+def test_lwf_ties_break_by_arrival():
+    policy = LWFPolicy()
+    queue = [queued("late", 5, runtime=2, seq=1),
+             queued("early", 1, runtime=2, seq=0)]
+    assert [q.job.job_id for q in policy.order(queue, now=10)] == [
+        "early", "late"]
+
+
+def test_backfill_flags():
+    assert FCFSPolicy().backfill == "none"
+    assert LWFPolicy().backfill == "none"
+    assert EasyBackfillPolicy().backfill == "easy"
+    assert ConservativeBackfillPolicy().backfill == "conservative"
+
+
+def test_backfill_policies_are_fcfs_ordered():
+    queue = [queued("b", 5, seq=1), queued("a", 2, seq=0)]
+    for policy in (EasyBackfillPolicy(), ConservativeBackfillPolicy()):
+        assert [q.job.job_id for q in policy.order(queue, now=9)] == [
+            "a", "b"]
+
+
+def test_gang_tag_parsing():
+    assert GangPolicy.gang_tag("gang:g1:member0") == "g1"
+    assert GangPolicy.gang_tag("plain-job") == "plain-job"
+    assert GangPolicy.gang_tag("gang:odd") == "gang:odd"
+
+
+def test_gang_groups_members_together():
+    policy = GangPolicy(expected_sizes={"g1": 2})
+    queue = [
+        queued("gang:g1:a", 0, seq=0),
+        queued("solo", 1, seq=1),
+        queued("gang:g1:b", 3, seq=2),
+    ]
+    ordered = [q.job.job_id for q in policy.order(queue, now=5)]
+    # Gang g1 (earliest member at t=0) comes first, both members adjacent.
+    assert ordered == ["gang:g1:a", "gang:g1:b", "solo"]

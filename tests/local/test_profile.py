@@ -1,0 +1,108 @@
+"""Unit tests for the availability profile."""
+
+import pytest
+
+from repro.local.profile import AvailabilityProfile
+
+
+def test_initial_profile_fully_free():
+    profile = AvailabilityProfile(4)
+    assert profile.free_at(0) == 4
+    assert profile.free_at(1000) == 4
+    assert profile.snapshot() == [(0, 4)]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        AvailabilityProfile(0)
+
+
+def test_add_carves_a_slot():
+    profile = AvailabilityProfile(4)
+    profile.add(5, 10, 3)
+    assert profile.free_at(4) == 4
+    assert profile.free_at(5) == 1
+    assert profile.free_at(14) == 1
+    assert profile.free_at(15) == 4
+
+
+def test_add_validation():
+    profile = AvailabilityProfile(2)
+    with pytest.raises(ValueError):
+        profile.add(0, 0, 1)
+    with pytest.raises(ValueError):
+        profile.add(0, 1, 0)
+    with pytest.raises(ValueError):
+        profile.add(-1, 1, 1)
+
+
+def test_add_underflow_rejected():
+    profile = AvailabilityProfile(2)
+    profile.add(0, 10, 2)
+    with pytest.raises(ValueError):
+        profile.add(5, 2, 1)
+
+
+def test_overlapping_adds_stack():
+    profile = AvailabilityProfile(4)
+    profile.add(0, 10, 1)
+    profile.add(5, 10, 2)
+    assert profile.free_at(0) == 3
+    assert profile.free_at(5) == 1
+    assert profile.free_at(10) == 2
+    assert profile.free_at(15) == 4
+
+
+def test_earliest_start_now_when_free():
+    profile = AvailabilityProfile(4)
+    assert profile.earliest_start(5, 2, from_=3) == 3
+
+
+def test_earliest_start_skips_congestion():
+    profile = AvailabilityProfile(4)
+    profile.add(0, 10, 3)  # only 1 node free until t=10
+    assert profile.earliest_start(5, 1, from_=0) == 0
+    assert profile.earliest_start(5, 2, from_=0) == 10
+
+
+def test_earliest_start_needs_contiguous_window():
+    profile = AvailabilityProfile(4)
+    profile.add(5, 5, 4)  # full blackout at [5, 10)
+    # A 6-slot window for any width cannot start at 0.
+    assert profile.earliest_start(6, 1, from_=0) == 10
+    # But a 5-slot window fits exactly before the blackout.
+    assert profile.earliest_start(5, 1, from_=0) == 0
+
+
+def test_earliest_start_between_two_busy_periods():
+    profile = AvailabilityProfile(2)
+    profile.add(0, 4, 2)
+    profile.add(10, 4, 2)
+    assert profile.earliest_start(6, 1, from_=0) == 4
+    assert profile.earliest_start(7, 1, from_=0) == 14
+
+
+def test_earliest_start_validation():
+    profile = AvailabilityProfile(2)
+    with pytest.raises(ValueError):
+        profile.earliest_start(0, 1)
+    with pytest.raises(ValueError):
+        profile.earliest_start(1, 3)
+    with pytest.raises(ValueError):
+        profile.earliest_start(1, 0)
+
+
+def test_coalescing_keeps_snapshot_minimal():
+    profile = AvailabilityProfile(4)
+    profile.add(0, 5, 2)
+    profile.add(5, 5, 2)  # adjacent with equal occupancy -> one segment
+    assert profile.snapshot() == [(0, 2), (10, 4)]
+
+
+def test_copy_is_independent():
+    profile = AvailabilityProfile(4)
+    profile.add(0, 5, 1)
+    clone = profile.copy()
+    clone.add(0, 5, 1)
+    assert profile.free_at(0) == 3
+    assert clone.free_at(0) == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the resource-query language."""
+
+import pytest
+
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.local.query import (
+    QueryError,
+    ResourceQuery,
+    parse,
+    tokenize,
+)
+
+
+def pool():
+    return ResourcePool([
+        ProcessorNode(node_id=1, performance=0.9, domain="alpha"),
+        ProcessorNode(node_id=2, performance=0.5, domain="alpha"),
+        ProcessorNode(node_id=3, performance=0.33, domain="beta"),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+def test_tokenize_numbers_idents_strings():
+    assert kinds("performance >= 0.5") == [
+        ("ident", "performance"), ("op", ">="), ("number", "0.5")]
+    assert kinds("domain == 'alpha'") == [
+        ("ident", "domain"), ("op", "=="), ("string", "alpha")]
+    assert kinds('x != "b"') == [
+        ("ident", "x"), ("op", "!="), ("string", "b")]
+
+
+def test_tokenize_multichar_operators_win():
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("a<b") == [("ident", "a"), ("op", "<"), ("ident", "b")]
+    assert kinds("a&&b||!c") == [
+        ("ident", "a"), ("op", "&&"), ("ident", "b"), ("op", "||"),
+        ("op", "!"), ("ident", "c")]
+
+
+def test_tokenize_errors():
+    with pytest.raises(QueryError, match="unterminated string"):
+        tokenize("domain == 'oops")
+    with pytest.raises(QueryError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_tokenize_positions():
+    tokens = tokenize("ab >= 1")
+    assert [t.position for t in tokens[:-1]] == [0, 3, 6]
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def evaluate(text, **context):
+    return parse(text).evaluate(context)
+
+
+def test_arithmetic_precedence():
+    assert evaluate("1 + 2 * 3") == 7
+    assert evaluate("(1 + 2) * 3") == 9
+    assert evaluate("2 * 3 - 4 / 2") == 4
+    assert evaluate("-2 + 5") == 3
+    assert evaluate("--2") == 2
+
+
+def test_comparisons():
+    assert evaluate("1 < 2") is True
+    assert evaluate("2 <= 2") is True
+    assert evaluate("3 > 4") is False
+    assert evaluate("'a' == 'a'") is True
+    assert evaluate("'a' != 'b'") is True
+    assert evaluate("'abc' < 'abd'") is True
+
+
+def test_boolean_connectives_and_precedence():
+    # && binds tighter than ||.
+    assert evaluate("1 > 2 || 1 < 2 && 3 > 2") is True
+    assert evaluate("(1 > 2 || 1 < 2) && 3 > 2") is True
+    assert evaluate("!(1 > 2)") is True
+    assert evaluate("true && !false") is True
+
+
+def test_attributes_resolve_from_context():
+    assert evaluate("x + y", x=2, y=3) == 5
+    with pytest.raises(QueryError, match="unknown attribute"):
+        evaluate("ghost > 1", x=2)
+
+
+def test_type_errors_are_loud():
+    with pytest.raises(QueryError, match="cannot compare"):
+        evaluate("1 < 'a'")
+    with pytest.raises(QueryError, match="needs a number"):
+        evaluate("'a' + 1")
+    with pytest.raises(QueryError, match="division by zero"):
+        evaluate("1 / 0")
+    with pytest.raises(QueryError, match="expected a boolean"):
+        evaluate("1 && 2")
+
+
+def test_parse_errors():
+    with pytest.raises(QueryError, match="empty query"):
+        parse("   ")
+    with pytest.raises(QueryError, match="trailing input"):
+        parse("1 + 2 3")
+    with pytest.raises(QueryError, match="expected"):
+        parse("(1 + 2")
+    with pytest.raises(QueryError, match="unexpected"):
+        parse("1 +")
+
+
+# ----------------------------------------------------------------------
+# ResourceQuery
+# ----------------------------------------------------------------------
+
+def test_matches_on_node_attributes():
+    query = ResourceQuery("performance >= 0.5 && domain == 'alpha'")
+    nodes = pool()
+    assert query.matches(nodes.node(1))
+    assert query.matches(nodes.node(2))
+    assert not query.matches(nodes.node(3))
+
+
+def test_group_attribute():
+    query = ResourceQuery("group == 'fast'")
+    assert [n.node_id for n in query.select(pool())] == [1]
+
+
+def test_rank_orders_selection():
+    query = ResourceQuery("performance > 0", rank="performance")
+    assert [n.node_id for n in query.select(pool())] == [1, 2, 3]
+    reverse = ResourceQuery("performance > 0", rank="-performance")
+    assert [n.node_id for n in reverse.select(pool())] == [3, 2, 1]
+
+
+def test_rank_arithmetic():
+    query = ResourceQuery("true", rank="performance * 2 - price_rate")
+    scores = {n.node_id: query.rank_of(n) for n in pool()}
+    assert scores[1] == pytest.approx(0.9)
+    assert scores[2] == pytest.approx(0.5)
+
+
+def test_select_count_limits():
+    query = ResourceQuery("performance > 0", rank="performance")
+    assert [n.node_id for n in query.select(pool(), count=2)] == [1, 2]
+    with pytest.raises(QueryError):
+        query.select(pool(), count=0)
+
+
+def test_non_boolean_requirements_rejected():
+    query = ResourceQuery("performance + 1")
+    with pytest.raises(QueryError, match="must be boolean"):
+        query.matches(pool().node(1))
+
+
+def test_default_rank_is_zero():
+    query = ResourceQuery("true")
+    assert query.rank_of(pool().node(1)) == 0.0
+    # With no rank, ties break on node id.
+    assert [n.node_id for n in query.select(pool())] == [1, 2, 3]

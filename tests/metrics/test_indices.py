@@ -1,0 +1,59 @@
+"""Unit tests for strategy aggregation indices."""
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.strategy import StrategyGenerator, StrategyType
+from repro.metrics.indices import StrategyAggregate, aggregate_strategies
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def make_strategies():
+    pool = fig2_pool()
+    generator = StrategyGenerator(pool)
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    return [
+        generator.generate(fig2_job(), calendars, StrategyType.S1),
+        generator.generate(fig2_job(deadline=5), calendars,
+                           StrategyType.S1),  # inadmissible
+        generator.generate(fig2_job(), calendars, StrategyType.MS1),
+    ]
+
+
+def test_aggregate_groups_by_family():
+    aggregates = aggregate_strategies(make_strategies())
+    assert set(aggregates) == {StrategyType.S1, StrategyType.MS1}
+    assert aggregates[StrategyType.S1].jobs == 2
+    assert aggregates[StrategyType.MS1].jobs == 1
+
+
+def test_admissible_percentage():
+    aggregates = aggregate_strategies(make_strategies())
+    assert aggregates[StrategyType.S1].admissible_pct == 50.0
+    assert aggregates[StrategyType.MS1].admissible_pct == 100.0
+
+
+def test_expense_and_costs_accumulate():
+    aggregates = aggregate_strategies(make_strategies())
+    s1 = aggregates[StrategyType.S1]
+    assert s1.generation_expense > 0
+    assert s1.mean_expense == s1.generation_expense / 2
+    assert len(s1.costs) == 1  # only the admissible job has a best cost
+    assert s1.mean_cost > 0
+    assert s1.mean_makespan > 0
+
+
+def test_collision_split_properties():
+    aggregates = aggregate_strategies(make_strategies())
+    s1 = aggregates[StrategyType.S1]
+    fast, slow = s1.collision_split
+    if s1.collisions.total:
+        assert fast + slow == 100.0
+    else:
+        assert (fast, slow) == (0.0, 0.0)
+
+
+def test_empty_aggregate_defaults():
+    empty = StrategyAggregate(stype=StrategyType.S2)
+    assert empty.admissible_pct == 0.0
+    assert empty.mean_cost == 0.0
+    assert empty.mean_expense == 0.0
+    assert empty.mean_coverage == 0.0

@@ -1,0 +1,47 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.metrics.stats import (
+    confidence_interval,
+    mean,
+    normalize_relative,
+    percentage,
+    std,
+)
+
+
+def test_mean():
+    assert mean([]) == 0.0
+    assert mean([1, 2, 3]) == 2.0
+
+
+def test_std():
+    assert std([]) == 0.0
+    assert std([5]) == 0.0
+    assert std([2, 4]) == pytest.approx(2 ** 0.5)
+
+
+def test_confidence_interval_contains_mean():
+    low, high = confidence_interval([1, 2, 3, 4, 5])
+    assert low <= 3 <= high
+    assert confidence_interval([]) == (0.0, 0.0)
+
+
+def test_confidence_interval_narrows_with_more_data():
+    small = confidence_interval([1, 5] * 5)
+    large = confidence_interval([1, 5] * 500)
+    assert (large[1] - large[0]) < (small[1] - small[0])
+
+
+def test_normalize_relative():
+    values = {"a": 2.0, "b": 4.0}
+    relative = normalize_relative(values)
+    assert relative == {"a": 0.5, "b": 1.0}
+    assert normalize_relative({}) == {}
+    assert normalize_relative({"a": 0.0}) == {"a": 0.0}
+
+
+def test_percentage():
+    assert percentage(1, 4) == 25.0
+    assert percentage(1, 0) == 0.0

@@ -1,0 +1,94 @@
+"""Property-based tests for reservation calendars."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import (
+    ReservationCalendar,
+    ReservationConflict,
+)
+
+intervals = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 20)),
+    min_size=0, max_size=30,
+)
+
+
+def fill_calendar(specs):
+    """Reserve greedily, skipping conflicts; return calendar + booked."""
+    calendar = ReservationCalendar()
+    booked = []
+    for index, (start, length) in enumerate(specs):
+        try:
+            booked.append(calendar.reserve(start, start + length,
+                                           tag=f"r{index}"))
+        except ReservationConflict:
+            pass
+    return calendar, booked
+
+
+@given(intervals)
+def test_reservations_never_overlap(specs):
+    calendar, booked = fill_calendar(specs)
+    ordered = calendar.reservations
+    for first, second in zip(ordered, ordered[1:]):
+        assert first.end <= second.start
+
+
+@given(intervals)
+def test_free_windows_complement_busy_time(specs):
+    calendar, booked = fill_calendar(specs)
+    horizon = 300
+    windows = calendar.free_windows(0, horizon)
+    free_total = sum(end - start for start, end in windows)
+    busy_total = sum(min(r.end, horizon) - r.start for r in booked
+                     if r.start < horizon)
+    assert free_total + busy_total == horizon
+    # Windows are sorted, non-empty, disjoint, and genuinely free.
+    for start, end in windows:
+        assert start < end
+        assert calendar.is_free(start, end)
+    for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+        assert e1 < s2  # maximality: adjacent windows would have merged
+
+
+@given(intervals, st.integers(1, 15), st.integers(0, 100))
+def test_earliest_fit_is_free_and_minimal(specs, duration, earliest):
+    calendar, _ = fill_calendar(specs)
+    deadline = 500
+    start = calendar.earliest_fit(duration, earliest, deadline)
+    if start is None:
+        # No window of that size: verify none exists.
+        for w_start, w_end in calendar.free_windows(earliest, deadline):
+            assert w_end - w_start < duration
+        return
+    assert start >= earliest
+    assert start + duration <= deadline
+    assert calendar.is_free(start, start + duration)
+    # Minimality: no free slot of the same size starts earlier.
+    for candidate in range(earliest, start):
+        assert not calendar.is_free(candidate, candidate + duration)
+
+
+@given(intervals)
+def test_release_restores_freedom(specs):
+    calendar, booked = fill_calendar(specs)
+    for reservation in booked:
+        calendar.release(reservation)
+    assert len(calendar) == 0
+    assert calendar.free_windows(0, 300) == [(0, 300)]
+
+
+@given(intervals)
+def test_utilization_bounds(specs):
+    calendar, _ = fill_calendar(specs)
+    utilization = calendar.utilization(0, 300)
+    assert 0.0 <= utilization <= 1.0
+
+
+@given(intervals)
+def test_copy_equals_original(specs):
+    calendar, _ = fill_calendar(specs)
+    clone = calendar.copy()
+    assert clone.reservations == calendar.reservations
+    assert clone.free_windows(0, 300) == calendar.free_windows(0, 300)

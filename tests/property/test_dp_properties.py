@@ -1,0 +1,160 @@
+"""Property-based tests for the DP allocator and the critical works method."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.costs import VolumeOverTimeCost
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.core.dp import allocate_chain
+from repro.core.job import DataTransfer, Job, Task
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.core.schedule import Placement, check_distribution
+from repro.core.transfers import NeutralTransferModel, transfer_time_fn
+from repro.workload.generator import generate_job
+
+chain_specs = st.lists(
+    st.tuples(st.integers(1, 4),       # base time
+              st.integers(1, 40)),     # volume
+    min_size=1, max_size=4,
+)
+perf_sets = st.lists(st.sampled_from([1.0, 0.5, 1 / 3]),
+                     min_size=1, max_size=3, unique=True)
+
+
+def build_chain_job(specs, deadline):
+    tasks = [Task(f"T{i}", volume=v, best_time=b)
+             for i, (b, v) in enumerate(specs)]
+    transfers = [DataTransfer(f"D{i}", f"T{i}", f"T{i+1}")
+                 for i in range(len(specs) - 1)]
+    return Job("chain", tasks, transfers, deadline=deadline)
+
+
+def brute_force(job, chain, pool, deadline):
+    """Exhaustive min cost over node choices with earliest-start timing."""
+    model = VolumeOverTimeCost()
+    best = None
+    for nodes in itertools.product(list(pool), repeat=len(chain)):
+        ready, cost, feasible = 0, 0.0, True
+        previous = None
+        for position, (task_id, node) in enumerate(zip(chain, nodes)):
+            lag = 0
+            if previous is not None and previous.node_id != node.node_id:
+                lag = job.transfer_between(chain[position - 1],
+                                           task_id).base_time
+            start = ready + lag
+            duration = job.task(task_id).duration_on(node.performance)
+            if start + duration > deadline:
+                feasible = False
+                break
+            cost += model.task_cost(
+                job.task(task_id),
+                Placement(task_id, node.node_id, start, start + duration),
+                node)
+            ready = start + duration
+            previous = node
+        if feasible and (best is None or cost < best):
+            best = cost
+    return best
+
+
+@given(chain_specs, perf_sets, st.integers(3, 30))
+@settings(max_examples=60, deadline=None)
+def test_dp_matches_brute_force(specs, performances, deadline):
+    job = build_chain_job(specs, deadline)
+    pool = ResourcePool([ProcessorNode(node_id=i + 1, performance=p)
+                         for i, p in enumerate(performances)])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    chain = list(job.tasks)
+    result = allocate_chain(job, chain, pool, calendars, deadline)
+    expected = brute_force(job, chain, pool, deadline)
+    if expected is None:
+        assert result is None
+    else:
+        assert result is not None
+        assert result.cost == expected
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_critical_works_schedules_are_always_valid(seed):
+    """Whatever the job, an admissible outcome is a valid schedule."""
+    job = generate_job(np.random.default_rng(seed), seed)
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.66),
+        ProcessorNode(node_id=3, performance=0.5),
+        ProcessorNode(node_id=4, performance=0.33),
+    ])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    scheduler = CriticalWorksScheduler(pool)
+    outcome = scheduler.build_schedule(job, calendars)
+    if not outcome.admissible:
+        return
+    violations = check_distribution(
+        job, outcome.distribution, pool,
+        transfer_time_fn(NeutralTransferModel()))
+    assert violations == []
+    assert outcome.distribution.internal_overlaps() == []
+
+
+@given(st.integers(0, 500),
+       st.sampled_from(["replication", "remote", "static"]),
+       st.sampled_from([0.0, 1 / 3, 2 / 3, 1.0]))
+@settings(max_examples=40, deadline=None)
+def test_schedules_valid_under_every_policy_and_level(seed, policy, level):
+    """Admissible outcomes validate against their own policy timing."""
+    from repro.grid.data import (
+        RemoteAccessModel,
+        ReplicationModel,
+        StaticStorageModel,
+    )
+
+    model = {"replication": ReplicationModel(),
+             "remote": RemoteAccessModel(),
+             "static": StaticStorageModel()}[policy]
+    job = generate_job(np.random.default_rng(seed), seed)
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.66),
+        ProcessorNode(node_id=3, performance=0.33),
+    ])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    outcome = CriticalWorksScheduler(pool, model).build_schedule(
+        job, calendars, level=level)
+    if not outcome.admissible:
+        return
+    violations = check_distribution(
+        job, outcome.distribution, pool, transfer_time_fn(model),
+        estimation_level=level)
+    assert violations == []
+
+
+@given(st.integers(0, 500), st.floats(0.0, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_critical_works_respects_background(seed, level):
+    """Placements never overlap pre-existing background reservations."""
+    rng = np.random.default_rng(seed)
+    job = generate_job(rng, seed)
+    pool = ResourcePool([
+        ProcessorNode(node_id=1, performance=1.0),
+        ProcessorNode(node_id=2, performance=0.5),
+    ])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    horizon = max(4, job.deadline * 2)
+    cursor = 0
+    while cursor < horizon:
+        if rng.random() < 0.3:
+            calendars[int(rng.integers(1, 3))].reserve(
+                cursor, cursor + 2, "background")
+        cursor += 3
+    outcome = CriticalWorksScheduler(pool).build_schedule(
+        job, calendars, level=level)
+    if outcome.distribution is None:
+        return
+    for placement in outcome.distribution:
+        assert calendars[placement.node_id].is_free(
+            placement.start, placement.end)

@@ -1,0 +1,61 @@
+"""Property-based tests for JSON round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    distribution_from_dict,
+    distribution_to_dict,
+    job_from_dict,
+    job_to_dict,
+    pool_from_dict,
+    pool_to_dict,
+)
+from repro.workload.generator import generate_job, generate_pool
+
+seeds = st.integers(0, 10**6)
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_job_roundtrip_preserves_everything(seed):
+    job = generate_job(np.random.default_rng(seed), seed)
+    clone = job_from_dict(job_to_dict(job))
+    assert list(clone.tasks) == list(job.tasks)
+    for task_id in job.tasks:
+        assert clone.task(task_id) == job.task(task_id)
+    assert clone.transfers == job.transfers
+    assert clone.deadline == job.deadline
+    assert clone.owner == job.owner
+    assert clone.critical_chains() == job.critical_chains()
+    assert clone.max_width() == job.max_width()
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_pool_roundtrip_preserves_nodes(seed):
+    pool = generate_pool(np.random.default_rng(seed))
+    clone = pool_from_dict(pool_to_dict(pool))
+    assert list(clone) == list(pool)
+    assert clone.domains() == pool.domains()
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_distribution_roundtrip_via_scheduler(seed):
+    from repro.core.calendar import ReservationCalendar
+    from repro.core.critical_works import CriticalWorksScheduler
+    from repro.core.resources import ProcessorNode, ResourcePool
+
+    job = generate_job(np.random.default_rng(seed), seed)
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0),
+                         ProcessorNode(node_id=2, performance=0.5)])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    outcome = CriticalWorksScheduler(pool).build_schedule(job, calendars)
+    if outcome.distribution is None:
+        return
+    clone = distribution_from_dict(
+        distribution_to_dict(outcome.distribution))
+    assert clone.placements == outcome.distribution.placements
+    assert clone.makespan == outcome.distribution.makespan

@@ -1,0 +1,66 @@
+"""Property-based tests for the availability profile."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.local.profile import AvailabilityProfile
+
+CAPACITY = 8
+
+jobs = st.lists(
+    st.tuples(st.integers(0, 100),    # requested from
+              st.integers(1, 20),     # duration
+              st.integers(1, CAPACITY)),  # width
+    min_size=0, max_size=25,
+)
+
+
+@given(jobs)
+def test_earliest_start_slot_is_actually_free(specs):
+    profile = AvailabilityProfile(CAPACITY)
+    for from_, duration, width in specs:
+        start = profile.earliest_start(duration, width, from_)
+        for t in range(start, start + duration):
+            assert profile.free_at(t) >= width
+        profile.add(start, duration, width)
+
+
+@given(jobs)
+def test_free_counts_never_negative_or_above_capacity(specs):
+    profile = AvailabilityProfile(CAPACITY)
+    for from_, duration, width in specs:
+        start = profile.earliest_start(duration, width, from_)
+        profile.add(start, duration, width)
+    for time, free in profile.snapshot():
+        assert 0 <= free <= CAPACITY
+
+
+@given(jobs)
+def test_earliest_start_minimality(specs):
+    profile = AvailabilityProfile(CAPACITY)
+    for from_, duration, width in specs[:-1]:
+        start = profile.earliest_start(duration, width, from_)
+        profile.add(start, duration, width)
+    if not specs:
+        return
+    from_, duration, width = specs[-1]
+    start = profile.earliest_start(duration, width, from_)
+    # No earlier slot admits the whole window.
+    for candidate in range(from_, start):
+        fits = all(profile.free_at(t) >= width
+                   for t in range(candidate, candidate + duration))
+        assert not fits
+
+
+@given(jobs)
+def test_snapshot_is_sorted_and_coalesced(specs):
+    profile = AvailabilityProfile(CAPACITY)
+    for from_, duration, width in specs:
+        start = profile.earliest_start(duration, width, from_)
+        profile.add(start, duration, width)
+    snapshot = profile.snapshot()
+    times = [time for time, _ in snapshot]
+    assert times == sorted(times)
+    frees = [free for _, free in snapshot]
+    for first, second in zip(frees, frees[1:]):
+        assert first != second  # coalescing merged equal neighbours

@@ -1,0 +1,113 @@
+"""Property-based tests for the resource-query language."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.local.query import (
+    Attribute,
+    Binary,
+    Literal,
+    QueryError,
+    Unary,
+    parse,
+    tokenize,
+    unparse,
+)
+
+# ----------------------------------------------------------------------
+# Random AST generation
+# ----------------------------------------------------------------------
+
+numbers = st.one_of(
+    st.integers(0, 10**6),
+    st.floats(min_value=0.0, max_value=10**6, allow_nan=False,
+              allow_infinity=False).map(lambda f: round(f, 4)),
+)
+strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           max_codepoint=0x7F),
+    max_size=8)
+identifiers = st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in ("true", "false"))
+
+arith_leaves = st.one_of(
+    numbers.map(Literal),
+    strings.map(Literal),
+    identifiers.map(Attribute),
+)
+
+arith_ops = st.sampled_from(["+", "-", "*", "/"])
+compare_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+bool_ops = st.sampled_from(["&&", "||"])
+
+#: Arithmetic-level expressions: what the grammar's `sum` can produce.
+arith_expressions = st.recursive(
+    arith_leaves,
+    lambda children: st.one_of(
+        st.tuples(arith_ops, children, children).map(
+            lambda t: Binary(t[0], t[1], t[2])),
+        children.map(lambda c: Unary("-", c)),
+    ),
+    max_leaves=8,
+)
+
+#: Boolean-level expressions: comparisons combined with &&, ||, and !.
+bool_leaves = st.one_of(
+    st.booleans().map(Literal),
+    st.tuples(compare_ops, arith_expressions, arith_expressions).map(
+        lambda t: Binary(t[0], t[1], t[2])),
+)
+bool_expressions = st.recursive(
+    bool_leaves,
+    lambda children: st.one_of(
+        st.tuples(bool_ops, children, children).map(
+            lambda t: Binary(t[0], t[1], t[2])),
+        children.map(lambda c: Unary("!", c)),
+    ),
+    max_leaves=8,
+)
+
+
+def expressions():
+    """Grammar-conformant ASTs of either level."""
+    return st.one_of(arith_expressions, bool_expressions)
+
+
+@given(expressions())
+@settings(max_examples=200)
+def test_unparse_parse_roundtrip(expression):
+    """The unparser and parser are exact inverses on ASTs."""
+    text = unparse(expression)
+    assert parse(text) == expression
+
+
+@given(expressions())
+@settings(max_examples=100)
+def test_unparse_tokenizes_cleanly(expression):
+    tokens = tokenize(unparse(expression))
+    assert tokens[-1].kind == "end"
+    assert all(token.kind in ("number", "string", "ident", "op", "end")
+               for token in tokens)
+
+
+@given(st.integers(0, 1000), st.integers(0, 1000), st.integers(1, 1000))
+def test_arithmetic_evaluation_matches_python(a, b, c):
+    expression = parse(f"({a} + {b}) * 2 - {a} / {c}")
+    assert expression.evaluate({}) == (a + b) * 2 - a / c
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_comparison_evaluation_matches_python(x, y):
+    for operator in ("==", "!=", "<", "<=", ">", ">="):
+        expression = parse(f"x {operator} y")
+        expected = eval(f"x {operator} y")  # noqa: S307 - ints only
+        assert expression.evaluate({"x": x, "y": y}) is expected
+
+
+@given(identifiers)
+def test_unknown_attribute_always_raises(name):
+    import pytest
+
+    expression = parse(f"{name} > 0")
+    with pytest.raises(QueryError):
+        expression.evaluate({})

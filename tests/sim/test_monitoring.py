@@ -1,0 +1,72 @@
+"""Unit tests for simulation statistics collectors."""
+
+import pytest
+
+from repro.sim.monitoring import Tally, TimeWeightedStat
+
+
+def test_tally_empty_defaults():
+    tally = Tally()
+    assert tally.count == 0
+    assert tally.mean == 0.0
+    assert tally.std == 0.0
+    assert tally.minimum is None and tally.maximum is None
+
+
+def test_tally_mean_std_extremes():
+    tally = Tally()
+    for value in (2, 4, 4, 4, 5, 5, 7, 9):
+        tally.record(value)
+    assert tally.count == 8
+    assert tally.mean == pytest.approx(5.0)
+    assert tally.std == pytest.approx(2.138, abs=1e-3)
+    assert tally.minimum == 2
+    assert tally.maximum == 9
+
+
+def test_tally_single_sample():
+    tally = Tally()
+    tally.record(3.5)
+    assert tally.mean == 3.5
+    assert tally.std == 0.0
+
+
+def test_time_weighted_mean():
+    stat = TimeWeightedStat(initial=0)
+    stat.record(10, 4)
+    stat.record(30, 1)
+    assert stat.mean(until=40) == pytest.approx(2.25)
+    assert stat.value == 1
+    assert stat.maximum == 4
+    assert stat.minimum == 0
+
+
+def test_time_weighted_increment():
+    stat = TimeWeightedStat()
+    stat.increment(5)        # queue length 1 at t=5
+    stat.increment(10)       # 2 at t=10
+    stat.increment(15, -1)   # 1 at t=15
+    assert stat.value == 1
+    # 0*5 + 1*5 + 2*5 + 1*5 over 20 slots.
+    assert stat.mean(until=20) == pytest.approx(1.0)
+
+
+def test_time_goes_backwards_rejected():
+    stat = TimeWeightedStat()
+    stat.record(10, 1)
+    with pytest.raises(ValueError):
+        stat.record(5, 2)
+    with pytest.raises(ValueError):
+        stat.mean(until=5)
+
+
+def test_mean_at_start_is_current_value():
+    stat = TimeWeightedStat(initial=7, start=100)
+    assert stat.mean(until=100) == 7
+
+
+def test_custom_start_offset():
+    stat = TimeWeightedStat(initial=2, start=50)
+    stat.record(60, 4)
+    # 2 for 10 slots, 4 for 10 slots over [50, 70].
+    assert stat.mean(until=70) == pytest.approx(3.0)

@@ -1,0 +1,162 @@
+"""Unit tests for the preemptive resource (Condor-style preemptive
+resume, the paper's ref. [3])."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+)
+
+
+def test_urgent_request_preempts_weaker_holder():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def weak(env, resource):
+        with resource.request(priority=5) as claim:
+            yield claim
+            try:
+                yield env.timeout(10)
+                log.append(("weak-finished", env.now))
+            except Interrupt as interrupt:
+                cause = interrupt.cause
+                assert isinstance(cause, Preempted)
+                log.append(("weak-preempted", env.now, cause.usage_since))
+
+    def strong(env, resource):
+        yield env.timeout(3)
+        with resource.request(priority=1) as claim:
+            yield claim
+            log.append(("strong-started", env.now))
+            yield env.timeout(2)
+
+    env.process(weak(env, resource))
+    env.process(strong(env, resource))
+    env.run()
+    assert ("weak-preempted", 3, 0) in log
+    assert ("strong-started", 3) in log
+
+
+def test_equal_priority_does_not_preempt():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def holder(env, resource, name, priority, delay, hold):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as claim:
+            yield claim
+            log.append((name, "start", env.now))
+            yield env.timeout(hold)
+
+    env.process(holder(env, resource, "first", 3, 0, 5))
+    env.process(holder(env, resource, "second", 3, 1, 2))
+    env.run()
+    assert (("first", "start", 0) in log
+            and ("second", "start", 5) in log)
+
+
+def test_stronger_holder_is_not_preempted():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def holder(env, resource, name, priority, delay, hold):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as claim:
+            yield claim
+            log.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(holder(env, resource, "strong", 1, 0, 6))
+    env.process(holder(env, resource, "weak", 9, 2, 1))
+    env.run()
+    assert ("strong", 0) in log
+    assert ("weak", 6) in log
+
+
+def test_non_preempting_request_waits():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def weak(env, resource):
+        with resource.request(priority=5) as claim:
+            yield claim
+            yield env.timeout(4)
+            log.append(("weak-done", env.now))
+
+    def polite(env, resource):
+        yield env.timeout(1)
+        with resource.request(priority=1, preempt=False) as claim:
+            yield claim
+            log.append(("polite-start", env.now))
+
+    env.process(weak(env, resource))
+    env.process(polite(env, resource))
+    env.run()
+    assert ("weak-done", 4) in log
+    assert ("polite-start", 4) in log
+
+
+def test_preempted_process_can_resume_elsewhere():
+    """The Condor pattern: resume the remaining work after eviction."""
+    env = Environment()
+    fast = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def migratory(env, fast):
+        remaining = 10
+        with fast.request(priority=5) as claim:
+            yield claim
+            started = env.now
+            try:
+                yield env.timeout(remaining)
+                remaining = 0
+            except Interrupt:
+                remaining -= env.now - started
+        if remaining:
+            # Resume on a (simulated) fallback resource.
+            yield env.timeout(remaining)
+        log.append(("done", env.now))
+
+    def intruder(env, fast):
+        yield env.timeout(4)
+        with fast.request(priority=1) as claim:
+            yield claim
+            yield env.timeout(3)
+
+    env.process(migratory(env, fast))
+    env.process(intruder(env, fast))
+    env.run()
+    # 4 slots on the fast resource + 6 remaining after eviction.
+    assert ("done", 10) in log
+
+
+def test_capacity_two_preempts_only_when_full():
+    env = Environment()
+    resource = PreemptiveResource(env, capacity=2)
+    log = []
+
+    def job(env, resource, name, priority, delay, hold):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as claim:
+            yield claim
+            log.append((name, env.now))
+            try:
+                yield env.timeout(hold)
+            except Interrupt:
+                log.append((name + "-evicted", env.now))
+
+    env.process(job(env, resource, "a", 5, 0, 10))
+    env.process(job(env, resource, "b", 4, 0, 10))
+    env.process(job(env, resource, "c", 1, 2, 1))
+    env.run()
+    # c evicts the weakest holder (a, priority 5) at t=2.
+    assert ("c", 2) in log
+    assert ("a-evicted", 2) in log
+    assert ("b", 0) in log

@@ -1,0 +1,60 @@
+"""Unit tests for the Fig. 2 worked example fixtures."""
+
+from repro.workload.paper_example import (
+    FIG2_DEADLINE,
+    FIG2_TASK_BASE_TIMES,
+    FIG2_TASK_VOLUMES,
+    fig2_estimate_table,
+    fig2_job,
+    fig2_pool,
+)
+
+
+def test_job_matches_paper_structure():
+    job = fig2_job()
+    assert len(job) == 6
+    assert len(job.transfers) == 8
+    assert job.sources() == ["P1"]
+    assert job.sinks() == ["P6"]
+    assert job.deadline == FIG2_DEADLINE
+    assert set(job.successors("P1")) == {"P2", "P3"}
+    assert set(job.predecessors("P6")) == {"P4", "P5"}
+    assert set(job.successors("P2")) == {"P4", "P5"}
+    assert set(job.successors("P3")) == {"P4", "P5"}
+
+
+def test_volumes_match_table():
+    job = fig2_job()
+    for task_id, volume in FIG2_TASK_VOLUMES.items():
+        assert job.task(task_id).volume == volume
+
+
+def test_estimate_table_matches_paper():
+    """The exact T_ij table printed in Fig. 2a."""
+    expected = {
+        "P1": [2, 4, 6, 8],
+        "P2": [3, 6, 9, 12],
+        "P3": [1, 2, 3, 4],
+        "P4": [2, 4, 6, 8],
+        "P5": [1, 2, 3, 4],
+        "P6": [2, 4, 6, 8],
+    }
+    assert fig2_estimate_table() == expected
+
+
+def test_pool_has_four_types():
+    pool = fig2_pool()
+    assert [node.type_index for node in pool] == [1, 2, 3, 4]
+    assert [node.performance for node in pool] == [1.0, 0.5, 1 / 3, 0.25]
+
+
+def test_four_critical_works_with_paper_lengths():
+    job = fig2_job()
+    chains = job.critical_chains(performance=1.0)
+    assert [length for length, _ in chains] == [12, 11, 10, 9]
+
+
+def test_base_times_match_first_row():
+    job = fig2_job()
+    for task_id, base in FIG2_TASK_BASE_TIMES.items():
+        assert job.task(task_id).best_time == base

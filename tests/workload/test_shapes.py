@@ -1,0 +1,96 @@
+"""Unit tests for the canonical job shapes."""
+
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.core.resources import ProcessorNode, ResourcePool
+from repro.workload.shapes import (
+    chain_job,
+    diamond_job,
+    fork_join_job,
+    intree_job,
+)
+
+
+def test_chain_job_structure():
+    job = chain_job(length=5)
+    assert len(job) == 5
+    assert len(job.transfers) == 4
+    assert job.all_paths() == [["P1", "P2", "P3", "P4", "P5"]]
+    assert job.max_width() == 1
+    with pytest.raises(ValueError):
+        chain_job(length=0)
+
+
+def test_chain_has_exactly_one_critical_work():
+    job = chain_job(length=4)
+    assert len(job.critical_chains()) == 1
+
+
+def test_single_task_chain():
+    job = chain_job(length=1)
+    assert len(job) == 1
+    assert job.transfers == []
+
+
+def test_fork_join_structure():
+    job = fork_join_job(width=3)
+    assert len(job) == 5
+    assert len(job.transfers) == 6
+    assert job.sources() == ["P1"]
+    assert job.sinks() == ["P5"]
+    assert job.max_width() == 3
+    assert len(job.all_paths()) == 3
+    with pytest.raises(ValueError):
+        fork_join_job(width=0)
+
+
+def test_diamond_is_width_two_fork_join():
+    job = diamond_job()
+    assert len(job) == 4
+    assert job.max_width() == 2
+
+
+def test_intree_structure():
+    job = intree_job(depth=2)
+    # Complete binary tree with 2 levels below the root: 7 tasks.
+    assert len(job) == 7
+    assert len(job.transfers) == 6
+    assert len(job.sinks()) == 1
+    assert len(job.sources()) == 4  # the leaves
+    with pytest.raises(ValueError):
+        intree_job(depth=0)
+
+
+def test_intree_paths_run_leaf_to_root():
+    job = intree_job(depth=2)
+    root = job.sinks()[0]
+    for path in job.all_paths():
+        assert path[-1] == root
+        assert len(path) == 3  # leaf -> internal -> root
+
+
+def test_default_deadlines_are_loose_enough():
+    pool = ResourcePool([ProcessorNode(node_id=1, performance=1.0),
+                         ProcessorNode(node_id=2, performance=0.5)])
+    calendars = {n.node_id: ReservationCalendar() for n in pool}
+    scheduler = CriticalWorksScheduler(pool)
+    for job in (chain_job(), fork_join_job(), diamond_job(),
+                intree_job()):
+        outcome = scheduler.build_schedule(job, calendars)
+        assert outcome.admissible, job.job_id
+
+
+def test_spread_controls_worst_times():
+    job = chain_job(length=3, spread=2.0)
+    for task in job.tasks.values():
+        assert task.worst_time == 2 * task.best_time
+    flat = chain_job(length=3, spread=1.0)
+    for task in flat.tasks.values():
+        assert task.worst_time == task.best_time
+
+
+def test_explicit_deadline_respected():
+    job = fork_join_job(width=2, deadline=99)
+    assert job.deadline == 99

@@ -1,0 +1,64 @@
+"""Unit tests for synthetic batch traces."""
+
+import pytest
+
+from repro.workload.traces import (
+    BatchJob,
+    BatchTraceConfig,
+    generate_batch_trace,
+)
+
+
+def test_batch_job_validation():
+    with pytest.raises(ValueError):
+        BatchJob("j", arrival=-1, width=1, runtime=1, estimate=1)
+    with pytest.raises(ValueError):
+        BatchJob("j", arrival=0, width=0, runtime=1, estimate=1)
+    with pytest.raises(ValueError):
+        BatchJob("j", arrival=0, width=1, runtime=0, estimate=1)
+    with pytest.raises(ValueError):
+        BatchJob("j", arrival=0, width=1, runtime=5, estimate=3)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BatchTraceConfig(mean_interarrival=0)
+    with pytest.raises(ValueError):
+        BatchTraceConfig(runtime=(10, 5))
+    with pytest.raises(ValueError):
+        BatchTraceConfig(overestimate=(0.5, 2.0))
+    with pytest.raises(ValueError):
+        BatchTraceConfig(width=(0, 3))
+
+
+def test_trace_is_sorted_and_deterministic():
+    a = list(generate_batch_trace(seed=1, n_jobs=20))
+    b = list(generate_batch_trace(seed=1, n_jobs=20))
+    assert a == b
+    arrivals = [job.arrival for job in a]
+    assert arrivals == sorted(arrivals)
+
+
+def test_estimates_cover_runtimes():
+    for job in generate_batch_trace(seed=2, n_jobs=50):
+        assert job.estimate >= job.runtime
+
+
+def test_trace_respects_config_bounds():
+    config = BatchTraceConfig(width=(2, 3), runtime=(5, 7),
+                              overestimate=(1.0, 1.0))
+    for job in generate_batch_trace(seed=3, n_jobs=30, config=config):
+        assert 2 <= job.width <= 3
+        assert 5 <= job.runtime <= 7
+        assert job.estimate == job.runtime
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        list(generate_batch_trace(seed=0, n_jobs=-1))
+
+
+def test_different_seeds_differ():
+    a = list(generate_batch_trace(seed=1, n_jobs=10))
+    b = list(generate_batch_trace(seed=2, n_jobs=10))
+    assert a != b
