@@ -1,0 +1,57 @@
+"""Static analysis of schedules and simulator code (``repro.analysis``).
+
+Two pillars:
+
+* the **schedule verifier** (:mod:`repro.analysis.verify`,
+  :mod:`repro.analysis.violations`) — pure checkers that take any
+  :class:`~repro.core.schedule.Distribution`,
+  :class:`~repro.core.strategy.Strategy`,
+  :class:`~repro.core.critical_works.SchedulingOutcome`, or execution
+  trace and report typed invariant violations (double-booking,
+  precedence, deadline, capacity, ``CF`` mismatches); exposed on the
+  command line as ``repro analyze`` and auto-applied to every schedule
+  built in the test suite via ``tests/conftest.py``;
+* the **simulator lint** (:mod:`repro.analysis.lint`) — AST rules for
+  reproducibility hazards (unseeded randomness, float ``==`` on time
+  quantities, wall-clock reads in the DES, mutable default args), run
+  as ``python -m repro.analysis.lint src/``.
+"""
+
+from typing import Any
+
+from .verify import (
+    verify_coallocation,
+    verify_distribution,
+    verify_outcome,
+    verify_strategy,
+    verify_trace,
+)
+from .violations import VerificationReport, Violation, ViolationKind
+
+__all__ = [
+    "ViolationKind",
+    "Violation",
+    "VerificationReport",
+    "verify_distribution",
+    "verify_outcome",
+    "verify_strategy",
+    "verify_coallocation",
+    "verify_trace",
+    "LintViolation",
+    "lint_source",
+    "lint_path",
+    "lint_paths",
+]
+
+#: Lint names resolved lazily so ``python -m repro.analysis.lint`` does
+#: not re-import the module it is about to execute (runpy warning).
+_LINT_EXPORTS = frozenset(
+    {"LintViolation", "lint_source", "lint_path", "lint_paths"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

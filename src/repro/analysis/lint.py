@@ -1,0 +1,265 @@
+"""Simulator-specific static analysis (AST lint).
+
+Custom rules that generic linters cannot know about, encoding this
+repository's reproducibility and modelling conventions:
+
+* **REP001 unseeded-random** — calls into the global ``random.*`` /
+  ``numpy.random.*`` state anywhere outside :mod:`repro.sim.rng`.
+  Every stochastic draw must flow through a named, seeded
+  :class:`~repro.sim.rng.RandomStreams` stream, or experiments stop
+  being reproducible.
+* **REP002 float-equality** — ``==`` / ``!=`` against a float literal.
+  Slot arithmetic mixes integers with performance factors such as 1/3;
+  exact float comparison is how off-by-one reservations are born.  Use
+  the tolerant helpers in :mod:`repro.core.units` (``EPSILON``,
+  ``ceil_units``) or ``math.isclose``.
+* **REP003 wall-clock** — ``time.time()`` / ``datetime.now()`` and
+  friends inside the ``sim`` package.  The discrete-event kernel owns
+  simulated time; reading the host clock there makes runs
+  machine-dependent.
+* **REP004 mutable-default** — mutable default argument values
+  (``[]``, ``{}``, ``set()``, ...).  The dataclass-heavy core shares
+  instances across jobs and strategies; an aliased default list is a
+  cross-job state leak.
+
+Run as a module over any file or directory tree::
+
+    python -m repro.analysis.lint src/
+
+Exit status is 1 when any violation is found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["LintViolation", "lint_source", "lint_path", "lint_paths", "main"]
+
+#: Files allowed to touch the global numpy/stdlib random state.
+_RNG_SANCTUARY = ("sim", "rng.py")
+
+#: Dotted call prefixes that consume unseeded global randomness.
+_RANDOM_PREFIXES = ("random.", "numpy.random.")
+
+#: Dotted calls that read the host wall clock.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.process_time", "time.time_ns", "time.monotonic_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Packages in which REP003 (wall-clock) applies.
+_WALL_CLOCK_SCOPE = ("sim",)
+
+#: Constructors whose call produces a fresh mutable object.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding of the custom lint."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _module_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/object they alias.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``; ``from time
+    import time`` maps ``time -> time.time``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for name in node.names:
+                aliases[name.asname or name.name] = \
+                    f"{node.module}.{name.name}"
+    return aliases
+
+
+def _dotted_name(node: ast.expr, aliases: dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain / name to a normalized dotted string."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    parts[0] = aliases.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+def _in_scope(path: Path, scope_packages: Sequence[str]) -> bool:
+    """True when ``path`` lies inside one of the named packages."""
+    return any(package in path.parts for package in scope_packages)
+
+
+def _is_rng_sanctuary(path: Path) -> bool:
+    """True for the one module allowed to seed from global numpy state."""
+    parts = path.parts
+    return (len(parts) >= 2 and parts[-1] == _RNG_SANCTUARY[1]
+            and parts[-2] == _RNG_SANCTUARY[0])
+
+
+class _Checker(ast.NodeVisitor):
+    """Walks one module and accumulates violations."""
+
+    def __init__(self, path: Path, aliases: dict[str, str]):
+        self.path = path
+        self.aliases = aliases
+        self.violations: list[LintViolation] = []
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(LintViolation(
+            path=str(self.path), line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0), code=code, message=message))
+
+    # REP001 / REP003 -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func, self.aliases)
+        if dotted is not None:
+            if not _is_rng_sanctuary(self.path) and any(
+                    dotted.startswith(prefix)
+                    for prefix in _RANDOM_PREFIXES):
+                self._report(
+                    node, "REP001",
+                    f"unseeded global randomness `{dotted}`; draw from a "
+                    f"named repro.sim.rng.RandomStreams stream instead")
+            if dotted in _WALL_CLOCK_CALLS and \
+                    _in_scope(self.path, _WALL_CLOCK_SCOPE):
+                self._report(
+                    node, "REP003",
+                    f"wall-clock read `{dotted}` inside the simulator; "
+                    f"use the discrete-event clock (Environment.now)")
+        self.generic_visit(node)
+
+    # REP002 ----------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, (left, right) in zip(node.ops,
+                                     zip(operands, operands[1:])):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and \
+                        isinstance(side.value, float):
+                    self._report(
+                        node, "REP002",
+                        f"exact float comparison against {side.value!r}; "
+                        f"use repro.core.units.EPSILON or math.isclose")
+                    break
+        self.generic_visit(node)
+
+    # REP004 ----------------------------------------------------------
+
+    def _check_defaults(self, node: ast.AST,
+                        defaults: Iterable[Optional[ast.expr]]) -> None:
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if not mutable and isinstance(default, ast.Call):
+                name = _dotted_name(default.func, self.aliases)
+                mutable = name in _MUTABLE_FACTORIES
+            if mutable:
+                self._report(
+                    node, "REP004",
+                    "mutable default argument; default to None (or a "
+                    "dataclasses.field factory) and build inside")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args.defaults)
+        self._check_defaults(node, node.args.kw_defaults)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args.defaults)
+        self._check_defaults(node, node.args.kw_defaults)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args.defaults)
+        self._check_defaults(node, node.args.kw_defaults)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one module's source text."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(Path(path), _module_aliases(tree))
+    checker.visit(tree)
+    return sorted(checker.violations,
+                  key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+def lint_path(path: Path) -> list[LintViolation]:
+    """Lint one ``.py`` file."""
+    return lint_source(path.read_text(encoding="utf-8"), path=str(path))
+
+
+def lint_paths(paths: Iterable[Path]) -> list[LintViolation]:
+    """Lint files and directory trees (``.py`` files, recursively)."""
+    violations: list[LintViolation] = []
+    for path in paths:
+        if path.is_dir():
+            violations.extend(
+                finding for file in sorted(path.rglob("*.py"))
+                for finding in lint_path(file))
+        else:
+            violations.extend(lint_path(path))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: lint the given paths, print findings, exit 0/1."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print("usage: python -m repro.analysis.lint PATH [PATH ...]",
+              file=sys.stderr)
+        return 2
+    missing = [argument for argument in arguments
+               if not Path(argument).exists()]
+    if missing:
+        for argument in missing:
+            print(f"error: no such file or directory: {argument}",
+                  file=sys.stderr)
+        return 2
+    try:
+        violations = lint_paths(Path(argument) for argument in arguments)
+    except SyntaxError as error:
+        print(f"{error.filename}:{error.lineno}:{error.offset or 0}: "
+              f"syntax error: {error.msg}", file=sys.stderr)
+        return 1
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} simulator-lint violation(s)")
+        return 1
+    print("simulator lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Typed schedule-invariant violations and verification reports.
+
+The verifier (:mod:`repro.analysis.verify`) expresses every breach of
+the paper's formal invariants as a :class:`Violation` with a
+:class:`ViolationKind`, so tests can assert on *which* invariant broke
+rather than string-matching free-form messages.  The kinds mirror the
+paper's correctness conditions:
+
+* supporting schedules are collision-free on shared nodes (Sect. 3,
+  Fig. 3) — :attr:`ViolationKind.DOUBLE_BOOKING` /
+  :attr:`ViolationKind.CAPACITY_OVERCOMMIT`;
+* task allocations respect DAG precedence plus data-transfer windows
+  (Fig. 2) — :attr:`ViolationKind.PRECEDENCE`;
+* every distribution meets its deadline ``T`` within the release window
+  — :attr:`ViolationKind.DEADLINE` / :attr:`ViolationKind.WINDOW_BOUNDS`;
+* ``CF = Σ ceil(V_ij / T_i)`` stays consistent with the per-node load
+  times — :attr:`ViolationKind.CF_MISMATCH`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["ViolationKind", "Violation", "VerificationReport"]
+
+
+class ViolationKind(enum.Enum):
+    """The invariant a violation breaches."""
+
+    #: A job task has no placement in the distribution.
+    MISSING_TASK = "missing-task"
+    #: The distribution places a task the job does not contain.
+    UNKNOWN_TASK = "unknown-task"
+    #: A placement names a node outside the resource pool.
+    UNKNOWN_NODE = "unknown-node"
+    #: The reserved wall time is shorter than the task needs on its node.
+    RESERVATION_TOO_SHORT = "reservation-too-short"
+    #: Two tasks of one distribution overlap on the same node — the
+    #: collision "race" of Sect. 3, which must be resolved before a
+    #: supporting schedule is final.
+    DOUBLE_BOOKING = "double-booking"
+    #: A consumer starts before producer end plus the transfer window.
+    PRECEDENCE = "precedence"
+    #: The job misses its fixed completion time ``T``.
+    DEADLINE = "deadline"
+    #: A placement starts before the job's release slot.
+    WINDOW_BOUNDS = "window-bounds"
+    #: A placement overlaps a foreign reservation (another job or the
+    #: background load) on a shared node calendar.
+    CAPACITY_OVERCOMMIT = "capacity-overcommit"
+    #: A reported cost or makespan disagrees with recomputation from the
+    #: placements (``CF = Σ ceil(V_ij / T_i)``).
+    CF_MISMATCH = "cf-mismatch"
+    #: An outcome's admissibility flag disagrees with its distribution.
+    ADMISSIBILITY = "admissibility"
+    #: A collision record is inconsistent with the resource pool
+    #: (cross-check against :mod:`repro.core.collisions`).
+    COLLISION_MISMATCH = "collision-mismatch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One breach of a schedule invariant."""
+
+    kind: ViolationKind
+    #: The job (or trace/strategy) the violation belongs to.
+    job_id: str
+    #: Human-readable account with the offending numbers.
+    detail: str
+    #: Task the violation anchors to ("" for job-level breaches).
+    task_id: str = ""
+    #: Contested node, when the breach is node-local.
+    node_id: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"/{self.task_id}" if self.task_id else ""
+        node = f" on node {self.node_id}" if self.node_id is not None else ""
+        return f"[{self.kind.value}] {self.job_id}{where}{node}: {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """All violations found while verifying one subject."""
+
+    #: What was verified ("distribution fig2/Distribution 1", ...).
+    subject: str
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked invariant holds."""
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        """Record one violation."""
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        """Record several violations."""
+        self.violations.extend(violations)
+
+    def merge(self, other: "VerificationReport") -> None:
+        """Fold another report's violations into this one."""
+        self.violations.extend(other.violations)
+
+    def kinds(self) -> set[ViolationKind]:
+        """The distinct invariants breached."""
+        return {violation.kind for violation in self.violations}
+
+    def by_kind(self, kind: ViolationKind) -> list[Violation]:
+        """All violations of one kind."""
+        return [v for v in self.violations if v.kind is kind]
+
+    def summary(self) -> str:
+        """One line per violation, or an all-clear line."""
+        if self.ok:
+            return f"{self.subject}: OK (no invariant violations)"
+        lines = [f"{self.subject}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)

@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--jobs", type=int, default=None,
                             help="number of jobs for every experiment")
     everything.add_argument("--seed", type=int, default=2009)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="verify schedule invariants (Fig. 2 worked example)")
+    analyze.add_argument("--skip-strategies", action="store_true",
+                         help="verify only the paper distributions and "
+                              "the critical works outcome")
+    analyze.add_argument("--lint", metavar="PATH", nargs="+", default=None,
+                         help="also run the simulator lint over PATH(s)")
     return parser
 
 
@@ -74,6 +83,58 @@ def _run_one(experiment_id: str, jobs: Optional[int], seed: int,
         dump_json(table_to_dict(table), json_path)
 
 
+def _run_analyze(skip_strategies: bool = False,
+                 lint_paths: Optional[Sequence[str]] = None) -> int:
+    """Verify the Fig. 2 paper example's schedules; returns 0 when clean.
+
+    Checks the three supporting distributions read off Fig. 2b, the
+    schedule the critical works method builds, and (unless skipped) the
+    full strategies of every family — each against the invariants in
+    :mod:`repro.analysis.verify`.
+    """
+    from .analysis.verify import (verify_distribution, verify_outcome,
+                                  verify_strategy)
+    from .core.calendar import ReservationCalendar
+    from .core.critical_works import CriticalWorksScheduler
+    from .core.strategy import StrategyGenerator, StrategyType
+    from .experiments.fig2_example import paper_distributions
+    from .workload.paper_example import fig2_job, fig2_pool
+
+    job, pool = fig2_job(), fig2_pool()
+    reports = [
+        verify_distribution(job, distribution, pool)
+        for distribution in paper_distributions(job, pool).values()
+    ]
+
+    calendars = {node.node_id: ReservationCalendar() for node in pool}
+    scheduler = CriticalWorksScheduler(pool)
+    outcome = scheduler.build_schedule(job, calendars)
+    reports.append(verify_outcome(job, outcome, pool))
+
+    if not skip_strategies:
+        generator = StrategyGenerator(pool)
+        for stype in StrategyType:
+            strategy = generator.generate(job, calendars, stype)
+            reports.append(verify_strategy(
+                strategy, pool,
+                transfer_model=generator.policy_models[
+                    strategy.spec.policy]))
+
+    for report in reports:
+        print(report.summary())
+    broken = sum(1 for report in reports if not report.ok)
+    print(f"\nverified {len(reports)} schedule set(s): "
+          f"{'all invariants hold' if not broken else f'{broken} with violations'}")
+
+    status = 1 if broken else 0
+    if lint_paths:
+        from .analysis.lint import main as lint_main
+
+        print()
+        status = max(status, lint_main(list(lint_paths)))
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -90,6 +151,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             _run_one(experiment_id, args.jobs, args.seed)
         return 0
+    if args.command == "analyze":
+        return _run_analyze(skip_strategies=args.skip_strategies,
+                            lint_paths=args.lint)
     parser.print_help()
     return 1
 

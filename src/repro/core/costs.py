@@ -92,7 +92,11 @@ class PricedTimeCost:
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:
         """Published node price × reserved wall time × surge."""
-        return node.price_rate * placement.duration * self.surge
+        # __post_init__ guarantees a rate; the fallback narrows the
+        # Optional for type checkers.
+        rate = node.price_rate if node.price_rate is not None \
+            else node.performance
+        return rate * placement.duration * self.surge
 
 
 def distribution_cost(distribution: Distribution, job: Job,

@@ -36,7 +36,12 @@ from .resources import ResourcePool
 from .schedule import Distribution, Placement
 from .transfers import NeutralTransferModel, TransferModel
 
-__all__ = ["SchedulingOutcome", "CriticalWorksScheduler"]
+__all__ = ["SchedulingOutcome", "CriticalWorksScheduler",
+           "ScheduleInvariantError"]
+
+
+class ScheduleInvariantError(AssertionError):
+    """A scheduler self-check found an invariant violation."""
 
 
 @dataclass
@@ -73,6 +78,12 @@ class CriticalWorksScheduler:
         Data-policy timing model (default neutral).
     cost_model:
         Placement pricing (default: the paper's CF term).
+    self_check:
+        When True, every outcome is run through the static verifier
+        (:func:`repro.analysis.verify_outcome`) before being returned,
+        and a :class:`ScheduleInvariantError` is raised on the first
+        violation.  Off by default — the test suite turns it on
+        globally via ``tests/conftest.py``.
     """
 
     def __init__(self, pool: ResourcePool,
@@ -80,7 +91,8 @@ class CriticalWorksScheduler:
                  cost_model: Optional[CostModel] = None,
                  objective: str = "cost",
                  monopolize: bool = False,
-                 accounting_model: Optional[CostModel] = None):
+                 accounting_model: Optional[CostModel] = None,
+                 self_check: bool = False):
         self.pool = pool
         self.transfer_model = transfer_model or NeutralTransferModel()
         #: Selection criterion the DP minimizes (a family's objective).
@@ -97,6 +109,8 @@ class CriticalWorksScheduler:
         #: nodes it can use concurrently — the S3 family's behaviour of
         #: monopolizing the best resources to minimize data exchanges.
         self.monopolize = monopolize
+        #: Invariant hook: verify every outcome before returning it.
+        self.self_check = self_check
 
     def _allowed_nodes(self, job: Job) -> Optional[set[int]]:
         if not self.monopolize:
@@ -166,7 +180,27 @@ class CriticalWorksScheduler:
                                          self.accounting_model)
         outcome.admissible = (not job.deadline
                               or distribution.makespan <= deadline)
+        if self.self_check:
+            self._verify(job, outcome, release)
         return outcome
+
+    def _verify(self, job: Job, outcome: SchedulingOutcome,
+                release: int) -> None:
+        """Invariant hook: fail loudly when an outcome breaks the rules.
+
+        Imported lazily — :mod:`repro.analysis` depends on the core, so
+        a module-level import would be circular.
+        """
+        from ..analysis import verify_outcome
+
+        report = verify_outcome(job, outcome, self.pool,
+                                transfer_model=self.transfer_model,
+                                release=release,
+                                accounting_model=self.accounting_model)
+        if not report.ok:
+            raise ScheduleInvariantError(
+                f"self-check failed for job {job.job_id!r}:\n"
+                f"{report.summary()}")
 
     # ------------------------------------------------------------------
 

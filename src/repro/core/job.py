@@ -63,7 +63,11 @@ class Task:
 
     def base_time(self, level: float = 0.0) -> int:
         """Base execution time at estimation ``level`` (0 = best, 1 = worst)."""
-        return ceil_units(interpolate(self.best_time, self.worst_time, level))
+        # __post_init__ guarantees worst_time; the fallback narrows the
+        # Optional for type checkers.
+        worst = self.worst_time if self.worst_time is not None \
+            else self.best_time
+        return ceil_units(interpolate(self.best_time, worst, level))
 
     def duration_on(self, performance: float, level: float = 0.0) -> int:
         """Execution slots on a node of the given relative performance."""

@@ -147,8 +147,8 @@ class Distribution:
 
     def internal_overlaps(self) -> list[tuple[Placement, Placement]]:
         """Pairs of this distribution's own placements that clash."""
-        clashes = []
-        for node_id, group in self.by_node().items():
+        clashes: list[tuple[Placement, Placement]] = []
+        for group in self.by_node().values():
             for first, second in zip(group, group[1:]):
                 if first.overlaps(second):
                     clashes.append((first, second))

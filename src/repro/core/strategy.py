@@ -25,12 +25,14 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from .calendar import ReservationCalendar
+from .collisions import Collision
 from .costs import BalancedTimeCost, CostModel
 from .critical_works import CriticalWorksScheduler, SchedulingOutcome
 from .granularity import coarsen, serialize
 from .units import ceil_units
 from .job import Job
 from .resources import ResourcePool
+from .schedule import Distribution
 from .transfers import TransferModel
 
 __all__ = [
@@ -134,7 +136,7 @@ class SupportingSchedule:
         return self.outcome.admissible
 
     @property
-    def distribution(self):
+    def distribution(self) -> Optional[Distribution]:
         """The schedule itself (None when inadmissible)."""
         return self.outcome.distribution
 
@@ -215,9 +217,9 @@ class Strategy:
         return min(candidates,
                    key=lambda s: (s.outcome.cost, s.outcome.makespan))
 
-    def all_collisions(self):
+    def all_collisions(self) -> list[Collision]:
         """Collisions across every supporting schedule."""
-        collected = []
+        collected: list[Collision] = []
         for schedule in self.schedules:
             collected.extend(schedule.outcome.collisions)
         return collected

@@ -9,7 +9,7 @@ in :mod:`repro.grid.data`.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Callable, Protocol
 
 from .job import DataTransfer
 from .resources import ProcessorNode
@@ -47,7 +47,9 @@ class NeutralTransferModel:
         return transfer.base_time
 
 
-def transfer_time_fn(model: TransferModel):
+def transfer_time_fn(model: TransferModel
+                     ) -> Callable[[DataTransfer, ProcessorNode,
+                                    ProcessorNode], int]:
     """Adapt a :class:`TransferModel` to the plain-function signature
     expected by :func:`repro.core.schedule.check_distribution`."""
 

@@ -14,6 +14,7 @@ from typing import Any
 import numpy as np
 
 from ..core.resources import NodeGroup, ProcessorNode, ResourcePool
+from ..sim.rng import RandomStreams
 
 __all__ = ["ExperimentTable", "select_nodes_for_job"]
 
@@ -70,7 +71,8 @@ class ExperimentTable:
         return {row[key_column]: row for row in self.rows}
 
 
-def select_nodes_for_job(pool: ResourcePool, rng: np.random.Generator,
+def select_nodes_for_job(pool: ResourcePool,
+                         rng: "np.random.Generator | int",
                          count: int) -> ResourcePool:
     """Pick a job's candidate nodes, stratified over performance groups.
 
@@ -78,9 +80,20 @@ def select_nodes_for_job(pool: ResourcePool, rng: np.random.Generator,
     i.e. a task parallelism degree".  The subset keeps the VO's group
     proportions so every strategy still faces the fast/medium/slow
     trade-off.
+
+    The "fill proportionally at random" tail draws from ``rng``: either
+    a ready ``numpy.random.Generator`` (callers fork one per job from
+    their experiment streams) or a bare integer seed, which is routed
+    through :class:`repro.sim.rng.RandomStreams` (stream
+    ``"node-selection"``).  The unseeded global ``numpy.random`` state
+    is never consulted, so node subsets are reproducible from the
+    experiment seed alone (the simulator lint's REP001 rule enforces
+    this repository-wide).
     """
     if count < 1:
         raise ValueError(f"count must be positive, got {count}")
+    if isinstance(rng, (int, np.integer)):
+        rng = RandomStreams(int(rng)).stream("node-selection")
     count = min(count, len(pool))
     chosen: list[ProcessorNode] = []
     remaining = count

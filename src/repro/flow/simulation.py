@@ -14,7 +14,7 @@ the paper's framework is meant to control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.job import Job
 from ..core.resources import ResourcePool
@@ -91,7 +91,7 @@ class OnlineSimulation:
     def __init__(self, pool: ResourcePool, seed: int = 0,
                  config: Optional[OnlineConfig] = None,
                  economics: Optional[VOEconomics] = None,
-                 job_factory=None):
+                 job_factory: Optional[Callable[..., Job]] = None):
         """``job_factory(rng, index)`` -> Job; defaults to the Section 4
         random workload generator."""
         self.pool = pool

@@ -23,7 +23,7 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Generator, Iterable, Optional, Union
 
 from .events import (
     NORMAL,
@@ -86,7 +86,7 @@ class Environment:
     # Event factories
     # ------------------------------------------------------------------
 
-    def process(self, generator) -> Process:
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Register ``generator`` as a new simulation process."""
         return Process(self, generator)
 

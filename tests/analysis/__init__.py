@@ -1,0 +1,1 @@
+"""Tests for the schedule verifier and simulator lint."""

@@ -1,0 +1,113 @@
+"""Simulator lint: rule coverage on bad-pattern fixtures, clean source tree."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_path, lint_paths, lint_source, main
+
+#: A deliberately bad module exercising every rule at once.
+BAD_FIXTURE = '''\
+import random
+import numpy as np
+import time
+from datetime import datetime
+
+
+def fill_randomly(pool, chosen=[]):
+    if pool.load == 0.8:
+        chosen.append(random.choice(pool.nodes))
+    rng = np.random.default_rng()
+    started = time.time()
+    return chosen, rng, started, datetime.now()
+'''
+
+
+def codes(violations):
+    return {violation.code for violation in violations}
+
+
+def test_unseeded_randomness_caught():
+    found = lint_source(BAD_FIXTURE, path="src/repro/experiments/common.py")
+    rep001 = [v for v in found if v.code == "REP001"]
+    assert len(rep001) == 2  # random.choice and np.random.default_rng
+    assert any("random.choice" in v.message for v in rep001)
+    assert any("numpy.random.default_rng" in v.message for v in rep001)
+
+
+def test_float_equality_caught():
+    found = lint_source(BAD_FIXTURE, path="src/repro/core/x.py")
+    assert "REP002" in codes(found)
+    rep002 = [v for v in found if v.code == "REP002"][0]
+    assert "0.8" in rep002.message
+
+
+def test_wall_clock_caught_only_inside_sim():
+    inside = lint_source(BAD_FIXTURE, path="src/repro/sim/engine.py")
+    outside = lint_source(BAD_FIXTURE, path="src/repro/flow/manager.py")
+    assert "REP003" in codes(inside)
+    assert "REP003" not in codes(outside)
+    rep003 = [v for v in inside if v.code == "REP003"]
+    assert any("time.time" in v.message for v in rep003)
+    assert any("datetime.datetime.now" in v.message for v in rep003)
+
+
+def test_mutable_default_caught():
+    found = lint_source(BAD_FIXTURE, path="src/repro/core/x.py")
+    assert "REP004" in codes(found)
+
+
+def test_rng_module_is_exempt_from_rep001():
+    source = ("import numpy as np\n"
+              "rng = np.random.default_rng(np.random.SeedSequence([1]))\n")
+    assert lint_source(source, path="src/repro/sim/rng.py") == []
+    # The same code anywhere else is a violation.
+    assert codes(lint_source(source, path="src/repro/sim/engine.py")) == {
+        "REP001"}
+
+
+def test_import_aliases_are_resolved():
+    source = ("from numpy import random as nprand\n"
+              "from time import time as wall\n"
+              "x = nprand.uniform()\n")
+    found = lint_source(source, path="src/repro/flow/x.py")
+    assert codes(found) == {"REP001"}
+
+
+def test_integer_equality_is_fine():
+    source = "ok = (3 == 3) and (x != 4)\nbad = x == 4.0\n"
+    found = lint_source(source, path="src/repro/core/x.py")
+    assert len(found) == 1 and found[0].code == "REP002"
+
+
+def test_source_tree_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert src.is_dir()
+    violations = lint_paths([src])
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_lint_path_and_main_on_files(tmp_path, capsys):
+    bad = tmp_path / "sim" / "clock.py"
+    bad.parent.mkdir()
+    bad.write_text(BAD_FIXTURE)
+    good = tmp_path / "ok.py"
+    good.write_text("def f(x=None):\n    return x\n")
+
+    assert codes(lint_path(bad)) == {"REP001", "REP002", "REP003", "REP004"}
+    assert lint_path(good) == []
+
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out and "violation" in out
+
+    assert main([str(good)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+    assert main([]) == 2
+
+    assert main([str(tmp_path / "no-such-file.py")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    assert main([str(broken)]) == 1
+    assert "syntax error" in capsys.readouterr().err

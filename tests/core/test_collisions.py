@@ -1,9 +1,18 @@
-"""Unit tests for collision records and statistics."""
+"""Unit tests for collision records and statistics.
+
+The edge cases at the bottom (zero-length intervals, touching windows,
+tasks shared between critical works) define the ground truth the
+schedule verifier in :mod:`repro.analysis.verify` is built on.
+"""
 
 import pytest
 
+from repro.core.calendar import Reservation, ReservationCalendar
 from repro.core.collisions import Collision, CollisionStats
+from repro.core.critical_works import CriticalWorksScheduler
 from repro.core.resources import NodeGroup
+from repro.core.schedule import Placement
+from repro.workload.paper_example import fig2_job, fig2_pool
 
 
 def make_collision(group, node_id=1, task="T", holder="H", time=0):
@@ -68,3 +77,76 @@ def test_collision_str_mentions_parties():
                                holder="P4", time=10)
     text = str(collision)
     assert "P5" in text and "P4" in text and "7" in text
+
+
+# ----------------------------------------------------------------------
+# Edge cases grounding the schedule verifier (repro.analysis.verify)
+# ----------------------------------------------------------------------
+
+def test_zero_length_intervals_are_rejected_everywhere():
+    # A zero-length occupation can neither hold a node nor collide.
+    with pytest.raises(ValueError):
+        Placement("T", 1, 5, 5)
+    with pytest.raises(ValueError):
+        Placement("T", 1, 5, 4)
+    with pytest.raises(ValueError):
+        Reservation(5, 5)
+    with pytest.raises(ValueError):
+        ReservationCalendar().conflicts(5, 5)
+
+
+def test_touching_windows_do_not_overlap():
+    first = Placement("A", 1, 0, 5)
+    second = Placement("B", 1, 5, 9)
+    assert not first.overlaps(second)
+    assert not second.overlaps(first)
+    # Same rule on the calendar: [0,5) blocks neither [5,9) nor a
+    # conflicts() query that merely touches it.
+    calendar = ReservationCalendar([Reservation(0, 5, tag="A")])
+    assert calendar.conflicts(5, 9) == []
+    calendar.reserve(5, 9, tag="B")
+    assert len(calendar) == 2
+
+
+def test_touching_on_different_nodes_never_interacts():
+    first = Placement("A", 1, 0, 5)
+    second = Placement("B", 2, 3, 6)
+    assert not first.overlaps(second)
+
+
+def test_identical_collision_records_compare_equal():
+    # The scheduler dedups repair-restart replays with `not in`; frozen
+    # dataclass equality is what makes that correct.
+    one = make_collision(NodeGroup.FAST, node_id=3, task="P5",
+                         holder="P4", time=7)
+    two = make_collision(NodeGroup.FAST, node_id=3, task="P5",
+                         holder="P4", time=7)
+    assert one == two
+    assert one in [two]
+    # Any differing field is a distinct contention event.
+    assert one != make_collision(NodeGroup.FAST, node_id=3, task="P5",
+                                 holder="P4", time=8)
+
+
+def test_stats_count_duplicate_records_per_event():
+    record = make_collision(NodeGroup.SLOW)
+    stats = CollisionStats.of([record, record])
+    assert stats.total == 2
+
+
+def test_task_in_two_critical_works_is_placed_once_and_deduped():
+    # In the Fig. 2 job, P4 and P5 each lie on two of the four critical
+    # works (P1-P2-P4-P6, P1-P3-P4-P6, P1-P2-P5-P6, P1-P3-P5-P6).  The
+    # method must place each exactly once, and record each contention
+    # event at most once despite revisiting the shared tasks.
+    job, pool = fig2_job(), fig2_pool()
+    scheduler = CriticalWorksScheduler(pool)
+    works = [chain for _, chain in scheduler.critical_works(job)]
+    assert sum(1 for chain in works if "P4" in chain) == 2
+    assert sum(1 for chain in works if "P5" in chain) == 2
+
+    outcome = scheduler.build_schedule(
+        job, {node.node_id: ReservationCalendar() for node in pool})
+    assert outcome.distribution is not None
+    assert len(outcome.distribution) == len(job.tasks)
+    assert len(set(outcome.collisions)) == len(outcome.collisions)

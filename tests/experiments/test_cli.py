@@ -38,5 +38,30 @@ def test_no_command_prints_help(capsys):
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("list", "run", "all"):
+    for command in ("list", "run", "all", "analyze"):
         assert command in text
+
+
+def test_analyze_reports_zero_violations_on_fig2(capsys):
+    assert main(["analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "all invariants hold" in out
+    assert "OK (no invariant violations)" in out
+    for subject in ("Distribution 1", "strategy(S1)", "strategy(MS1)"):
+        assert subject in out
+
+
+def test_analyze_skip_strategies_is_faster_subset(capsys):
+    assert main(["analyze", "--skip-strategies"]) == 0
+    out = capsys.readouterr().out
+    assert "strategy(S1)" not in out
+    assert "outcome" in out
+
+
+def test_analyze_with_lint_runs_the_simulator_lint(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["analyze", "--skip-strategies",
+                 "--lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out

@@ -72,3 +72,20 @@ def test_select_nodes_deterministic_per_seed():
     a = select_nodes_for_job(mixed_pool(), np.random.default_rng(7), 5)
     b = select_nodes_for_job(mixed_pool(), np.random.default_rng(7), 5)
     assert [n.node_id for n in a] == [n.node_id for n in b]
+
+
+def test_select_nodes_routes_integer_seeds_through_named_streams():
+    # A bare seed is resolved via repro.sim.rng.RandomStreams, never the
+    # unseeded global numpy state, so the subset is seed-reproducible.
+    from repro.sim.rng import RandomStreams
+
+    a = select_nodes_for_job(mixed_pool(), 7, 5)
+    b = select_nodes_for_job(mixed_pool(), 7, 5)
+    assert [n.node_id for n in a] == [n.node_id for n in b]
+
+    via_stream = select_nodes_for_job(
+        mixed_pool(), RandomStreams(7).stream("node-selection"), 5)
+    assert [n.node_id for n in a] == [n.node_id for n in via_stream]
+
+    other = select_nodes_for_job(mixed_pool(), 8, 5)
+    assert [n.node_id for n in a] != [n.node_id for n in other]
