@@ -57,6 +57,49 @@ def test_bench_profile_backfill_queries(benchmark):
     assert benchmark(run) > 0
 
 
+def test_bench_calendar_query_path(benchmark):
+    """2k conflicts/earliest-fit probes against a 1k-reservation calendar.
+
+    Exercises the bisect-based query path; before the lazy rewrite this
+    walked (and for ``conflicts`` copied) long reservation prefixes.
+    """
+    calendar = ReservationCalendar()
+    for index in range(1_000):
+        calendar.reserve(index * 5, index * 5 + 3, tag=f"r{index}")
+
+    def run():
+        hits = 0
+        for index in range(2_000):
+            hits += len(calendar.conflicts(index * 2, index * 2 + 4))
+            calendar.earliest_fit(2, earliest=index, deadline=index + 5_000)
+        return hits
+
+    assert benchmark(run) > 0
+
+
+def test_bench_calendar_cow_snapshots(benchmark):
+    """What-if snapshots of a large calendar, only a few ever mutated.
+
+    The critical-works scheduler's ``_attempt`` takes exactly this
+    shape: many copies, most discarded untouched.  Copy-on-write makes
+    the untouched ones O(1).
+    """
+    calendar = ReservationCalendar()
+    for index in range(1_000):
+        calendar.reserve(index * 4, index * 4 + 2, tag=f"r{index}")
+
+    def run():
+        mutated = 0
+        for index in range(200):
+            clone = calendar.copy()
+            if index % 20 == 0:  # a collision forces a real write
+                clone.reserve(index * 4 + 2, index * 4 + 3, tag="retry")
+                mutated += 1
+        return mutated
+
+    assert benchmark(run) == 10
+
+
 def test_bench_critical_works_fig2(benchmark):
     """One full critical-works run on the Fig. 2 job."""
     pool = fig2_pool()

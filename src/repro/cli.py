@@ -22,6 +22,7 @@ Run everything::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -51,11 +52,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment seed (default 2009)")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write the table as JSON to PATH")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="fan the underlying study out over N processes "
+                          "(results are bit-identical to --workers 1; "
+                          "0 means one per CPU)")
 
     everything = commands.add_parser("all", help="run every experiment")
     everything.add_argument("--jobs", type=int, default=None,
                             help="number of jobs for every experiment")
     everything.add_argument("--seed", type=int, default=2009)
+    everything.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="study fan-out processes (0: one per CPU)")
+
+    perf = commands.add_parser(
+        "perf",
+        help="run the pinned kernel benchmark (repro.perf)")
+    perf.add_argument("--jobs", type=int, default=60,
+                      help="study jobs in the pinned workload (default 60)")
+    perf.add_argument("--seed", type=int, default=2009)
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repetitions per workload (best-of)")
+    perf.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="worker processes for the study workload")
+    perf.add_argument("--json", metavar="PATH", default=None,
+                      help="write the benchmark report as JSON to PATH")
+    perf.add_argument("--compare", metavar="BASELINE", default=None,
+                      help="compare against a committed BENCH_*.json "
+                           "baseline (warn-only unless --strict)")
+    perf.add_argument("--threshold", type=float, default=None,
+                      help="fractional slowdown tolerated before a "
+                           "workload is flagged (default 0.30)")
+    perf.add_argument("--strict", action="store_true",
+                      help="exit non-zero when a workload regressed")
 
     analyze = commands.add_parser(
         "analyze",
@@ -69,11 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(experiment_id: str, jobs: Optional[int], seed: int,
-             json_path: Optional[str] = None) -> None:
+             json_path: Optional[str] = None,
+             workers: Optional[int] = 1) -> None:
     runner = EXPERIMENTS[experiment_id]
-    kwargs = {"seed": seed}
+    kwargs: dict = {"seed": seed}
     if jobs is not None:
         kwargs["n_jobs"] = jobs
+    # Only the study-backed experiments parallelize; the rest (e.g. the
+    # Fig. 2 worked example) simply do not take the argument.
+    if workers != 1 and "workers" in inspect.signature(runner).parameters:
+        kwargs["workers"] = workers
     table = runner(**kwargs)
     table.show()
     print()
@@ -135,6 +168,40 @@ def _run_analyze(skip_strategies: bool = False,
     return status
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    """Run the pinned kernel benchmark; optionally compare to a baseline.
+
+    The comparison is warn-only by default so CI noise cannot break a
+    build; ``--strict`` turns regressions into a non-zero exit.
+    """
+    import json
+
+    from .perf import (compare_reports, format_comparison, run_kernel_bench)
+    from .perf.bench import DEFAULT_THRESHOLD
+
+    report = run_kernel_bench(jobs=args.jobs, seed=args.seed,
+                              repeats=args.repeats,
+                              workers=args.workers or None)
+    print(json.dumps(report, indent=2))
+
+    if args.json is not None:
+        from .io import dump_json
+
+        dump_json(report, args.json)
+
+    if args.compare is None:
+        return 0
+    with open(args.compare, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    rows = compare_reports(baseline, report, threshold=threshold)
+    print()
+    print(format_comparison(rows, threshold=threshold))
+    regressed = any(row["regressed"] for row in rows)
+    return 1 if (regressed and args.strict) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -145,12 +212,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        _run_one(args.experiment, args.jobs, args.seed, args.json)
+        _run_one(args.experiment, args.jobs, args.seed, args.json,
+                 workers=args.workers or None)
         return 0
     if args.command == "all":
         for experiment_id in sorted(EXPERIMENTS):
-            _run_one(experiment_id, args.jobs, args.seed)
+            _run_one(experiment_id, args.jobs, args.seed,
+                     workers=args.workers or None)
         return 0
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "analyze":
         return _run_analyze(skip_strategies=args.skip_strategies,
                             lint_paths=args.lint)

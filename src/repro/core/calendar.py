@@ -10,10 +10,17 @@ schedules.
 from __future__ import annotations
 
 import bisect
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+from ..perf import PERF
+
 __all__ = ["Reservation", "ReservationConflict", "ReservationCalendar"]
+
+#: Sort key for end-based bisection (ends are sorted too: reservations
+#: are disjoint and start-sorted, so ``end_i <= start_{i+1} < end_{i+1}``).
+_BY_END = operator.attrgetter("end")
 
 
 class ReservationConflict(RuntimeError):
@@ -47,11 +54,17 @@ class Reservation:
 
 
 class ReservationCalendar:
-    """Sorted, non-overlapping reservations for a single node."""
+    """Sorted, non-overlapping reservations for a single node.
+
+    What-if copies (:meth:`copy`) are copy-on-write: the clone shares
+    the underlying lists until either side mutates, so snapshotting a
+    large calendar that is then only queried costs O(1).
+    """
 
     def __init__(self, reservations: Iterable[Reservation] = ()):
         self._reservations: list[Reservation] = []
         self._starts: list[int] = []
+        self._shared = False
         for reservation in sorted(reservations, key=lambda r: r.start):
             self.reserve(reservation.start, reservation.end, reservation.tag)
 
@@ -67,11 +80,29 @@ class ReservationCalendar:
         return list(self._reservations)
 
     def copy(self) -> "ReservationCalendar":
-        """An independent what-if copy of this calendar."""
-        clone = ReservationCalendar()
-        clone._reservations = list(self._reservations)
-        clone._starts = list(self._starts)
+        """An independent what-if copy of this calendar (copy-on-write).
+
+        Both calendars share the reservation storage until one of them
+        mutates; the mutating side then pays the list copy.  Queries on
+        either side are unaffected.
+        """
+        if PERF.enabled:
+            PERF.incr("calendar.cow_copies")
+        clone = ReservationCalendar.__new__(ReservationCalendar)
+        clone._reservations = self._reservations
+        clone._starts = self._starts
+        clone._shared = True
+        self._shared = True
         return clone
+
+    def _materialize(self) -> None:
+        """Detach shared storage before the first mutation after a copy."""
+        if self._shared:
+            if PERF.enabled:
+                PERF.incr("calendar.materializations")
+            self._reservations = list(self._reservations)
+            self._starts = list(self._starts)
+            self._shared = False
 
     # ------------------------------------------------------------------
     # Queries
@@ -81,22 +112,29 @@ class ReservationCalendar:
         """All reservations intersecting ``[start, end)``."""
         if end <= start:
             raise ValueError(f"empty or inverted interval [{start}, {end})")
-        # Candidates start before `end`; scan left while overlap possible.
+        if PERF.enabled:
+            PERF.incr("calendar.conflicts")
+        # Candidates start before `end`; the overlapping run is
+        # contiguous and ends at `index - 1` (reservations are disjoint
+        # and sorted, so once one ends at or before `start`, all
+        # earlier ones do too).  Walking indices avoids copying the
+        # whole prefix the way `self._reservations[:index]` would.
+        reservations = self._reservations
         index = bisect.bisect_left(self._starts, end)
-        found = []
-        for reservation in reversed(self._reservations[:index]):
-            if reservation.end > start:
-                found.append(reservation)
-            # Reservations are disjoint and sorted: once one ends at or
-            # before `start`, all earlier ones do too.
-            elif reservation.end <= start:
-                break
-        found.reverse()
-        return found
+        first = index
+        while first > 0 and reservations[first - 1].end > start:
+            first -= 1
+        return reservations[first:index]
 
     def is_free(self, start: int, end: int) -> bool:
         """True if ``[start, end)`` overlaps no reservation."""
-        return not self.conflicts(start, end)
+        if end <= start:
+            raise ValueError(f"empty or inverted interval [{start}, {end})")
+        if PERF.enabled:
+            PERF.incr("calendar.is_free")
+        # Only the last reservation starting before `end` can overlap.
+        index = bisect.bisect_left(self._starts, end)
+        return index == 0 or self._reservations[index - 1].end <= start
 
     def free_windows(self, earliest: int, horizon: int
                      ) -> list[tuple[int, int]]:
@@ -127,11 +165,31 @@ class ReservationCalendar:
         """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
+        if PERF.enabled:
+            PERF.incr("calendar.earliest_fit")
         horizon = deadline if deadline is not None else self._implied_horizon(
             earliest, duration)
-        for window_start, window_end in self.free_windows(earliest, horizon):
-            if window_end - window_start >= duration:
-                return window_start
+        if horizon <= earliest:
+            return None
+        # Walk windows lazily from the first reservation still alive at
+        # `earliest` instead of materializing every free window up to
+        # the horizon; ends are sorted (disjoint intervals), so the
+        # entry point is a bisection.
+        reservations = self._reservations
+        index = bisect.bisect_right(reservations, earliest, key=_BY_END)
+        cursor = earliest
+        for position in range(index, len(reservations)):
+            reservation = reservations[position]
+            if reservation.start >= horizon:
+                break
+            if reservation.start - cursor >= duration:
+                return cursor
+            if reservation.end > cursor:
+                cursor = reservation.end
+            if cursor >= horizon:
+                return None
+        if horizon - cursor >= duration:
+            return cursor
         return None
 
     def _implied_horizon(self, earliest: int, duration: int) -> int:
@@ -154,11 +212,12 @@ class ReservationCalendar:
 
     def reserve(self, start: int, end: int, tag: str = "") -> Reservation:
         """Book ``[start, end)``; raises ReservationConflict on overlap."""
-        blockers = self.conflicts(start, end)
-        if blockers:
+        if not self.is_free(start, end):
+            blocker = self.conflicts(start, end)[0]
             raise ReservationConflict(
-                f"[{start}, {end}) overlaps {blockers[0].tag!r} "
-                f"[{blockers[0].start}, {blockers[0].end})")
+                f"[{start}, {end}) overlaps {blocker.tag!r} "
+                f"[{blocker.start}, {blocker.end})")
+        self._materialize()
         reservation = Reservation(start, end, tag)
         index = bisect.bisect_left(self._starts, start)
         self._reservations.insert(index, reservation)
@@ -171,6 +230,7 @@ class ReservationCalendar:
             index = self._reservations.index(reservation)
         except ValueError:
             raise KeyError(f"{reservation} is not booked") from None
+        self._materialize()
         del self._reservations[index]
         del self._starts[index]
 
@@ -178,8 +238,10 @@ class ReservationCalendar:
         """Remove every reservation with the given tag; returns the count."""
         keep = [r for r in self._reservations if r.tag != tag]
         removed = len(self._reservations) - len(keep)
-        self._reservations = keep
-        self._starts = [r.start for r in keep]
+        if removed:
+            self._reservations = keep
+            self._starts = [r.start for r in keep]
+            self._shared = False
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

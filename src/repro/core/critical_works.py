@@ -24,9 +24,12 @@ second DP pass against the fully-booked working calendars.
 
 from __future__ import annotations
 
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+from ..perf import PERF
 from .calendar import ReservationCalendar
 from .collisions import Collision, CollisionStats
 from .costs import CostModel, VolumeOverTimeCost, distribution_cost
@@ -111,6 +114,14 @@ class CriticalWorksScheduler:
         self.monopolize = monopolize
         #: Invariant hook: verify every outcome before returning it.
         self.self_check = self_check
+        #: Per-(job, level) critical-works rankings.  The pool, transfer
+        #: model, and job structure are fixed for a scheduler's
+        #: lifetime, so the ranking can be reused across the repeated
+        #: ``build_schedule`` calls a strategy generation makes (one per
+        #: estimation level, plus monopolize fallbacks).  Keyed weakly
+        #: so retired jobs do not accumulate.
+        self._ranking_cache: "weakref.WeakKeyDictionary[Job, dict[float, list[tuple[int, list[str]]]]]" \
+            = weakref.WeakKeyDictionary()
 
     def _allowed_nodes(self, job: Job) -> Optional[set[int]]:
         if not self.monopolize:
@@ -130,7 +141,21 @@ class CriticalWorksScheduler:
         Lengths are estimated on the fastest node of the pool, with
         transfer times from the data-policy model, matching "the longest
         chain ... along with the best combination of available resources".
+
+        The ranking is cached per (job, level); treat the returned list
+        as read-only.
         """
+        per_job = self._ranking_cache.get(job)
+        if per_job is None:
+            per_job = {}
+            self._ranking_cache[job] = per_job
+        cached = per_job.get(level)
+        if cached is not None:
+            if PERF.enabled:
+                PERF.incr("critical_works.rank_cache_hits")
+            return cached
+        if PERF.enabled:
+            PERF.incr("critical_works.rank_cache_misses")
         best_performance = self.pool.fastest().performance
         scored = [
             (job.chain_length(path, best_performance, level,
@@ -139,6 +164,7 @@ class CriticalWorksScheduler:
             for path in job.all_paths()
         ]
         scored.sort(key=lambda item: (-item[0], item[1]))
+        per_job[level] = scored
         return scored
 
     def build_schedule(self, job: Job,
@@ -278,9 +304,9 @@ class CriticalWorksScheduler:
             return False
         outcome.evaluations += tentative.evaluations
 
-        pending = list(tentative.placements)
+        pending = deque(tentative.placements)
         while pending:
-            placement = pending.pop(0)
+            placement = pending.popleft()
             calendar = working[placement.node_id]
             blockers = calendar.conflicts(placement.start, placement.end)
             if not blockers:
@@ -311,7 +337,7 @@ class CriticalWorksScheduler:
             if resolved is None:
                 return False
             outcome.evaluations += resolved.evaluations
-            pending = list(resolved.placements)
+            pending = deque(resolved.placements)
         return True
 
 

@@ -24,9 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
+from ..perf import PERF
 from .calendar import ReservationCalendar
 from .costs import CostModel, VolumeOverTimeCost
-from .job import Job
+from .job import DataTransfer, Job
 from .resources import ProcessorNode, ResourcePool
 from .schedule import Placement
 from .transfers import NeutralTransferModel, TransferModel
@@ -121,15 +122,36 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     if not nodes:
         return None
 
-    durations = {
-        (task_id, node.node_id): job.task(task_id).duration_on(
-            node.performance, level)
-        for task_id in chain for node in nodes
-    }
+    # Per-(transfer, src, dst) transfer times: the DP asks for the same
+    # lag once per state expansion, while the distinct combinations are
+    # few (edges × node pairs).
+    transfer_cache: dict[tuple[str, int, int], int] = {}
 
-    def external_release(task_id: str, node: ProcessorNode) -> int:
-        """Earliest start implied by already-placed predecessors."""
-        bound = release
+    def transfer_time(transfer: DataTransfer, src_node: ProcessorNode,
+                      dst_node: ProcessorNode) -> int:
+        key = (transfer.transfer_id, src_node.node_id, dst_node.node_id)
+        lag = transfer_cache.get(key)
+        if lag is None:
+            if PERF.enabled:
+                PERF.incr("dp.transfer_cache_misses")
+            lag = transfer_model.time(transfer, src_node, dst_node)
+            transfer_cache[key] = lag
+        elif PERF.enabled:
+            PERF.incr("dp.transfer_cache_hits")
+        return lag
+
+    # The external bounds (earliest start from already-placed
+    # predecessors, latest end from the deadline and placed successors)
+    # depend only on (task, node) — hoist them out of the DP inner
+    # loop.  The placed neighbours are collected once per task; only
+    # the transfer lags vary with the node.  Nodes that can never host
+    # a task (`floor + duration > ceiling` regardless of the data-ready
+    # time: the DP start bound is never below the external release) are
+    # dropped up front.
+    candidates: dict[str, list[tuple[ProcessorNode, int, int, int]]] = {}
+    for task_id in chain:
+        job_task = job.task(task_id)
+        placed_preds = []
         for pred in job.predecessors(task_id):
             placed = fixed.get(pred)
             if placed is None:
@@ -137,14 +159,9 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             transfer = job.transfer_between(pred, task_id)
             if transfer is None:  # pragma: no cover - predecessors have edges
                 continue
-            lag = transfer_model.time(transfer, pool.node(placed.node_id),
-                                      node)
-            bound = max(bound, placed.end + lag)
-        return bound
-
-    def latest_end(task_id: str, node: ProcessorNode) -> int:
-        """Latest end implied by the deadline and placed successors."""
-        bound = deadline
+            placed_preds.append(
+                (placed.end, transfer, pool.node(placed.node_id)))
+        placed_succs = []
         for succ in job.successors(task_id):
             placed = fixed.get(succ)
             if placed is None:
@@ -152,10 +169,28 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             transfer = job.transfer_between(task_id, succ)
             if transfer is None:  # pragma: no cover - successors have edges
                 continue
-            lag = transfer_model.time(transfer, node,
-                                      pool.node(placed.node_id))
-            bound = min(bound, placed.start - lag)
-        return bound
+            placed_succs.append(
+                (placed.start, transfer, pool.node(placed.node_id)))
+
+        rows = []
+        for node in nodes:
+            duration = job_task.duration_on(node.performance, level)
+            floor = release
+            for pred_end, transfer, src_node in placed_preds:
+                bound = pred_end + transfer_time(transfer, src_node, node)
+                if bound > floor:
+                    floor = bound
+            ceiling = deadline
+            for succ_start, transfer, dst_node in placed_succs:
+                bound = succ_start - transfer_time(transfer, node, dst_node)
+                if bound < ceiling:
+                    ceiling = bound
+            if floor + duration > ceiling:
+                continue
+            rows.append((node, duration, floor, ceiling))
+        # An empty row set is kept (not short-circuited) so the DP
+        # explores — and counts — exactly the states it always did.
+        candidates[task_id] = rows
 
     evaluations = 0
     # memo[(index, prev_node_id, ready)] -> (cost, finish, choice placement,
@@ -173,20 +208,36 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         if cached is not None:
             return cached[0], cached[1]
         evaluations += 1
+        if PERF.enabled:
+            PERF.incr("dp.expansions")
 
         task_id = chain[index]
         task = job.task(task_id)
         incoming = (job.transfer_between(chain[index - 1], task_id)
                     if index > 0 else None)
         prev_node = pool.node(prev_node_id) if prev_node_id is not None else None
+        no_incoming = incoming is None or prev_node is None
+        lag_cache_get = transfer_cache.get
 
         best = (_INFINITY, _INFINITY, None, None)
-        for node in nodes:
-            lag = (transfer_model.time(incoming, prev_node, node)
-                   if incoming is not None and prev_node is not None else 0)
-            start_bound = max(ready + lag, external_release(task_id, node))
-            end_bound = latest_end(task_id, node)
-            duration = durations[(task_id, node.node_id)]
+        for node, duration, floor, end_bound in candidates[task_id]:
+            if no_incoming:
+                start_bound = ready
+            else:
+                # Inlined transfer_time: this is the hottest lookup in
+                # the kernel, worth skipping the call overhead for.
+                lag_key = (incoming.transfer_id, prev_node_id, node.node_id)
+                lag = lag_cache_get(lag_key)
+                if lag is None:
+                    if PERF.enabled:
+                        PERF.incr("dp.transfer_cache_misses")
+                    lag = transfer_model.time(incoming, prev_node, node)
+                    transfer_cache[lag_key] = lag
+                elif PERF.enabled:
+                    PERF.incr("dp.transfer_cache_hits")
+                start_bound = ready + lag
+            if floor > start_bound:
+                start_bound = floor
             if start_bound + duration > end_bound:
                 continue
             start = calendars[node.node_id].earliest_fit(
@@ -197,7 +248,7 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             placement = Placement(task_id, node.node_id, start, end)
             own_cost = cost_model.task_cost(task, placement, node)
             tail_cost, tail_finish = best_from(index + 1, node.node_id, end)
-            if tail_cost is _INFINITY or tail_cost == _INFINITY:
+            if tail_cost == _INFINITY:
                 continue
             candidate = (own_cost + tail_cost, max(end, tail_finish),
                          placement, (index + 1, node.node_id, end))

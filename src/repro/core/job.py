@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from ..perf import PERF as _PERF
 from .units import ceil_units, interpolate, scale_duration
 
 __all__ = ["Task", "DataTransfer", "Job", "JobValidationError"]
@@ -60,6 +61,11 @@ class Task:
             raise ValueError(
                 f"worst_time ({self.worst_time}) must be >= best_time "
                 f"({self.best_time})")
+        # Durations are pure functions of the (frozen) estimates, and
+        # the DP asks for the same (performance, level) combinations on
+        # every state expansion — memoize them (not a dataclass field,
+        # so equality and repr are untouched).
+        object.__setattr__(self, "_duration_cache", {})
 
     def base_time(self, level: float = 0.0) -> int:
         """Base execution time at estimation ``level`` (0 = best, 1 = worst)."""
@@ -71,7 +77,13 @@ class Task:
 
     def duration_on(self, performance: float, level: float = 0.0) -> int:
         """Execution slots on a node of the given relative performance."""
-        return scale_duration(self.base_time(level), performance)
+        cache: dict = self._duration_cache  # type: ignore[attr-defined]
+        key = (performance, level)
+        duration = cache.get(key)
+        if duration is None:
+            duration = scale_duration(self.base_time(level), performance)
+            cache[key] = duration
+        return duration
 
 
 @dataclass(frozen=True)
@@ -163,6 +175,9 @@ class Job:
             self._pred[transfer.dst].append(transfer.src)
 
         self._topo_order = self._compute_topo_order()
+        # The DAG is immutable after construction, so path enumerations
+        # are memoized (keyed by the enumeration limit).
+        self._paths_cache: dict[int, list[list[str]]] = {}
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -237,7 +252,18 @@ class Job:
 
         ``limit`` bounds the enumeration on pathological graphs; the jobs
         in the paper's experiments have a handful of paths.
+
+        The result is memoized (jobs are immutable once built) and the
+        critical-works scheduler re-asks per estimation level — treat
+        the returned list as read-only.
         """
+        cached = self._paths_cache.get(limit)
+        if cached is not None:
+            if _PERF.enabled:
+                _PERF.incr("job.paths_cache_hits")
+            return cached
+        if _PERF.enabled:
+            _PERF.incr("job.paths_cache_misses")
         paths: list[list[str]] = []
 
         def descend(task_id: str, prefix: list[str]) -> None:
@@ -253,6 +279,7 @@ class Job:
 
         for source in self.sources():
             descend(source, [])
+        self._paths_cache[limit] = paths
         return paths
 
     def chain_length(self, chain: Sequence[str], performance: float = 1.0,

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from ..perf import PERF
 from .calendar import ReservationCalendar
 from .collisions import Collision
 from .costs import BalancedTimeCost, CostModel
@@ -303,11 +304,15 @@ class StrategyGenerator:
 
         schedules: list[SupportingSchedule] = []
         expense = 0
-        for level in spec.levels:
-            outcome = scheduler.build_schedule(scheduled_job, calendars,
-                                               level=level, release=release)
-            expense += outcome.evaluations
-            schedules.append(SupportingSchedule(level=level, outcome=outcome))
+        # One ranking cache services all levels below: the scheduler
+        # re-ranks critical works per level but enumerates the DAG once.
+        with PERF.timer("strategy.generate"):
+            for level in spec.levels:
+                outcome = scheduler.build_schedule(
+                    scheduled_job, calendars, level=level, release=release)
+                expense += outcome.evaluations
+                schedules.append(
+                    SupportingSchedule(level=level, outcome=outcome))
 
         return Strategy(job=job, scheduled_job=scheduled_job, stype=stype,
                         schedules=schedules, generation_expense=expense)

@@ -26,10 +26,11 @@ PAPER_ADMISSIBLE = {
 
 
 def run(n_jobs: int = 200, seed: int = 2009,
-        config: Optional[ApplicationStudyConfig] = None) -> ExperimentTable:
+        config: Optional[ApplicationStudyConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Regenerate the Fig. 3a percentages."""
     config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
-    aggregates = application_level_study(config)
+    aggregates = application_level_study(config, workers=workers)
 
     table = ExperimentTable(
         experiment_id="fig3a",

@@ -19,11 +19,12 @@ __all__ = ["run"]
 
 
 def run(n_jobs: int = 60, seed: int = 2009,
-        config: Optional[CoordinatedStudyConfig] = None) -> ExperimentTable:
+        config: Optional[CoordinatedStudyConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Regenerate the Fig. 4b relative bars."""
     config = config or CoordinatedStudyConfig(seed=seed, n_jobs=n_jobs,
                                               stypes=FIG4_TYPES)
-    rows = coordinated_flow_study(config)
+    rows = coordinated_flow_study(config, workers=workers)
 
     costs = {stype.value: rows[stype].cost_per_volume
              for stype in config.stypes}

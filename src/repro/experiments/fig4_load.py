@@ -22,11 +22,12 @@ FIG4A_TYPES = (StrategyType.S1, StrategyType.S2, StrategyType.S3)
 
 
 def run(n_jobs: int = 60, seed: int = 2009,
-        config: Optional[CoordinatedStudyConfig] = None) -> ExperimentTable:
+        config: Optional[CoordinatedStudyConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Regenerate the Fig. 4a load-level bars."""
     config = config or CoordinatedStudyConfig(seed=seed, n_jobs=n_jobs,
                                               stypes=FIG4A_TYPES)
-    rows = coordinated_flow_study(config)
+    rows = coordinated_flow_study(config, workers=workers)
 
     table = ExperimentTable(
         experiment_id="fig4a",

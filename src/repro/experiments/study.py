@@ -10,12 +10,21 @@
   family with job flows committed through the metascheduler.  Feeds
   Fig. 4a (load levels), Fig. 4b (cost / execution time), and Fig. 4c
   (time-to-live / start deviation).
+
+Both studies accept a ``workers`` argument: per-job ``streams.fork``
+seeding makes every study job independent and order-insensitive, so the
+fan-out (``concurrent.futures.ProcessPoolExecutor``) merges results in
+job order and is bit-identical to the sequential path for any worker
+count.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from itertools import repeat
+from typing import Any, Optional
 
 from ..core.resources import NodeGroup
 from ..core.strategy import StrategyGenerator, StrategyType
@@ -67,31 +76,108 @@ class ApplicationStudyConfig:
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
 
-def application_level_study(config: Optional[ApplicationStudyConfig] = None
-                            ) -> dict[StrategyType, StrategyAggregate]:
-    """Generate strategies for isolated random jobs and aggregate."""
-    config = config or ApplicationStudyConfig()
-    streams = RandomStreams(config.seed)
-    pool = generate_pool(streams.stream("pool"), config.workload)
-    policy_models = default_policy_models()
+def _effective_workers(workers: Optional[int], task_count: int) -> int:
+    """Clamp a worker request to something sensible for ``task_count``."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return min(workers, max(1, task_count))
 
-    strategies = []
-    for index in range(config.n_jobs):
-        job_rng = streams.fork("jobs", index)
-        job = generate_job(job_rng, index, config.workload)
-        subset = select_nodes_for_job(pool, streams.fork("nodes", index),
-                                      config.nodes_per_job)
-        environment = GridEnvironment(subset)
-        horizon = max(1, int(job.deadline * config.horizon_factor))
-        if config.busy_fraction > 0:
-            environment.apply_background_load(
-                streams.fork("background", index), config.busy_fraction,
-                horizon, max_burst=config.background_burst)
-        generator = StrategyGenerator(subset, policy_models)
-        calendars = environment.snapshot()
-        for stype in config.stypes:
-            strategies.append(generator.generate(job, calendars, stype))
+
+def _study_job_strategies(pool: Any, policy_models: Any,
+                          config: ApplicationStudyConfig, index: int) -> list:
+    """Generate the strategies of one study job.
+
+    Pure function of ``(config, index)`` given the shared pool: all
+    randomness flows through ``streams.fork(name, index)``, which seeds
+    from ``(seed, name, index)`` only — independent of generation order,
+    which is what makes the parallel fan-out bit-identical.
+    """
+    streams = RandomStreams(config.seed)
+    job = generate_job(streams.fork("jobs", index), index, config.workload)
+    subset = select_nodes_for_job(pool, streams.fork("nodes", index),
+                                  config.nodes_per_job)
+    environment = GridEnvironment(subset)
+    horizon = max(1, int(job.deadline * config.horizon_factor))
+    if config.busy_fraction > 0:
+        environment.apply_background_load(
+            streams.fork("background", index), config.busy_fraction,
+            horizon, max_burst=config.background_burst)
+    generator = StrategyGenerator(subset, policy_models)
+    calendars = environment.snapshot()
+    return [generator.generate(job, calendars, stype)
+            for stype in config.stypes]
+
+
+#: Per-process state of the study workers (pool + policy models are
+#: deterministic functions of the config, rebuilt once per process).
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_study_worker(config: ApplicationStudyConfig) -> None:
+    streams = RandomStreams(config.seed)
+    _WORKER_STATE["pool"] = generate_pool(streams.stream("pool"),
+                                          config.workload)
+    _WORKER_STATE["policy_models"] = default_policy_models()
+    _WORKER_STATE["config"] = config
+
+
+def _study_worker_job(index: int
+                      ) -> dict[StrategyType, StrategyAggregate]:
+    """One job's strategies, pre-aggregated.
+
+    Workers ship per-job aggregates (a handful of floats) rather than
+    whole strategies, so the IPC payload stays small; the parent merges
+    them in job order, which is exactly the fold the sequential path
+    performs.
+    """
+    strategies = _study_job_strategies(_WORKER_STATE["pool"],
+                                       _WORKER_STATE["policy_models"],
+                                       _WORKER_STATE["config"], index)
     return aggregate_strategies(strategies)
+
+
+def application_level_study(config: Optional[ApplicationStudyConfig] = None,
+                            workers: Optional[int] = 1
+                            ) -> dict[StrategyType, StrategyAggregate]:
+    """Generate strategies for isolated random jobs and aggregate.
+
+    ``workers`` > 1 fans the jobs out over a process pool; results are
+    merged in job order, so the aggregates are bit-identical to the
+    sequential path for any worker count (``None``: one per CPU).
+    """
+    config = config or ApplicationStudyConfig()
+    workers = _effective_workers(workers, config.n_jobs)
+
+    if workers <= 1:
+        streams = RandomStreams(config.seed)
+        pool = generate_pool(streams.stream("pool"), config.workload)
+        policy_models = default_policy_models()
+        strategies = []
+        for index in range(config.n_jobs):
+            strategies.extend(_study_job_strategies(
+                pool, policy_models, config, index))
+        return aggregate_strategies(strategies)
+
+    merged: dict[StrategyType, StrategyAggregate] = {}
+    chunksize = max(1, config.n_jobs // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_study_worker,
+                             initargs=(config,)) as executor:
+        # `map` yields in submission order — the deterministic merge:
+        # folding per-job aggregates in job order reproduces the
+        # sequential fold sample for sample.
+        for job_aggregates in executor.map(_study_worker_job,
+                                           range(config.n_jobs),
+                                           chunksize=chunksize):
+            for stype, aggregate in job_aggregates.items():
+                bucket = merged.get(stype)
+                if bucket is None:
+                    merged[stype] = aggregate
+                else:
+                    bucket.merge(aggregate)
+    return merged
 
 
 @dataclass(frozen=True)
@@ -135,90 +221,102 @@ class CoordinatedRow:
     switches: float = 0.0
 
 
-def coordinated_flow_study(config: Optional[CoordinatedStudyConfig] = None
+def _coordinated_family(config: CoordinatedStudyConfig,
+                        stype: StrategyType) -> CoordinatedRow:
+    """One family's full shared-environment run (independent seeds)."""
+    policy_models = default_policy_models()
+    streams = RandomStreams(config.seed)
+    pool = generate_pool(streams.stream("pool"), config.workload)
+    environment = GridEnvironment(pool)
+    if config.busy_fraction > 0:
+        environment.apply_background_load(
+            streams.stream("background"), config.busy_fraction,
+            config.horizon)
+    generator = StrategyGenerator(pool, policy_models)
+    row = CoordinatedRow(stype=stype)
+    costs, stretches, ttls, deviations, switches = [], [], [], [], []
+    completions = []
+
+    for index in range(config.n_jobs):
+        job_rng = streams.fork("jobs", index)
+        job = generate_job(job_rng, index, config.workload)
+        release = int(streams.fork("release", index).integers(
+            0, max(1, int(config.horizon * 0.6))))
+        actual_rng = streams.fork("actual", index)
+        actual_level = float(actual_rng.uniform(0.0, 1.0))
+        noise = float(actual_rng.uniform(-config.forecast_noise,
+                                         config.forecast_noise))
+        forecast_level = min(1.0, max(0.0, actual_level + noise))
+
+        calendars = environment.snapshot()
+        strategy = generator.generate(job, calendars, stype,
+                                      release=release)
+        chosen = (strategy.cheapest_covering(forecast_level)
+                  or strategy.best_schedule())
+        if chosen is None or not environment.can_commit(
+                chosen.distribution):
+            row.rejected += 1
+            continue
+        environment.commit_distribution(chosen.distribution)
+        row.committed += 1
+
+        scheduled = strategy.scheduled_job
+        costs.append(chosen.outcome.cost / scheduled.total_volume())
+
+        # Replay with the *actual* level: when the activated variant
+        # planned below it (forecast undershoot), producers run past
+        # their reservations and successors start late — the start-
+        # deviation source of Fig. 4c.
+        trace = simulate_execution(
+            scheduled, chosen.distribution, pool,
+            actual_level=actual_level,
+            transfer_model=policy_models[strategy.spec.policy])
+        best_work = sum(task.best_time
+                        for task in scheduled.tasks.values())
+        reserved = sum(p.duration for p in chosen.distribution)
+        stretches.append(reserved / best_work if best_work else 0.0)
+        critical_path = max(1, job.minimal_makespan(1.0))
+        completions.append(
+            (chosen.distribution.makespan - release) / critical_path)
+        deviations.append(trace.deviation_to_runtime_ratio())
+
+        drift = environment.sample_background_events(
+            streams.fork("drift", index), config.drift_rate,
+            config.horizon)
+        ttl_result = strategy_time_to_live(
+            strategy, drift, horizon=config.horizon,
+            min_level=forecast_level)
+        ttls.append(ttl_result.ttl)
+        switches.append(ttl_result.switches)
+
+    row.load_by_group = environment.utilization_by_group_tagged(
+        0, config.horizon)
+    row.cost_per_volume = mean(costs)
+    row.execution_stretch = mean(stretches)
+    row.completion_stretch = mean(completions)
+    row.ttl = mean(ttls)
+    row.start_deviation_ratio = mean(deviations)
+    row.switches = mean(switches)
+    return row
+
+
+def coordinated_flow_study(config: Optional[CoordinatedStudyConfig] = None,
+                           workers: Optional[int] = 1
                            ) -> dict[StrategyType, CoordinatedRow]:
     """Run the shared-environment study once per strategy family.
 
     Every family sees the *same* jobs, node pool, background load, and
     drift events (identical seeds), so differences between rows are the
-    strategies' doing.
+    strategies' doing.  Families are mutually independent (each owns a
+    fresh environment), so ``workers`` > 1 fans them out over processes;
+    rows merge in family order and match the sequential results exactly.
     """
     config = config or CoordinatedStudyConfig()
-    policy_models = default_policy_models()
-    results: dict[StrategyType, CoordinatedRow] = {}
-
-    for stype in config.stypes:
-        streams = RandomStreams(config.seed)
-        pool = generate_pool(streams.stream("pool"), config.workload)
-        environment = GridEnvironment(pool)
-        if config.busy_fraction > 0:
-            environment.apply_background_load(
-                streams.stream("background"), config.busy_fraction,
-                config.horizon)
-        generator = StrategyGenerator(pool, policy_models)
-        row = CoordinatedRow(stype=stype)
-        costs, stretches, ttls, deviations, switches = [], [], [], [], []
-        completions = []
-
-        for index in range(config.n_jobs):
-            job_rng = streams.fork("jobs", index)
-            job = generate_job(job_rng, index, config.workload)
-            release = int(streams.fork("release", index).integers(
-                0, max(1, int(config.horizon * 0.6))))
-            actual_rng = streams.fork("actual", index)
-            actual_level = float(actual_rng.uniform(0.0, 1.0))
-            noise = float(actual_rng.uniform(-config.forecast_noise,
-                                             config.forecast_noise))
-            forecast_level = min(1.0, max(0.0, actual_level + noise))
-
-            calendars = environment.snapshot()
-            strategy = generator.generate(job, calendars, stype,
-                                          release=release)
-            chosen = (strategy.cheapest_covering(forecast_level)
-                      or strategy.best_schedule())
-            if chosen is None or not environment.can_commit(
-                    chosen.distribution):
-                row.rejected += 1
-                continue
-            environment.commit_distribution(chosen.distribution)
-            row.committed += 1
-
-            scheduled = strategy.scheduled_job
-            costs.append(chosen.outcome.cost / scheduled.total_volume())
-
-            # Replay with the *actual* level: when the activated variant
-            # planned below it (forecast undershoot), producers run past
-            # their reservations and successors start late — the start-
-            # deviation source of Fig. 4c.
-            trace = simulate_execution(
-                scheduled, chosen.distribution, pool,
-                actual_level=actual_level,
-                transfer_model=policy_models[strategy.spec.policy])
-            best_work = sum(task.best_time
-                            for task in scheduled.tasks.values())
-            reserved = sum(p.duration for p in chosen.distribution)
-            stretches.append(reserved / best_work if best_work else 0.0)
-            critical_path = max(1, job.minimal_makespan(1.0))
-            completions.append(
-                (chosen.distribution.makespan - release) / critical_path)
-            deviations.append(trace.deviation_to_runtime_ratio())
-
-            drift = environment.sample_background_events(
-                streams.fork("drift", index), config.drift_rate,
-                config.horizon)
-            ttl_result = strategy_time_to_live(
-                strategy, drift, horizon=config.horizon,
-                min_level=forecast_level)
-            ttls.append(ttl_result.ttl)
-            switches.append(ttl_result.switches)
-
-        row.load_by_group = environment.utilization_by_group_tagged(
-            0, config.horizon)
-        row.cost_per_volume = mean(costs)
-        row.execution_stretch = mean(stretches)
-        row.completion_stretch = mean(completions)
-        row.ttl = mean(ttls)
-        row.start_deviation_ratio = mean(deviations)
-        row.switches = mean(switches)
-        results[stype] = row
-    return results
+    workers = _effective_workers(workers, len(config.stypes))
+    if workers <= 1:
+        return {stype: _coordinated_family(config, stype)
+                for stype in config.stypes}
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        rows = list(executor.map(_coordinated_family, repeat(config),
+                                 config.stypes))
+    return dict(zip(config.stypes, rows))

@@ -45,6 +45,25 @@ class StrategyAggregate:
             self.costs.append(best.outcome.cost)
             self.makespans.append(best.outcome.makespan)
 
+    def merge(self, other: "StrategyAggregate") -> None:
+        """Fold another aggregate of the same family into this one.
+
+        Appending ``other``'s samples in order keeps the merged lists
+        identical to adding the underlying strategies directly — the
+        parallel study runner relies on this for its deterministic,
+        bit-identical merge.
+        """
+        if other.stype is not self.stype:
+            raise ValueError(
+                f"cannot merge {other.stype} aggregate into {self.stype}")
+        self.jobs += other.jobs
+        self.admissible_jobs += other.admissible_jobs
+        self.collisions = self.collisions.merge(other.collisions)
+        self.generation_expense += other.generation_expense
+        self.costs.extend(other.costs)
+        self.makespans.extend(other.makespans)
+        self.coverages.extend(other.coverages)
+
     @property
     def admissible_pct(self) -> float:
         """Fig. 3a: percentage of jobs with an admissible schedule."""

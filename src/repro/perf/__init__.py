@@ -1,0 +1,29 @@
+"""Performance instrumentation: counters, timers, pinned benchmarks.
+
+The scheduling kernel reports into a process-global
+:class:`~repro.perf.registry.PerfRegistry` (``PERF``) when it is
+enabled; the hot paths guard every report behind ``PERF.enabled`` so
+the disabled-by-default cost is a single attribute read.  ``repro
+perf`` runs the pinned kernel workloads of :mod:`repro.perf.bench`
+and emits a ``BENCH_kernel.json``-style report that CI compares
+against the committed baseline.
+"""
+
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_reports,
+    format_comparison,
+    measure_speedup,
+    run_kernel_bench,
+)
+from .registry import PERF, PerfRegistry
+
+__all__ = [
+    "PERF",
+    "PerfRegistry",
+    "BENCH_SCHEMA_VERSION",
+    "run_kernel_bench",
+    "compare_reports",
+    "format_comparison",
+    "measure_speedup",
+]

@@ -1,0 +1,186 @@
+"""Pinned kernel benchmark: fixed workloads, JSON reports, comparison.
+
+``run_kernel_bench`` times three seeded, deterministic workloads that
+together cover the scheduling kernel's hot paths:
+
+``study_fig3a``
+    The Fig. 3a application-level study at a pinned scale — strategy
+    generation end to end (DP, calendars, critical-works ranking).
+``critical_works_fig2``
+    200 repetitions of the paper's Fig. 2 worked example against empty
+    calendars — the critical-works method without background load.
+``calendar_ops``
+    A reservation-calendar micro-workload: 1 000 bookings, 2 000
+    ``conflicts``/``earliest_fit`` queries, one what-if copy.
+
+The report also embeds one :class:`~repro.perf.registry.PerfRegistry`
+snapshot of the study workload, so counter drift (e.g. a cache that
+stopped hitting) is visible next to the timings.  ``compare_reports``
+diffs two reports for CI's warn-only regression gate.
+
+Workload imports are lazy: the kernel imports :mod:`repro.perf` for the
+``PERF`` registry, so this module must not import the kernel at module
+scope.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable, Optional
+
+from .registry import PERF
+
+__all__ = ["BENCH_SCHEMA_VERSION", "run_kernel_bench", "compare_reports",
+           "format_comparison"]
+
+#: Bump when the pinned workloads change incompatibly; comparisons
+#: across schema versions are refused.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default warn threshold: flag a workload slower than baseline by more
+#: than this fraction.  Generous because CI machines are noisy and the
+#: gate is warn-only.
+DEFAULT_THRESHOLD = 0.30
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall seconds over ``repeats`` runs (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
+                     workers: Optional[int] = 1) -> dict[str, Any]:
+    """Run the pinned kernel workloads and return a JSON-ready report."""
+    from ..core.calendar import ReservationCalendar
+    from ..core.critical_works import CriticalWorksScheduler
+    from ..experiments.study import (ApplicationStudyConfig,
+                                     application_level_study)
+    from ..workload.paper_example import fig2_job, fig2_pool
+
+    config = ApplicationStudyConfig(seed=seed, n_jobs=jobs)
+
+    def study() -> None:
+        application_level_study(config, workers=workers)
+
+    pool, job = fig2_pool(), fig2_job()
+    scheduler = CriticalWorksScheduler(pool)
+
+    def critical_works() -> None:
+        for _ in range(200):
+            calendars = {node.node_id: ReservationCalendar()
+                         for node in pool}
+            scheduler.build_schedule(job, calendars)
+
+    def calendar_ops() -> int:
+        calendar = ReservationCalendar()
+        for index in range(1_000):
+            calendar.reserve(index * 5, index * 5 + 3, tag=f"r{index}")
+        hits = 0
+        for index in range(2_000):
+            hits += len(calendar.conflicts(index * 2, index * 2 + 4))
+            calendar.earliest_fit(2, earliest=index, deadline=index + 5_000)
+        calendar.copy()
+        return hits
+
+    report: dict[str, Any] = {
+        "benchmark": "kernel",
+        "schema": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "workloads": {
+            "study_fig3a": {
+                "seconds": round(_best_of(study, repeats), 6),
+                "jobs": jobs, "seed": seed, "workers": workers,
+            },
+            "critical_works_fig2": {
+                "seconds": round(_best_of(critical_works, repeats), 6),
+                "repetitions": 200,
+            },
+            "calendar_ops": {
+                "seconds": round(_best_of(calendar_ops, repeats), 6),
+                "reservations": 1_000, "queries": 2_000,
+            },
+        },
+    }
+
+    # One instrumented study pass: the counters document how hard the
+    # kernel worked and how well its caches performed.
+    with PERF.collecting() as registry:
+        application_level_study(config, workers=1)
+        snapshot = registry.snapshot()
+    report["counters"] = snapshot["counters"]
+    report["timers"] = snapshot["timers"]
+    return report
+
+
+def compare_reports(baseline: dict[str, Any], current: dict[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD
+                    ) -> list[dict[str, Any]]:
+    """Per-workload comparison rows; ``regressed`` marks slowdowns.
+
+    A workload regresses when its time exceeds the baseline by more
+    than ``threshold`` (fractional).  Workloads present on only one
+    side are skipped.
+    """
+    if baseline.get("schema") != current.get("schema"):
+        raise ValueError(
+            f"benchmark schema mismatch: baseline "
+            f"{baseline.get('schema')!r} vs current {current.get('schema')!r}")
+    rows: list[dict[str, Any]] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, entry in current.get("workloads", {}).items():
+        base_entry = base_workloads.get(name)
+        if base_entry is None:
+            continue
+        base_seconds = float(base_entry["seconds"])
+        seconds = float(entry["seconds"])
+        ratio = seconds / base_seconds if base_seconds > 0 else float("inf")
+        rows.append({
+            "workload": name,
+            "baseline_seconds": base_seconds,
+            "seconds": seconds,
+            "ratio": round(ratio, 3),
+            "regressed": ratio > 1.0 + threshold,
+        })
+    return rows
+
+
+def format_comparison(rows: list[dict[str, Any]],
+                      threshold: float = DEFAULT_THRESHOLD) -> str:
+    """A human-readable table of :func:`compare_reports` rows."""
+    lines = [f"{'workload':<24} {'baseline':>10} {'current':>10} "
+             f"{'ratio':>7}  status"]
+    for row in rows:
+        status = ("REGRESSED" if row["regressed"]
+                  else "ok" if row["ratio"] >= 1.0 else "faster")
+        lines.append(
+            f"{row['workload']:<24} {row['baseline_seconds']:>9.4f}s "
+            f"{row['seconds']:>9.4f}s {row['ratio']:>6.2f}x  {status}")
+    regressed = [row["workload"] for row in rows if row["regressed"]]
+    if regressed:
+        lines.append(f"warning: {len(regressed)} workload(s) slower than "
+                     f"baseline by >{threshold:.0%}: {', '.join(regressed)}")
+    else:
+        lines.append(f"all workloads within {threshold:.0%} of baseline")
+    return "\n".join(lines)
+
+
+def measure_speedup(baseline: dict[str, Any], current: dict[str, Any]
+                    ) -> Optional[float]:
+    """Aggregate speedup (geometric mean of baseline/current ratios)."""
+    rows = compare_reports(baseline, current, threshold=float("inf"))
+    if not rows:
+        return None
+    product = 1.0
+    for row in rows:
+        if row["seconds"] <= 0:
+            return None
+        product *= row["baseline_seconds"] / row["seconds"]
+    return product ** (1.0 / len(rows))

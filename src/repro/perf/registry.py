@@ -1,0 +1,138 @@
+"""A lightweight counter/timer registry for the scheduling kernel.
+
+Hot paths report with the pattern::
+
+    from ..perf import PERF
+    ...
+    if PERF.enabled:
+        PERF.incr("calendar.conflicts")
+
+so the disabled cost is one attribute read and one branch.  The
+registry is process-global and *not* thread-safe by design: the
+parallel study runner fans out over processes, and each process owns
+its own registry.
+
+Counter names reported by the kernel
+------------------------------------
+
+``calendar.conflicts``
+    Overlap queries answered by :meth:`ReservationCalendar.conflicts`.
+``calendar.is_free``
+    Boolean availability probes (O(log n) fast path).
+``calendar.earliest_fit``
+    Lazy first-fit searches over free windows.
+``calendar.cow_copies``
+    What-if snapshots taken via copy-on-write (O(1) each).
+``calendar.materializations``
+    Snapshots that were actually written to and paid the list copy.
+``dp.expansions``
+    DP state expansions — the paper's strategy-generation expense.
+``dp.transfer_cache_hits`` / ``dp.transfer_cache_misses``
+    Per-``(transfer, src, dst)`` transfer-time memoization.
+``critical_works.rank_cache_hits`` / ``..._misses``
+    Reuse of the per-(job, level) critical-works ranking.
+``job.paths_cache_hits`` / ``job.paths_cache_misses``
+    Reuse of the per-job source→sink path enumeration.
+
+Timer names
+-----------
+
+``strategy.generate``
+    Wall time spent building whole strategies (all levels).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PerfRegistry", "PERF"]
+
+
+class PerfRegistry:
+    """Process-global performance counters and phase timers."""
+
+    __slots__ = ("enabled", "counters", "timers")
+
+    def __init__(self) -> None:
+        #: Hot paths check this flag before reporting; keep it cheap.
+        self.enabled: bool = False
+        self.counters: dict[str, int] = {}
+        #: Accumulated wall seconds per phase name.
+        self.timers: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start collecting (does not clear previous numbers)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting; accumulated numbers stay readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every counter and timer."""
+        self.counters.clear()
+        self.timers.clear()
+
+    @contextmanager
+    def collecting(self, reset: bool = True) -> Iterator["PerfRegistry"]:
+        """Enable within a block, restoring the previous state after."""
+        was_enabled = self.enabled
+        if reset:
+            self.reset()
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = was_enabled
+
+    # ------------------------------------------------------------------
+    # Reporting (call sites guard on ``enabled``)
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the block's wall time under ``name``.
+
+        Reports only when the registry is enabled at entry, so call
+        sites can use it unconditionally.
+        """
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """A JSON-ready copy of the current numbers."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {name: round(seconds, 6)
+                       for name, seconds in sorted(self.timers.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "on" if self.enabled else "off"
+        return (f"<PerfRegistry {state}: {len(self.counters)} counters, "
+                f"{len(self.timers)} timers>")
+
+
+#: The process-global registry the kernel reports into.
+PERF = PerfRegistry()

@@ -1,0 +1,107 @@
+"""Tests for the pinned kernel benchmark and its comparison helpers."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    compare_reports,
+    format_comparison,
+    measure_speedup,
+    run_kernel_bench,
+)
+
+
+def make_report(**seconds):
+    return {
+        "benchmark": "kernel",
+        "schema": BENCH_SCHEMA_VERSION,
+        "workloads": {name: {"seconds": value}
+                      for name, value in seconds.items()},
+    }
+
+
+def test_run_kernel_bench_report_shape():
+    report = run_kernel_bench(jobs=2, repeats=1)
+    assert report["schema"] == BENCH_SCHEMA_VERSION
+    assert set(report["workloads"]) == {
+        "study_fig3a", "critical_works_fig2", "calendar_ops"}
+    for entry in report["workloads"].values():
+        assert entry["seconds"] > 0
+    assert report["counters"]["dp.expansions"] > 0
+    assert report["timers"]["strategy.generate"] > 0
+    json.dumps(report)  # must be JSON-serializable as-is
+
+
+def test_compare_reports_flags_only_regressions():
+    baseline = make_report(a=1.0, b=1.0, c=1.0)
+    current = make_report(a=1.5, b=1.1, c=0.5)
+    rows = {row["workload"]: row
+            for row in compare_reports(baseline, current, threshold=0.30)}
+    assert rows["a"]["regressed"] is True
+    assert rows["b"]["regressed"] is False  # within the 30% tolerance
+    assert rows["c"]["regressed"] is False
+    assert rows["c"]["ratio"] == 0.5
+
+
+def test_compare_reports_skips_unmatched_and_checks_schema():
+    baseline = make_report(a=1.0)
+    current = make_report(a=1.0, brand_new=9.9)
+    assert len(compare_reports(baseline, current)) == 1
+    baseline["schema"] = BENCH_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema mismatch"):
+        compare_reports(baseline, current)
+
+
+def test_format_comparison_mentions_regressions():
+    baseline = make_report(a=1.0, b=1.0)
+    rows = compare_reports(baseline, make_report(a=2.0, b=0.9))
+    text = format_comparison(rows)
+    assert "REGRESSED" in text and "warning" in text
+    clean = compare_reports(baseline, make_report(a=1.0, b=0.9))
+    assert "within" in format_comparison(clean)
+
+
+def test_measure_speedup_geometric_mean():
+    baseline = make_report(a=4.0, b=1.0)
+    current = make_report(a=1.0, b=1.0)
+    assert measure_speedup(baseline, current) == pytest.approx(2.0)
+    assert measure_speedup(make_report(), make_report()) is None
+
+
+def test_committed_baseline_is_comparable():
+    """The committed BENCH_kernel.json stays loadable and schema-current."""
+    path = Path(__file__).parents[2] / "benchmarks" / "BENCH_kernel.json"
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    assert baseline["schema"] == BENCH_SCHEMA_VERSION
+    rows = compare_reports(baseline, baseline)
+    assert len(rows) == 3
+    assert not any(row["regressed"] for row in rows)
+    assert baseline["geometric_mean_speedup_vs_reference"] > 1.0
+
+
+def test_cli_perf_smoke(tmp_path, capsys):
+    """`repro perf` runs end to end, writes JSON, and compares."""
+    out = tmp_path / "bench.json"
+    assert main(["perf", "--jobs", "2", "--repeats", "1",
+                 "--json", str(out)]) == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["schema"] == BENCH_SCHEMA_VERSION
+    capsys.readouterr()
+
+    assert main(["perf", "--jobs", "2", "--repeats", "1",
+                 "--compare", str(out), "--threshold", "1000"]) == 0
+    assert "workload" in capsys.readouterr().out
+
+    # Strict mode turns a regression into a non-zero exit.
+    shrunk = dict(report)
+    shrunk["workloads"] = {
+        name: {**entry, "seconds": entry["seconds"] / 1000}
+        for name, entry in report["workloads"].items()}
+    out.write_text(json.dumps(shrunk), encoding="utf-8")
+    assert main(["perf", "--jobs", "2", "--repeats", "1",
+                 "--compare", str(out), "--strict"]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
