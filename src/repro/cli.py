@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "workload is flagged (default 0.30)")
     perf.add_argument("--strict", action="store_true",
                       help="exit non-zero when a workload regressed")
+    perf.add_argument("--workloads", metavar="NAME", nargs="+", default=None,
+                      help="run only the named pinned workloads (CI gates "
+                           "strictly on the fast micro scenarios this way)")
 
     analyze = commands.add_parser(
         "analyze",
@@ -181,7 +184,8 @@ def _run_perf(args: argparse.Namespace) -> int:
 
     report = run_kernel_bench(jobs=args.jobs, seed=args.seed,
                               repeats=args.repeats,
-                              workers=args.workers or None)
+                              workers=args.workers or None,
+                              workloads=args.workloads)
     print(json.dumps(report, indent=2))
 
     if args.json is not None:

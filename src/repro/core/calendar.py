@@ -10,6 +10,7 @@ schedules.
 from __future__ import annotations
 
 import bisect
+import itertools
 import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
@@ -17,6 +18,15 @@ from typing import Iterable, Iterator, Optional
 from ..perf import PERF
 
 __all__ = ["Reservation", "ReservationConflict", "ReservationCalendar"]
+
+#: Process-global version clock shared by every calendar.  Each mutation
+#: draws a fresh tick, so a version value identifies one concrete
+#: reservation content: two calendars reporting the same ``version`` are
+#: guaranteed to hold identical reservations (they share an unmutated
+#: copy-on-write lineage).  Cached query results keyed on
+#: ``(node, version, ...)`` are therefore exact and invalidate in
+#: O(nodes touched) — a mutated node simply stops matching its old keys.
+_VERSION_CLOCK = itertools.count(1)
 
 #: Sort key for end-based bisection (ends are sorted too: reservations
 #: are disjoint and start-sorted, so ``end_i <= start_{i+1} < end_{i+1}``).
@@ -65,8 +75,21 @@ class ReservationCalendar:
         self._reservations: list[Reservation] = []
         self._starts: list[int] = []
         self._shared = False
+        self._version = next(_VERSION_CLOCK)
         for reservation in sorted(reservations, key=lambda r: r.start):
             self.reserve(reservation.start, reservation.end, reservation.tag)
+
+    @property
+    def version(self) -> int:
+        """Monotonic content epoch; equal versions ⇒ identical contents.
+
+        Bumped (to a process-globally fresh value) by every mutation.
+        Copy-on-write clones share their parent's version until either
+        side mutates, so an unchanged node keeps one stable version
+        across what-if snapshots — the anchor for exact caching with
+        O(nodes touched) invalidation.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._reservations)
@@ -92,6 +115,7 @@ class ReservationCalendar:
         clone._reservations = self._reservations
         clone._starts = self._starts
         clone._shared = True
+        clone._version = self._version
         self._shared = True
         return clone
 
@@ -222,6 +246,7 @@ class ReservationCalendar:
         index = bisect.bisect_left(self._starts, start)
         self._reservations.insert(index, reservation)
         self._starts.insert(index, start)
+        self._version = next(_VERSION_CLOCK)
         return reservation
 
     def release(self, reservation: Reservation) -> None:
@@ -233,6 +258,7 @@ class ReservationCalendar:
         self._materialize()
         del self._reservations[index]
         del self._starts[index]
+        self._version = next(_VERSION_CLOCK)
 
     def release_tag(self, tag: str) -> int:
         """Remove every reservation with the given tag; returns the count."""
@@ -242,6 +268,7 @@ class ReservationCalendar:
             self._reservations = keep
             self._starts = [r.start for r in keep]
             self._shared = False
+            self._version = next(_VERSION_CLOCK)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -34,7 +34,15 @@ __all__ = [
 
 
 class CostModel(Protocol):
-    """Anything that can price a single task placement."""
+    """Anything that can price a single task placement.
+
+    A model may additionally declare ``time_invariant = True`` to state
+    that :meth:`task_cost` depends only on the placement's *duration*,
+    never its start slot.  The DP kernel uses the declaration to price
+    candidate rows once and to bound partial chains during warm-started
+    search (:func:`repro.core.dp.allocate_chain`); models that price by
+    wall-clock position (peak-hour tariffs, say) must leave it unset.
+    """
 
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:
@@ -44,6 +52,9 @@ class CostModel(Protocol):
 
 class VolumeOverTimeCost:
     """The paper's ``CF`` term: ``ceil(V_i / T_i)``."""
+
+    #: ``ceil(V_i / T_i)`` reads only the reservation length.
+    time_invariant = True
 
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:
@@ -62,6 +73,9 @@ class BalancedTimeCost:
     The default weight was calibrated so the Fig. 3b collision split
     lands near the paper's 56/44 (see EXPERIMENTS.md).
     """
+
+    #: Wall time plus CF — both functions of the duration alone.
+    time_invariant = True
 
     def __init__(self, cf_weight: float = 2.5):
         if cf_weight < 0:
@@ -82,6 +96,9 @@ class PricedTimeCost:
     Used by the VO economics module where resource owners publish per-slot
     prices (possibly adjusted dynamically).
     """
+
+    #: Rate × duration × surge — no dependence on the start slot.
+    time_invariant = True
 
     def __init__(self, surge: float = 1.0):
         if surge <= 0:

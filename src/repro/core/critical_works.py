@@ -122,6 +122,46 @@ class CriticalWorksScheduler:
         #: so retired jobs do not accumulate.
         self._ranking_cache: "weakref.WeakKeyDictionary[Job, dict[float, list[tuple[int, list[str]]]]]" \
             = weakref.WeakKeyDictionary()
+        #: Shared ``earliest_fit`` memo, bucketed on (node, calendar
+        #: version, duration, deadline) with interval witnesses inside
+        #: each bucket (see :func:`repro.core.dp.allocate_chain`).
+        #: Calendar versions
+        #: (see :attr:`~repro.core.calendar.ReservationCalendar.version`)
+        #: make every entry exact for as long as its node is untouched,
+        #: so the memo carries across estimation levels, repair retries,
+        #: and — in online runs — across arrivals.  Bounded: cleared
+        #: wholesale once it outgrows :attr:`_FIT_CACHE_LIMIT`.
+        self._fit_cache: dict[tuple, object] = {}
+        #: Per-job transfer-lag memos: lags depend only on (edge, src
+        #: node, dst node) for a fixed transfer model, so one dict per
+        #: job serves every chain, estimation level, and repair retry.
+        #: Weakly keyed, like the ranking cache.
+        self._transfer_caches: "weakref.WeakKeyDictionary[Job, dict[tuple[str, int, int], int]]" \
+            = weakref.WeakKeyDictionary()
+        #: Per-job duration memos: durations are pure in (task, node,
+        #: level), so one dict per job serves every phase, level, and
+        #: repair retry.  Weakly keyed, like the transfer memos.
+        self._duration_caches: "weakref.WeakKeyDictionary[Job, dict[tuple[str, int, float], int]]" \
+            = weakref.WeakKeyDictionary()
+
+    #: Bucket bound for :attr:`_fit_cache`; buckets hold a handful of
+    #: (earliest, deadline) entries each, so this caps the memo in the
+    #: tens of MB before it is dropped and rebuilt.
+    _FIT_CACHE_LIMIT = 1 << 16
+
+    def _transfer_cache_for(self, job: Job) -> dict[tuple[str, int, int], int]:
+        cache = self._transfer_caches.get(job)
+        if cache is None:
+            cache = {}
+            self._transfer_caches[job] = cache
+        return cache
+
+    def _duration_cache_for(self, job: Job) -> dict[tuple[str, int, float], int]:
+        cache = self._duration_caches.get(job)
+        if cache is None:
+            cache = {}
+            self._duration_caches[job] = cache
+        return cache
 
     def _allowed_nodes(self, job: Job) -> Optional[set[int]]:
         if not self.monopolize:
@@ -169,16 +209,27 @@ class CriticalWorksScheduler:
 
     def build_schedule(self, job: Job,
                        calendars: Mapping[int, ReservationCalendar],
-                       level: float = 0.0, release: int = 0
+                       level: float = 0.0, release: int = 0,
+                       warm_hint: Optional[Mapping[str, int]] = None
                        ) -> SchedulingOutcome:
         """Run the critical works method once at one estimation level.
 
         ``calendars`` describe the environment load (background
         reservations of independent job flows); they are *not* mutated —
         booking the resulting distribution is the caller's decision.
+
+        ``warm_hint`` optionally maps task ids to node ids from an
+        adjacent estimation level's distribution; the DP uses it as a
+        branch-and-bound incumbent.  The outcome is bit-identical with
+        or without a hint — only ``evaluations`` (and the wall time)
+        drops.  See :func:`repro.core.dp.allocate_chain`.
         """
         outcome = SchedulingOutcome(job_id=job.job_id, distribution=None,
                                     admissible=False, level=level)
+        if len(self._fit_cache) > self._FIT_CACHE_LIMIT:
+            if PERF.enabled:
+                PERF.incr("dp.fit_cache_evictions")
+            self._fit_cache.clear()
         deadline = release + job.deadline if job.deadline else None
         if deadline is None:
             # No fixed completion time: bound by a generous horizon so the
@@ -188,13 +239,13 @@ class CriticalWorksScheduler:
 
         allowed = self._allowed_nodes(job)
         placed = self._attempt(job, calendars, deadline, level, release,
-                               outcome, allowed)
+                               outcome, allowed, warm_hint)
         if placed is None and allowed is not None:
             # The monopolized top-performance set could not host the job;
             # fall back to the whole pool (S3 keeps its coarse tasks and
             # static data policy but gives up the monopoly).
             placed = self._attempt(job, calendars, deadline, level,
-                                   release, outcome, None)
+                                   release, outcome, None, warm_hint)
         if placed is None:
             return outcome
 
@@ -234,7 +285,8 @@ class CriticalWorksScheduler:
                  calendars: Mapping[int, ReservationCalendar],
                  deadline: int, level: float, release: int,
                  outcome: SchedulingOutcome,
-                 allowed: Optional[set[int]]
+                 allowed: Optional[set[int]],
+                 warm_hint: Optional[Mapping[str, int]] = None
                  ) -> Optional[dict[str, Placement]]:
         """One full critical-works pass; None when the job cannot fit.
 
@@ -247,6 +299,10 @@ class CriticalWorksScheduler:
         working = {node.node_id: calendars[node.node_id].copy()
                    for node in self.pool}
         placed: dict[str, Placement] = {}
+        # Repairs release already-placed descendants; remembering their
+        # nodes keeps the retried (extended) segment warm-startable even
+        # where the adjacent level made different choices.
+        hint = dict(warm_hint) if warm_hint else None
         paths = [path for _, path in self.critical_works(job, level)]
         repairs = 0
         index = 0
@@ -255,7 +311,7 @@ class CriticalWorksScheduler:
             for segment in _unassigned_segments(paths[index], placed):
                 if not self._place_segment(job, segment, calendars, working,
                                            placed, deadline, level, release,
-                                           outcome, allowed):
+                                           outcome, allowed, hint):
                     failed_segment = segment
                     break
             if failed_segment is None:
@@ -267,6 +323,9 @@ class CriticalWorksScheduler:
             for task_id in descendants:
                 placement = placed.pop(task_id)
                 working[placement.node_id].release_tag(task_id)
+                if hint is None:
+                    hint = {}
+                hint[task_id] = placement.node_id
             repairs += 1
             # Retry the same path: the blocked segment now extends over
             # the released chain-descendants and co-allocates with them.
@@ -278,7 +337,7 @@ class CriticalWorksScheduler:
                     if not self._place_segment(job, segment, calendars,
                                                working, placed, deadline,
                                                level, release, outcome,
-                                               allowed):
+                                               allowed, hint):
                         return None
         if len(placed) != len(job.tasks):  # pragma: no cover - safety net
             return None
@@ -290,19 +349,34 @@ class CriticalWorksScheduler:
                        placed: dict[str, Placement],
                        deadline: int, level: float, release: int,
                        outcome: SchedulingOutcome,
-                       allowed: Optional[set[int]] = None) -> bool:
+                       allowed: Optional[set[int]] = None,
+                       warm_hint: Optional[Mapping[str, int]] = None
+                       ) -> bool:
         """Allocate one run of unassigned tasks; returns False on failure."""
         # Phase A: optimize the critical work against the base snapshot,
         # independently of this job's other critical works (this is what
         # makes collisions possible, as in the paper).
+        transfer_cache = self._transfer_cache_for(job)
+        duration_cache = self._duration_cache_for(job)
         tentative = allocate_chain(
             job, segment, self.pool, base, deadline, level,
             self.transfer_model, self.cost_model, fixed=placed,
             release=release, allowed_nodes=allowed,
-            objective=self.objective)
+            objective=self.objective, fit_cache=self._fit_cache,
+            hint=warm_hint, transfer_cache=transfer_cache,
+            duration_cache=duration_cache)
         if tentative is None:
             return False
         outcome.evaluations += tentative.evaluations
+
+        # Phase A's own allocation is a far tighter incumbent for the
+        # phase-B re-plans below than the adjacent level's hint: it was
+        # optimized at *this* level and usually re-fits on the working
+        # calendars with a small shift past the collision.
+        segment_hint = dict(warm_hint) if warm_hint else {}
+        for tentative_placement in tentative.placements:
+            segment_hint[tentative_placement.task_id] = (
+                tentative_placement.node_id)
 
         pending = deque(tentative.placements)
         while pending:
@@ -333,10 +407,15 @@ class CriticalWorksScheduler:
                 job, remainder, self.pool, working, deadline, level,
                 self.transfer_model, self.cost_model, fixed=placed,
                 release=release, allowed_nodes=allowed,
-                objective=self.objective)
+                objective=self.objective, fit_cache=self._fit_cache,
+                hint=segment_hint, transfer_cache=transfer_cache,
+                duration_cache=duration_cache)
             if resolved is None:
                 return False
             outcome.evaluations += resolved.evaluations
+            for resolved_placement in resolved.placements:
+                segment_hint[resolved_placement.task_id] = (
+                    resolved_placement.node_id)
             pending = deque(resolved.placements)
         return True
 

@@ -17,12 +17,40 @@ as the tie-breaker.  The state is ``(chain position, data-ready time,
 previous node)``; for a fixed node choice the earliest feasible start
 dominates all later ones (it can only enlarge downstream feasibility),
 so each transition considers one start per node.
+
+Incremental generation (two orthogonal mechanisms, both exact):
+
+* ``fit_cache`` — a shared memo of ``earliest_fit`` answers keyed on
+  the owning calendar's content *version* (see
+  :attr:`~repro.core.calendar.ReservationCalendar.version`).  Each
+  ``(node, version, duration, deadline)`` bucket holds *interval
+  witnesses*: one computed fit at ``e1`` answering ``s1`` covers every
+  query in ``[e1, s1]``, and one failure covers every query at or past
+  its probe — both consequences of ``earliest_fit``'s monotonicity in
+  ``earliest``.  Entries written by earlier calls — previous estimation
+  levels, previous arrivals — stay valid exactly as long as the node is
+  untouched, so invalidation is O(nodes touched): a mutated node simply
+  stops matching its old keys.
+
+* ``hint`` — a warm start: the adjacent estimation level's allocation,
+  re-evaluated on the current calendars to obtain a feasible
+  *incumbent*, which then drives branch-and-bound pruning of dominated
+  partial chains.  Pruning is strict (``lower bound > incumbent``) with
+  admissible bounds, and memo entries track whether they are exact or
+  merely bound proofs, so the returned placements, cost, finish, and
+  feasibility are **bit-identical** to the cold path — only the number
+  of state expansions (``evaluations`` / the ``dp.expansions`` counter)
+  shrinks.  For the ``"cost"`` objective pruning additionally requires
+  a start-time-invariant cost model (``time_invariant`` attribute, true
+  for every built-in model); otherwise the hint is ignored and the run
+  is simply cold.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, MutableMapping, Optional, Sequence
 
 from ..perf import PERF
 from .calendar import ReservationCalendar
@@ -44,8 +72,10 @@ class ChainAllocation:
     placements: list[Placement]
     cost: float
     finish: int
-    #: Number of DP state expansions — the strategy generation expense
-    #: metric (S1 vs MS1 comparison in Section 4).
+    #: Number of DP state expansions actually performed — the strategy
+    #: generation expense metric (S1 vs MS1 comparison in Section 4).
+    #: Warm-started runs perform (and report) fewer expansions while
+    #: returning bit-identical placements.
     evaluations: int
 
 
@@ -59,6 +89,12 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                    release: int = 0,
                    allowed_nodes: Optional[set[int]] = None,
                    objective: str = "cost",
+                   fit_cache: Optional[MutableMapping[tuple, object]] = None,
+                   hint: Optional[Mapping[str, int]] = None,
+                   transfer_cache: Optional[dict[tuple[str, int, int],
+                                                 int]] = None,
+                   duration_cache: Optional[dict[tuple[str, int, float],
+                                                 int]] = None,
                    ) -> Optional[ChainAllocation]:
     """Allocate every task of ``chain`` or return None if infeasible.
 
@@ -94,6 +130,29 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         tie-break (the economic strategies S1/MS1/S3); ``"time"``
         minimizes finish time with cost as the tie-break (the paper's
         "fastest, most expensive, most accurate" S2 family).
+    fit_cache:
+        Optional shared memo for calendar ``earliest_fit`` queries,
+        bucketed on ``(node, calendar version, duration, deadline)``
+        with interval witnesses inside each bucket (one computed fit
+        answers a whole range of ``earliest`` values).  Exact: equal
+        versions guarantee identical calendar contents, so reuse never
+        changes results.
+    hint:
+        Optional warm start: a ``task id -> node id`` mapping (e.g. the
+        adjacent estimation level's allocation) used to seed an
+        incumbent for branch-and-bound pruning.  Results are identical
+        to ``hint=None``; only the expansion count drops.
+    transfer_cache:
+        Optional shared ``(transfer id, src node, dst node) -> lag``
+        memo.  Transfer lags depend only on the edge and the node pair,
+        so a caller holding one dict per job amortizes the transfer
+        model across every chain, level, and repair retry.  A private
+        per-call dict is used when omitted.
+    duration_cache:
+        Optional shared ``(task id, node id, level) -> duration`` memo.
+        Durations are pure in those three values, so a per-job dict
+        amortizes :meth:`~repro.core.job.Task.duration_on` across
+        phases, levels, and repair retries.
     """
     if not chain:
         return ChainAllocation([], 0.0, release, 0)
@@ -102,11 +161,14 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     fixed = fixed or {}
     if objective not in ("cost", "time"):
         raise ValueError(f"unknown objective {objective!r}")
-    # Candidate ranking: (primary, secondary) per the chosen objective.
-    if objective == "cost":
-        rank = lambda cost, finish: (cost, finish)  # noqa: E731
-    else:
-        rank = lambda cost, finish: (finish, cost)  # noqa: E731
+    # Candidate rank is (cost, finish) or (finish, cost) per the chosen
+    # objective; the comparison is branch-specialized in the DP loop.
+    cost_mode = objective == "cost"
+    #: Start-time-invariant pricing (true for every built-in model)
+    #: makes per-(task, node) costs constants — the soundness
+    #: requirement for cost-objective lower bounds, and an opportunity
+    #: to price rows once instead of once per expansion.
+    invariant_cost = bool(getattr(cost_model, "time_invariant", False))
 
     for earlier, later in zip(chain, chain[1:]):
         if job.transfer_between(earlier, later) is None:
@@ -124,8 +186,10 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
 
     # Per-(transfer, src, dst) transfer times: the DP asks for the same
     # lag once per state expansion, while the distinct combinations are
-    # few (edges × node pairs).
-    transfer_cache: dict[tuple[str, int, int], int] = {}
+    # few (edges × node pairs).  A shared per-job cache from the caller
+    # additionally amortizes the model across calls.
+    if transfer_cache is None:
+        transfer_cache = {}
 
     def transfer_time(transfer: DataTransfer, src_node: ProcessorNode,
                       dst_node: ProcessorNode) -> int:
@@ -140,6 +204,38 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             PERF.incr("dp.transfer_cache_hits")
         return lag
 
+    def find_fit(row: list, earliest: int) -> Optional[int]:
+        """``earliest_fit`` through the row's interval-witness memo.
+
+        Witnesses exploit the monotone structure of ``earliest_fit``
+        for a fixed (calendar version, duration, deadline): an answer
+        ``(e1, s1)`` also answers every query in ``[e1, s1]`` with
+        ``s1`` (no earlier slot exists past ``e1``, and ``s1`` still
+        fits), and a failed probe at ``e1`` proves failure for every
+        query at or past ``e1`` (shrinking the search window never
+        creates slots).  One computed fit therefore covers a whole
+        interval of ``earliest`` values — exact, never heuristic.
+        """
+        fits = row[8]
+        if fits is None:
+            return row[2].earliest_fit(row[4], earliest=earliest,
+                                       deadline=row[6])
+        keys, starts = fits
+        position = bisect_right(keys, earliest) - 1
+        if position >= 0:
+            cached = starts[position]
+            if cached is None or earliest <= cached:
+                if PERF.enabled:
+                    PERF.incr("dp.fit_cache_hits")
+                return cached
+        if PERF.enabled:
+            PERF.incr("dp.fit_cache_misses")
+        start = row[2].earliest_fit(row[4], earliest=earliest,
+                                    deadline=row[6])
+        keys.insert(position + 1, earliest)
+        starts.insert(position + 1, start)
+        return start
+
     # The external bounds (earliest start from already-placed
     # predecessors, latest end from the deadline and placed successors)
     # depend only on (task, node) — hoist them out of the DP inner
@@ -147,8 +243,23 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     # the transfer lags vary with the node.  Nodes that can never host
     # a task (`floor + duration > ceiling` regardless of the data-ready
     # time: the DP start bound is never below the external release) are
-    # dropped up front.
-    candidates: dict[str, list[tuple[ProcessorNode, int, int, int]]] = {}
+    # dropped up front.  Rows also carry the node's calendar and its
+    # content version (constant for the whole call — the DP never
+    # mutates calendars) so the inner loop touches no dicts or
+    # properties to query availability.
+    # Row layout: [node, node_id, calendar, version, duration, floor,
+    #             ceiling, row_cost, fits] — a list, because row_cost is
+    #             filled lazily: start-time-invariant cost models price
+    #             a row once on first touch (or eagerly when warm-start
+    #             pruning needs every row for its lower bounds), so
+    #             rows the DP never visits are never priced.  ``fits``
+    #             is the row's interval-witness bucket of the shared
+    #             fit cache — a (keys, starts) pair of parallel sorted
+    #             lists.  Node, calendar version, duration, and ceiling
+    #             are all fixed per row, so they live in the bucket key
+    #             once instead of in every lookup.
+    node_info = [(node, calendars[node.node_id]) for node in nodes]
+    candidates: dict[str, list[tuple]] = {}
     for task_id in chain:
         job_task = job.task(task_id)
         placed_preds = []
@@ -173,8 +284,15 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                 (placed.start, transfer, pool.node(placed.node_id)))
 
         rows = []
-        for node in nodes:
-            duration = job_task.duration_on(node.performance, level)
+        for node, calendar in node_info:
+            if duration_cache is None:
+                duration = job_task.duration_on(node.performance, level)
+            else:
+                dur_key = (task_id, node.node_id, level)
+                duration = duration_cache.get(dur_key)
+                if duration is None:
+                    duration = job_task.duration_on(node.performance, level)
+                    duration_cache[dur_key] = duration
             floor = release
             for pred_end, transfer, src_node in placed_preds:
                 bound = pred_end + transfer_time(transfer, src_node, node)
@@ -187,86 +305,362 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                     ceiling = bound
             if floor + duration > ceiling:
                 continue
-            rows.append((node, duration, floor, ceiling))
+            if fit_cache is None:
+                fits = None
+            else:
+                fit_key = (node.node_id, calendar.version, duration,
+                           ceiling)
+                fits = fit_cache.get(fit_key)
+                if fits is None:
+                    fits = ([], [])
+                    fit_cache[fit_key] = fits
+            rows.append([node, node.node_id, calendar, calendar.version,
+                         duration, floor, ceiling, None, fits])
         # An empty row set is kept (not short-circuited) so the DP
         # explores — and counts — exactly the states it always did.
         candidates[task_id] = rows
 
-    evaluations = 0
-    # memo[(index, prev_node_id, ready)] -> (cost, finish, choice placement,
-    #                                        next state key)
-    memo: dict[tuple[int, Optional[int], int], tuple] = {}
+    def price_row(task_id: str, row: list) -> float:
+        """The row's (start-invariant) cost, cached on the row."""
+        row_cost = cost_model.task_cost(
+            job.task(task_id),
+            Placement(task_id, row[1], row[5], row[5] + row[4]), row[0])
+        row[7] = row_cost
+        return row_cost
 
-    def best_from(index: int, prev_node_id: Optional[int], ready: int
-                  ) -> tuple[float, int]:
-        """Min (cost, finish) for chain[index:] with data ready at `ready`."""
+    def hint_incumbent() -> Optional[float]:
+        """Primary value of the hinted assignment on these calendars.
+
+        Returns None when the hint does not re-fit (different level,
+        drifted node, disallowed node) — the run is then simply cold.
+        """
+        assert hint is not None
+        prev_node: Optional[ProcessorNode] = None
+        ready = release
+        total_cost = 0.0
+        finish = release
+        for index, task_id in enumerate(chain):
+            hinted = hint.get(task_id)
+            if hinted is None:
+                return None
+            row = next((r for r in candidates[task_id]
+                        if r[1] == hinted), None)
+            if row is None:
+                return None
+            node = row[0]
+            duration, floor, ceiling, row_cost = row[4:8]
+            incoming = (job.transfer_between(chain[index - 1], task_id)
+                        if index > 0 else None)
+            if incoming is None or prev_node is None:
+                start_bound = ready
+            else:
+                start_bound = ready + transfer_time(incoming, prev_node, node)
+            if floor > start_bound:
+                start_bound = floor
+            if start_bound + duration > ceiling:
+                return None
+            start = find_fit(row, start_bound)
+            if start is None:
+                return None
+            end = start + duration
+            if cost_mode:
+                # Only reached when the cost model is start-invariant
+                # (pruning is gated on it), so the row price applies.
+                total_cost += (row_cost if row_cost is not None
+                               else price_row(task_id, row))
+            ready = end
+            finish = end
+            prev_node = node
+        return total_cost if cost_mode else float(finish)
+
+    def greedy_incumbent() -> Optional[float]:
+        """Primary value of a greedy first-feasible descent.
+
+        A fallback incumbent for hinted runs whose hint no longer
+        re-fits (drifted calendars, a collision on the hinted node):
+        each step takes the cheapest (cost mode) or earliest-finishing
+        (time mode) feasible row.  No backtracking — a dead end returns
+        None and the run is simply cold.
+        """
+        prev_node: Optional[ProcessorNode] = None
+        ready = release
+        total_cost = 0.0
+        finish = release
+        for index, task_id in enumerate(chain):
+            rows = candidates[task_id]
+            incoming = (job.transfer_between(chain[index - 1], task_id)
+                        if index > 0 else None)
+            if cost_mode:
+                # Start-invariant prices: cheapest-first order, first
+                # feasible row wins the step.
+                rows = sorted(rows, key=lambda row: (
+                    row[7] if row[7] is not None
+                    else price_row(task_id, row)))
+            chosen_row = None
+            chosen_end = 0
+            for row in rows:
+                node = row[0]
+                duration, floor, ceiling = row[4], row[5], row[6]
+                if incoming is None or prev_node is None:
+                    start_bound = ready
+                else:
+                    start_bound = ready + transfer_time(incoming,
+                                                        prev_node, node)
+                if floor > start_bound:
+                    start_bound = floor
+                if start_bound + duration > ceiling:
+                    continue
+                start = find_fit(row, start_bound)
+                if start is None:
+                    continue
+                end = start + duration
+                if cost_mode:
+                    chosen_row, chosen_end = row, end
+                    break
+                if chosen_row is None or end < chosen_end:
+                    chosen_row, chosen_end = row, end
+            if chosen_row is None:
+                return None
+            if cost_mode:
+                total_cost += chosen_row[7]
+            prev_node = chosen_row[0]
+            ready = chosen_end
+            finish = chosen_end
+        return total_cost if cost_mode else float(finish)
+
+    # Warm start: re-fit the hinted allocation to obtain a feasible
+    # incumbent, then prune partial chains whose admissible lower bound
+    # is *strictly* worse.  tail_lb[i] bounds the primary criterion of
+    # chain[i:] from below (per-task minimum over candidate rows;
+    # transfer lags, being non-negative, are soundly dropped).
+    pruning = False
+    allowance_top = _INFINITY
+    tail_lb: list[float] = []
+    # Single-task chains cannot profit: the cold DP touches each row
+    # exactly once, which is no more work than building the incumbent
+    # and the lower bounds would be.
+    if hint is not None and len(chain) > 1 and (invariant_cost
+                                                or not cost_mode):
+        incumbent = hint_incumbent()
+        if incumbent is None:
+            # The hint no longer re-fits (drifted calendars, collision
+            # on a hinted node) — a greedy descent still recovers an
+            # incumbent most of the time.
+            incumbent = greedy_incumbent()
+            if incumbent is not None and PERF.enabled:
+                PERF.incr("dp.greedy_incumbents")
+        if incumbent is not None:
+            pruning = True
+            allowance_top = incumbent
+            tail_lb = [0.0] * (len(chain) + 1)
+            for position in range(len(chain) - 1, -1, -1):
+                step_task = chain[position]
+                rows = candidates[step_task]
+                if cost_mode:
+                    # The lower bound needs every row priced (min over
+                    # the task's candidates).
+                    step = min((r[7] if r[7] is not None
+                                else price_row(step_task, r)
+                                for r in rows), default=_INFINITY)
+                else:
+                    step = min((r[4] for r in rows), default=_INFINITY)
+                tail_lb[position] = step + tail_lb[position + 1]
+            if PERF.enabled:
+                PERF.incr("dp.incumbent_hits")
+        elif PERF.enabled:
+            PERF.incr("dp.incumbent_misses")
+
+    evaluations = 0
+    # memo[(index, prev_node_id, ready)] ->
+    #   (cost, finish, chosen node, start, end, next state key,
+    #    exact, allowance the entry was computed under)
+    # Exact entries equal the cold DP's value for the state.  Inexact
+    # entries are bound proofs: the state's true primary criterion
+    # exceeds the recorded allowance (they are reused to prune when the
+    # caller's allowance is no larger, and recomputed otherwise).
+    # Placements are only materialized during reconstruction — the DP
+    # itself works on plain ints.
+    memo: dict[tuple[int, Optional[int], int], tuple] = {}
+    chain_length = len(chain)
+    # Per-position constants, hoisted so each state expansion touches
+    # lists instead of re-querying the job graph.
+    incoming_by_index: list[Optional[DataTransfer]] = [None] * chain_length
+    for position in range(1, chain_length):
+        incoming_by_index[position] = job.transfer_between(
+            chain[position - 1], chain[position])
+    tasks_by_index = [job.task(task_id) for task_id in chain]
+    lag_cache_get = transfer_cache.get
+
+    def best_from(index: int, prev_node_id: Optional[int], ready: int,
+                  allowance: float) -> tuple[float, int, bool]:
+        """Min (cost, finish, exact) for chain[index:], data-ready at
+        ``ready``, exploring only solutions with primary ≤ allowance."""
         nonlocal evaluations
-        if index == len(chain):
-            return (0.0, ready)
+        if index == chain_length:
+            return 0.0, ready, True
         key = (index, prev_node_id, ready)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached[0], cached[1]
+        entry = memo.get(key)
+        if entry is not None:
+            if entry[6]:
+                return entry[0], entry[1], True
+            if allowance <= entry[7]:
+                # Proven: true primary > entry[7] >= allowance.
+                return entry[0], entry[1], False
+            # Stale bound proof — recompute under the larger allowance.
         evaluations += 1
         if PERF.enabled:
             PERF.incr("dp.expansions")
 
         task_id = chain[index]
-        task = job.task(task_id)
-        incoming = (job.transfer_between(chain[index - 1], task_id)
-                    if index > 0 else None)
-        prev_node = pool.node(prev_node_id) if prev_node_id is not None else None
-        no_incoming = incoming is None or prev_node is None
-        lag_cache_get = transfer_cache.get
+        incoming = incoming_by_index[index]
+        no_incoming = incoming is None or prev_node_id is None
+        # The previous node object is only needed to price an uncached
+        # transfer lag — resolved lazily on the first cache miss.
+        prev_node: Optional[ProcessorNode] = None
+        next_lb = tail_lb[index + 1] if pruning else 0.0
+        perf_on = PERF.enabled
 
-        best = (_INFINITY, _INFINITY, None, None)
-        for node, duration, floor, end_bound in candidates[task_id]:
+        complete = True
+        best_cost = best_finish = _INFINITY
+        best_node = best_start = best_end = None
+        for row in candidates[task_id]:
+            (node, node_id, calendar, version, duration, floor, end_bound,
+             row_cost, fits) = row
             if no_incoming:
                 start_bound = ready
             else:
                 # Inlined transfer_time: this is the hottest lookup in
                 # the kernel, worth skipping the call overhead for.
-                lag_key = (incoming.transfer_id, prev_node_id, node.node_id)
+                lag_key = (incoming.transfer_id, prev_node_id, node_id)
                 lag = lag_cache_get(lag_key)
                 if lag is None:
-                    if PERF.enabled:
+                    if perf_on:
                         PERF.incr("dp.transfer_cache_misses")
+                    if prev_node is None:
+                        prev_node = pool.node(prev_node_id)
                     lag = transfer_model.time(incoming, prev_node, node)
                     transfer_cache[lag_key] = lag
-                elif PERF.enabled:
+                elif perf_on:
                     PERF.incr("dp.transfer_cache_hits")
                 start_bound = ready + lag
             if floor > start_bound:
                 start_bound = floor
             if start_bound + duration > end_bound:
                 continue
-            start = calendars[node.node_id].earliest_fit(
-                duration, earliest=start_bound, deadline=end_bound)
+            if pruning:
+                bound = (row_cost + next_lb if cost_mode
+                         else start_bound + duration + next_lb)
+                if bound > allowance:
+                    # Admissible lower bound strictly beats the
+                    # incumbent-backed allowance: no solution through
+                    # this candidate can match the optimum.
+                    complete = False
+                    if perf_on:
+                        PERF.incr("dp.pruned")
+                    continue
+            # Inlined find_fit (see above): the fit query dominates the
+            # inner loop, so the interval-witness lookup avoids a call.
+            if fits is None:
+                start = calendar.earliest_fit(
+                    duration, earliest=start_bound, deadline=end_bound)
+            else:
+                keys, starts = fits
+                position = bisect_right(keys, start_bound) - 1
+                if position >= 0 and (
+                        (cached := starts[position]) is None
+                        or start_bound <= cached):
+                    start = cached
+                    if perf_on:
+                        PERF.incr("dp.fit_cache_hits")
+                else:
+                    if perf_on:
+                        PERF.incr("dp.fit_cache_misses")
+                    start = calendar.earliest_fit(
+                        duration, earliest=start_bound, deadline=end_bound)
+                    keys.insert(position + 1, start_bound)
+                    starts.insert(position + 1, start)
             if start is None:
                 continue
             end = start + duration
-            placement = Placement(task_id, node.node_id, start, end)
-            own_cost = cost_model.task_cost(task, placement, node)
-            tail_cost, tail_finish = best_from(index + 1, node.node_id, end)
+            if row_cost is not None:
+                own_cost = row_cost
+            elif invariant_cost:
+                own_cost = price_row(task_id, row)
+            else:
+                own_cost = cost_model.task_cost(
+                    tasks_by_index[index],
+                    Placement(task_id, node_id, start, end), node)
+            child_allowance = (allowance - own_cost if cost_mode
+                               else allowance)
+            tail_cost, tail_finish, tail_exact = best_from(
+                index + 1, node_id, end, child_allowance)
             if tail_cost == _INFINITY:
+                if not tail_exact:
+                    complete = False
                 continue
-            candidate = (own_cost + tail_cost, max(end, tail_finish),
-                         placement, (index + 1, node.node_id, end))
-            if rank(candidate[0], candidate[1]) < rank(best[0], best[1]):
-                best = candidate
+            candidate_cost = own_cost + tail_cost
+            candidate_finish = tail_finish if tail_finish > end else end
+            if pruning:
+                primary = candidate_cost if cost_mode else candidate_finish
+                if primary > allowance:
+                    complete = False
+                    if perf_on:
+                        PERF.incr("dp.pruned")
+                    continue
+            # Strict rank comparison, branch-specialized per objective:
+            # the first candidate achieving the best rank wins ties (the
+            # node iteration order is the pool order, as always).
+            if cost_mode:
+                better = (candidate_cost < best_cost
+                          or (candidate_cost == best_cost
+                              and candidate_finish < best_finish))
+            else:
+                better = (candidate_finish < best_finish
+                          or (candidate_finish == best_finish
+                              and candidate_cost < best_cost))
+            if better:
+                best_cost = candidate_cost
+                best_finish = candidate_finish
+                best_node = node_id
+                best_start = start
+                best_end = end
+                if pruning:
+                    # Every found solution is itself an incumbent:
+                    # anything strictly worse on the primary criterion
+                    # cannot win the rank comparison, so the remaining
+                    # rows explore under the tightened allowance.  The
+                    # inequality stays strict, so primary ties survive
+                    # to be ranked on the secondary criterion exactly
+                    # as in the cold pass.
+                    allowance = best_cost if cost_mode else best_finish
 
-        memo[key] = best
-        return best[0], best[1]
+        best_primary = best_cost if cost_mode else best_finish
+        exact = complete or best_primary <= allowance
+        next_key = ((index + 1, best_node, best_end)
+                    if best_node is not None else None)
+        memo[key] = (best_cost, best_finish, best_node, best_start,
+                     best_end, next_key, exact, allowance)
+        return best_cost, best_finish, exact
 
     start_key = (0, None, release)
-    total_cost, finish = best_from(*start_key)
+    total_cost, finish, _ = best_from(0, None, release, allowance_top)
+    if total_cost == _INFINITY and pruning:
+        # The incumbent proved a feasible solution exists, so an
+        # infeasible answer would mean the bounds misfired; fall back
+        # to an exact cold pass rather than ever diverging from it.
+        if PERF.enabled:  # pragma: no cover - defensive
+            PERF.incr("dp.warm_fallbacks")
+        memo.clear()
+        pruning = False
+        total_cost, finish, _ = best_from(0, None, release, _INFINITY)
     if total_cost == _INFINITY:
         return None
 
     placements: list[Placement] = []
     key = start_key
-    while key is not None and key[0] < len(chain):
-        _, _, placement, next_key = memo[key]
-        placements.append(placement)
-        key = next_key
+    while key is not None and key[0] < chain_length:
+        entry = memo[key]
+        placements.append(
+            Placement(chain[key[0]], entry[2], entry[3], entry[4]))
+        key = entry[5]
     return ChainAllocation(placements, total_cost, int(finish), evaluations)

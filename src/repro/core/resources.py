@@ -133,6 +133,10 @@ class ResourcePool:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._by_id
 
+    def node_ids(self) -> tuple[int, ...]:
+        """All node ids in pool order (the epoch-vector axis)."""
+        return tuple(node.node_id for node in self.nodes)
+
     def node(self, node_id: int) -> ProcessorNode:
         """Return the node with the given id."""
         try:

@@ -41,10 +41,17 @@ __all__ = [
     "StrategyType",
     "StrategySpec",
     "STRATEGY_SPECS",
+    "LEVEL_EPS",
     "SupportingSchedule",
     "Strategy",
     "StrategyGenerator",
 ]
+
+#: Tolerance for comparing estimation levels.  Levels are thirds
+#: (0, 1/3, 2/3, 1), so equality checks between a planning level and an
+#: observed level must absorb float representation error; a variant
+#: covers a level when ``variant.level >= level - LEVEL_EPS``.
+LEVEL_EPS = 1e-9
 
 
 class DataPolicyKind(enum.Enum):
@@ -184,16 +191,21 @@ class Strategy:
         """All variants meeting the completion time, in level order."""
         return [s for s in self.schedules if s.admissible]
 
-    def schedule_for_level(self, level: float
-                           ) -> Optional[SupportingSchedule]:
-        """The admissible variant covering ``level``, if any.
+    def covering_schedules(self, level: float) -> list[SupportingSchedule]:
+        """All admissible variants covering ``level``, in level order.
 
         A variant covers an observed level when its planning level is at
-        least the observed one — the reservations it made are then long
-        enough for the actual durations.
+        least the observed one (within :data:`LEVEL_EPS`) — the
+        reservations it made are then long enough for the actual
+        durations.
         """
-        candidates = [s for s in self.admissible_schedules()
-                      if s.level >= level - 1e-9]
+        return [s for s in self.admissible_schedules()
+                if s.level >= level - LEVEL_EPS]
+
+    def schedule_for_level(self, level: float
+                           ) -> Optional[SupportingSchedule]:
+        """The tightest admissible variant covering ``level``, if any."""
+        candidates = self.covering_schedules(level)
         if not candidates:
             return None
         return min(candidates, key=lambda s: s.level)
@@ -211,8 +223,7 @@ class Strategy:
         """The cheapest admissible variant whose planning level covers
         an observed (or forecast) level — the variant the metascheduler
         activates: safe against the forecast, minimal in cost."""
-        candidates = [s for s in self.admissible_schedules()
-                      if s.level >= level - 1e-9]
+        candidates = self.covering_schedules(level)
         if not candidates:
             return None
         return min(candidates,
@@ -238,13 +249,20 @@ class StrategyGenerator:
         omitted, the Grid substrate's default models are used.
     cost_model:
         Placement pricing shared by all families (default: CF).
+    warm_start:
+        Seed each estimation level's DP with the previous level's
+        node assignment as a branch-and-bound incumbent.  Generated
+        strategies are bit-identical either way (the pruning is exact;
+        see :func:`repro.core.dp.allocate_chain`); warm starts only
+        reduce ``generation_expense`` and wall time.  On by default.
     """
 
     def __init__(self, pool: ResourcePool,
                  policy_models: Optional[Mapping[DataPolicyKind,
                                                  TransferModel]] = None,
                  cost_model: Optional[CostModel] = None,
-                 balanced_cf_weight: Optional[float] = None):
+                 balanced_cf_weight: Optional[float] = None,
+                 warm_start: bool = True):
         self.pool = pool
         if policy_models is None:
             policy_models = _default_policy_models()
@@ -253,6 +271,7 @@ class StrategyGenerator:
         #: CF weight of the S2 family's balanced criterion (None: the
         #: calibrated default of :class:`~repro.core.costs.BalancedTimeCost`).
         self.balanced_cf_weight = balanced_cf_weight
+        self.warm_start = warm_start
         self._schedulers: dict[StrategyType, CriticalWorksScheduler] = {}
 
     def scheduler_for(self, stype: StrategyType) -> CriticalWorksScheduler:
@@ -306,13 +325,22 @@ class StrategyGenerator:
         expense = 0
         # One ranking cache services all levels below: the scheduler
         # re-ranks critical works per level but enumerates the DAG once.
+        # With warm starts, each level additionally seeds its DP with
+        # the previous level's node assignment — adjacent levels mostly
+        # agree on nodes, so the incumbent prunes hard while leaving the
+        # outcomes bit-identical.
+        warm_hint: Optional[dict[str, int]] = None
         with PERF.timer("strategy.generate"):
             for level in spec.levels:
                 outcome = scheduler.build_schedule(
-                    scheduled_job, calendars, level=level, release=release)
+                    scheduled_job, calendars, level=level, release=release,
+                    warm_hint=warm_hint)
                 expense += outcome.evaluations
                 schedules.append(
                     SupportingSchedule(level=level, outcome=outcome))
+                if self.warm_start and outcome.distribution is not None:
+                    warm_hint = {p.task_id: p.node_id
+                                 for p in outcome.distribution}
 
         return Strategy(job=job, scheduled_job=scheduled_job, stype=stype,
                         schedules=schedules, generation_expense=expense)

@@ -18,6 +18,7 @@ from ..core.strategy import Strategy, StrategyType, SupportingSchedule
 from ..grid.environment import GridEnvironment
 from ..local.manager import LocalResourceManager, RequestRefused
 from ..local.request import ResourceRequest
+from ..perf import PERF
 from .economics import InsufficientBudget, VOEconomics
 from .manager import JobManager
 
@@ -45,14 +46,34 @@ class FlowRecord:
 
 
 class Metascheduler:
-    """Routes job flows over the domain managers of one VO."""
+    """Routes job flows over the domain managers of one VO.
+
+    ``conflict_retries`` (default 0 — the historical behaviour) allows
+    a job whose every supporting schedule was stolen between planning
+    and commitment to be re-planned against the drifted environment up
+    to that many times.  Replanning consults the epoch-keyed plan cache
+    first, so managers whose domain calendars did not change reuse the
+    already-generated strategy outright.
+    """
 
     def __init__(self, grid: GridEnvironment,
                  policy_models=None, cost_model=None,
                  economics: Optional[VOEconomics] = None,
-                 use_local_managers: bool = False):
+                 use_local_managers: bool = False,
+                 conflict_retries: int = 0):
         self.grid = grid
         self.economics = economics
+        if conflict_retries < 0:
+            raise ValueError(
+                f"conflict_retries must be >= 0, got {conflict_retries}")
+        self.conflict_retries = conflict_retries
+        #: Epoch-tagged strategies: (job id, family, domain) ->
+        #: (release, domain epoch slice, strategy).  A hit requires the
+        #: same release and an unchanged epoch slice over the domain's
+        #: nodes, which guarantees byte-identical calendar contents —
+        #: strategy generation is deterministic, so reuse is exact.
+        self._plan_cache: dict[tuple[str, StrategyType, str],
+                               tuple[int, tuple[int, ...], Strategy]] = {}
         self.managers: list[JobManager] = [
             JobManager(domain, grid.pool, policy_models, cost_model)
             for domain in grid.pool.domains()
@@ -123,11 +144,56 @@ class Metascheduler:
 
     def _dispatch_one(self, job: Job, stype: StrategyType,
                       release: int) -> FlowRecord:
+        record = self._plan_and_commit(job, stype, release)
+        retries = 0
+        while record.reason == "conflict" and retries < self.conflict_retries:
+            # Every variant was stolen between planning and commitment;
+            # re-plan against the drifted calendars.  Managers whose
+            # domains are untouched hit the plan cache and only re-offer.
+            retries += 1
+            record = self._plan_and_commit(job, stype, release)
+        return record
+
+    #: Entry bound for the plan cache; one strategy per entry, so this
+    #: limits retained plans, not memory per se.
+    _PLAN_CACHE_LIMIT = 4096
+
+    def _plan_for(self, manager: JobManager, job: Job, stype: StrategyType,
+                  release: int, calendars) -> Strategy:
+        """Plan through the epoch-keyed cache (exact reuse).
+
+        The cached strategy is reused only when the release matches and
+        no calendar of the manager's domain changed version since it
+        was generated — the generation inputs are then byte-identical.
+        """
+        key = (job.job_id, stype, manager.domain)
+        epochs = self.grid.epoch_slice(manager.pool.node_ids())
+        cached = self._plan_cache.get(key)
+        if (cached is not None and cached[0] == release
+                and cached[1] == epochs):
+            if PERF.enabled:
+                PERF.incr("flow.plan_cache_hits")
+            strategy = cached[2]
+            # Keep the manager's retention behaviour identical to a
+            # fresh plan() call.
+            manager.strategies[job.job_id] = strategy
+            return strategy
+        if PERF.enabled:
+            PERF.incr("flow.plan_cache_misses")
+        strategy = manager.plan(job, calendars, stype, release=release)
+        if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (release, epochs, strategy)
+        return strategy
+
+    def _plan_and_commit(self, job: Job, stype: StrategyType,
+                         release: int) -> FlowRecord:
         calendars = self.grid.snapshot()
         best: Optional[tuple[JobManager, Strategy]] = None
         best_cost = float("inf")
         for manager in self.managers:
-            strategy = manager.plan(job, calendars, stype, release=release)
+            strategy = self._plan_for(manager, job, stype, release,
+                                      calendars)
             chosen = strategy.best_schedule()
             if chosen is None:
                 continue

@@ -11,6 +11,7 @@ the strategy's **time-to-live** — Fig. 4c's persistence factor.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -28,8 +29,9 @@ def invalidates(event: BackgroundEvent, distribution: Distribution,
     By default the distribution is treated as a *plan*: every placement
     window is stealable until the plan is committed, whenever the event
     arrives.  Pass ``executed_before`` (a simulation time) to grant
-    immunity to placements that already completed by then — the
-    committed-and-running interpretation.
+    immunity to placements that already completed by then — a placement
+    with ``end <= executed_before`` has already run to completion and
+    cannot be stolen — the committed-and-running interpretation.
     """
     for placement in distribution:
         if placement.node_id != event.node_id:
@@ -39,6 +41,55 @@ def invalidates(event: BackgroundEvent, distribution: Distribution,
         if placement.start < event.end and event.start < placement.end:
             return True
     return False
+
+
+class _NodeIntervalIndex:
+    """Per-node interval index over a distribution's placements.
+
+    Placements are grouped by node and start-sorted, with a running
+    prefix maximum over their ends.  A drift event on one node then
+    resolves in O(log placements-on-node): among the placements
+    starting before the event's end (a bisection), some interval
+    overlaps iff the largest end among them exceeds the event's start —
+    exactly the :func:`invalidates` predicate, without scanning nodes
+    the event does not touch.
+    """
+
+    def __init__(self, distribution: Distribution):
+        spans_by_node: dict[int, list[tuple[int, int]]] = {}
+        for placement in distribution:
+            spans_by_node.setdefault(placement.node_id, []).append(
+                (placement.start, placement.end))
+        self._starts: dict[int, list[int]] = {}
+        self._max_ends: dict[int, list[int]] = {}
+        for node_id, spans in spans_by_node.items():
+            spans.sort()
+            running = 0
+            max_ends = []
+            for _, end in spans:
+                if end > running:
+                    running = end
+                max_ends.append(running)
+            self._starts[node_id] = [start for start, _ in spans]
+            self._max_ends[node_id] = max_ends
+
+    def clashes(self, event: BackgroundEvent,
+                executed_before: Optional[int] = None) -> bool:
+        """Equivalent of ``invalidates(event, distribution, ...)``."""
+        starts = self._starts.get(event.node_id)
+        if starts is None:
+            return False
+        # Only placements starting before the event's end can overlap.
+        index = bisect.bisect_left(starts, event.end)
+        if index == 0:
+            return False
+        floor = event.start
+        if executed_before is not None and executed_before > floor:
+            floor = executed_before
+        # Overlap (and, with `executed_before`, still-running) iff some
+        # such placement ends after both the event start and the
+        # execution frontier — i.e. the prefix max does.
+        return self._max_ends[event.node_id][index - 1] > floor
 
 
 @dataclass
@@ -64,42 +115,48 @@ def strategy_time_to_live(strategy: Strategy,
 
     The cheapest admissible variant covering ``min_level`` (the
     environment's forecast estimation level — a variant planned below it
-    reserves too little to be usable) is activated first.  Each arriving
-    event is checked against the *active* schedule only — other covering
-    variants are kept as fallbacks and validated against the full event
-    history when activated.
+    reserves too little to be usable) is activated first.  The replay
+    maintains the *alive* set incrementally: each arriving event is
+    checked against every still-alive variant through its per-node
+    interval index, so the set always equals the variants consistent
+    with the full history and a fallback switch never rescans past
+    events.  A switch is counted only when the *active* schedule dies.
+
+    Events replay in deterministic order ``(arrival, node_id, start)``
+    — simultaneous arrivals do not reorder across runs or platforms.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
     if not 0.0 <= min_level <= 1.0:
         raise ValueError(f"min_level must lie in [0, 1], got {min_level}")
 
-    alive = [schedule for schedule in strategy.admissible_schedules()
-             if schedule.level >= min_level - 1e-9]
+    alive = strategy.covering_schedules(min_level)
     if not alive:
         # Nothing covers the forecast: fall back to whatever exists
         # (the metascheduler would rather run optimistically than not).
         alive = list(strategy.admissible_schedules())
     if not alive:
         return TimeToLiveResult(ttl=0, survived=False, switches=0, final=None)
+    indexes = {id(schedule): _NodeIntervalIndex(schedule.distribution)
+               for schedule in alive}
     active = min(alive, key=lambda s: (s.outcome.cost, s.outcome.makespan))
 
-    seen: list[BackgroundEvent] = []
     switches = 0
-    for event in sorted(events, key=lambda e: e.arrival):
+    for event in sorted(events,
+                        key=lambda e: (e.arrival, e.node_id, e.start)):
         if event.arrival >= horizon:
             break
-        seen.append(event)
-        if not invalidates(event, active.distribution):
+        active_died = False
+        survivors = []
+        for candidate in alive:
+            if indexes[id(candidate)].clashes(event):
+                if candidate is active:
+                    active_died = True
+            else:
+                survivors.append(candidate)
+        alive = survivors
+        if not active_died:
             continue
-        # The active schedule died; look for a fallback consistent with
-        # every event observed so far.
-        alive = [
-            candidate for candidate in alive
-            if candidate is not active
-            and not any(invalidates(past, candidate.distribution)
-                        for past in seen)
-        ]
         if not alive:
             return TimeToLiveResult(ttl=event.arrival, survived=False,
                                     switches=switches, final=None)

@@ -50,6 +50,11 @@ class OnlineConfig:
     #: so underestimated tasks overrun their reservations and push both
     #: their successors and the node's later work (QoS erosion).
     actual_within_plan: bool = True
+    #: How many times a job whose variants were all stolen between
+    #: planning and commitment is re-planned (epoch-aware: unchanged
+    #: domains reuse their cached strategies).  0 keeps the historical
+    #: reject-on-conflict behaviour.
+    conflict_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -58,6 +63,9 @@ class OnlineConfig:
             raise ValueError("mean_interarrival must be positive")
         if not self.stypes:
             raise ValueError("at least one strategy family is required")
+        if self.conflict_retries < 0:
+            raise ValueError(
+                f"conflict_retries must be >= 0, got {self.conflict_retries}")
 
 
 @dataclass
@@ -99,7 +107,9 @@ class OnlineSimulation:
         self.streams = RandomStreams(seed)
         self.sim = Environment()
         self.grid = GridEnvironment(pool)
-        self.metascheduler = Metascheduler(self.grid, economics=economics)
+        self.metascheduler = Metascheduler(
+            self.grid, economics=economics,
+            conflict_retries=self.config.conflict_retries)
         self.agents = {node.node_id: NodeAgent(self.sim, node)
                        for node in pool}
         #: Jobs planned-and-committed but not yet finished, over time.

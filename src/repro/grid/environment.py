@@ -10,6 +10,7 @@ organization's control (Section 4 builds application-level schedules
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -58,6 +59,21 @@ class GridEnvironment:
         """Independent calendar copies for what-if scheduling."""
         return {node_id: calendar.copy()
                 for node_id, calendar in self.calendars.items()}
+
+    def epochs(self) -> dict[int, int]:
+        """The pool-level epoch vector: each node's calendar version.
+
+        Copy-on-write snapshots share versions with these calendars, so
+        any result computed from a snapshot can be tagged with the
+        versions it read and revalidated later in O(nodes touched) —
+        a node whose version is unchanged is guaranteed byte-identical.
+        """
+        return {node_id: calendar.version
+                for node_id, calendar in self.calendars.items()}
+
+    def epoch_slice(self, node_ids: Sequence[int]) -> tuple[int, ...]:
+        """Versions of a subset of nodes (e.g. one domain), in order."""
+        return tuple(self.calendars[node_id].version for node_id in node_ids)
 
     def commit_distribution(self, distribution: Distribution) -> None:
         """Book every placement of a distribution (all-or-nothing)."""

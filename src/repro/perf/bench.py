@@ -1,6 +1,6 @@
 """Pinned kernel benchmark: fixed workloads, JSON reports, comparison.
 
-``run_kernel_bench`` times three seeded, deterministic workloads that
+``run_kernel_bench`` times five seeded, deterministic workloads that
 together cover the scheduling kernel's hot paths:
 
 ``study_fig3a``
@@ -12,11 +12,19 @@ together cover the scheduling kernel's hot paths:
 ``calendar_ops``
     A reservation-calendar micro-workload: 1 000 bookings, 2 000
     ``conflicts``/``earliest_fit`` queries, one what-if copy.
+``strategy_generation``
+    Incremental strategy generation: S1/S2/MS1 strategies for a batch
+    of random jobs over background-loaded calendars through one
+    generator — the warm-start + fit-cache path.
+``online_sim``
+    A pinned :class:`~repro.flow.simulation.OnlineSimulation` run —
+    plan, epoch-aware commit, and discrete-event execution end to end.
 
 The report also embeds one :class:`~repro.perf.registry.PerfRegistry`
-snapshot of the study workload, so counter drift (e.g. a cache that
-stopped hitting) is visible next to the timings.  ``compare_reports``
-diffs two reports for CI's warn-only regression gate.
+snapshot of the study workload plus derived per-cache hit rates
+(``caches``), so counter drift (e.g. a cache that stopped hitting) is
+visible next to the timings.  ``compare_reports`` diffs two reports for
+the CI regression gates.
 
 Workload imports are lazy: the kernel imports :mod:`repro.perf` for the
 ``PERF`` registry, so this module must not import the kernel at module
@@ -27,12 +35,12 @@ from __future__ import annotations
 
 import platform
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
-from .registry import PERF
+from .registry import PERF, cache_stats
 
-__all__ = ["BENCH_SCHEMA_VERSION", "run_kernel_bench", "compare_reports",
-           "format_comparison"]
+__all__ = ["BENCH_SCHEMA_VERSION", "BENCH_WORKLOADS", "run_kernel_bench",
+           "compare_reports", "format_comparison"]
 
 #: Bump when the pinned workloads change incompatibly; comparisons
 #: across schema versions are refused.
@@ -56,14 +64,42 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
     return best
 
 
+#: Names of the pinned workloads, in report order.
+BENCH_WORKLOADS = ("study_fig3a", "critical_works_fig2", "calendar_ops",
+                   "strategy_generation", "online_sim")
+
+
 def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
-                     workers: Optional[int] = 1) -> dict[str, Any]:
-    """Run the pinned kernel workloads and return a JSON-ready report."""
+                     workers: Optional[int] = 1,
+                     workloads: Optional[Iterable[str]] = None
+                     ) -> dict[str, Any]:
+    """Run the pinned kernel workloads and return a JSON-ready report.
+
+    ``workloads`` restricts the run to a subset of
+    :data:`BENCH_WORKLOADS` (all of them by default) — CI uses this to
+    gate strictly on the fast micro scenarios without paying for the
+    end-to-end ones twice.
+    """
     from ..core.calendar import ReservationCalendar
     from ..core.critical_works import CriticalWorksScheduler
+    from ..core.strategy import StrategyGenerator, StrategyType
     from ..experiments.study import (ApplicationStudyConfig,
                                      application_level_study)
+    from ..flow.simulation import OnlineConfig, OnlineSimulation
+    from ..grid.environment import GridEnvironment
+    from ..sim.rng import RandomStreams
+    from ..workload.generator import generate_job, generate_pool
     from ..workload.paper_example import fig2_job, fig2_pool
+
+    if workloads is None:
+        selected = list(BENCH_WORKLOADS)
+    else:
+        selected = list(workloads)
+        unknown = sorted(set(selected) - set(BENCH_WORKLOADS))
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(BENCH_WORKLOADS)}")
 
     config = ApplicationStudyConfig(seed=seed, n_jobs=jobs)
 
@@ -90,33 +126,82 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         calendar.copy()
         return hits
 
+    # Strategy generation over loaded calendars: built once, reused by
+    # every repetition (the generator itself is fresh per run, so its
+    # warm-start/fit-cache state always starts cold).
+    sgen_jobs, sgen_stypes, sgen_busy = 30, 3, 0.5
+    streams = RandomStreams(seed)
+    sgen_rng = streams.stream("bench.sgen")
+    sgen_pool = generate_pool(sgen_rng)
+    sgen_batch = [generate_job(sgen_rng, index) for index in range(sgen_jobs)]
+    sgen_env = GridEnvironment(sgen_pool)
+    sgen_env.apply_background_load(sgen_rng, sgen_busy, 400)
+
+    def strategy_generation() -> int:
+        generator = StrategyGenerator(sgen_pool)
+        expense = 0
+        for batch_job in sgen_batch:
+            for stype in (StrategyType.S1, StrategyType.S2,
+                          StrategyType.MS1):
+                strategy = generator.generate(batch_job, sgen_env.snapshot(),
+                                              stype)
+                expense += strategy.generation_expense
+        return expense
+
+    online_config = OnlineConfig(horizon=400, mean_interarrival=6.0,
+                                 busy_fraction=0.3, conflict_retries=1)
+    online_pool = generate_pool(streams.stream("bench.online_pool"))
+
+    def online_sim() -> None:
+        OnlineSimulation(online_pool, seed=seed, config=online_config).run()
+
+    runners: dict[str, tuple[Callable[[], Any], dict[str, Any]]] = {
+        "study_fig3a": (study, {"jobs": jobs, "seed": seed,
+                                "workers": workers}),
+        "critical_works_fig2": (critical_works, {"repetitions": 200}),
+        "calendar_ops": (calendar_ops, {"reservations": 1_000,
+                                        "queries": 2_000}),
+        "strategy_generation": (strategy_generation, {
+            "jobs": sgen_jobs, "stypes": sgen_stypes, "seed": seed,
+            "busy_fraction": sgen_busy}),
+        "online_sim": (online_sim, {
+            "horizon": online_config.horizon,
+            "mean_interarrival": online_config.mean_interarrival,
+            "busy_fraction": online_config.busy_fraction,
+            "conflict_retries": online_config.conflict_retries,
+            "seed": seed}),
+    }
+
     report: dict[str, Any] = {
         "benchmark": "kernel",
         "schema": BENCH_SCHEMA_VERSION,
         "python": platform.python_version(),
-        "workloads": {
-            "study_fig3a": {
-                "seconds": round(_best_of(study, repeats), 6),
-                "jobs": jobs, "seed": seed, "workers": workers,
-            },
-            "critical_works_fig2": {
-                "seconds": round(_best_of(critical_works, repeats), 6),
-                "repetitions": 200,
-            },
-            "calendar_ops": {
-                "seconds": round(_best_of(calendar_ops, repeats), 6),
-                "reservations": 1_000, "queries": 2_000,
-            },
-        },
+        "workloads": {},
     }
+    for name in BENCH_WORKLOADS:
+        if name not in selected:
+            continue
+        runner, params = runners[name]
+        entry = {"seconds": round(_best_of(runner, repeats), 6)}
+        entry.update(params)
+        report["workloads"][name] = entry
 
-    # One instrumented study pass: the counters document how hard the
-    # kernel worked and how well its caches performed.
+    # One instrumented pass of every selected workload: the counters
+    # document how hard the kernel worked, and the derived cache stats
+    # show how well its caches performed.  The study runs in-process
+    # here (workers=1) — subprocess workers report into their own
+    # registries, not this one.
+    instrumented = dict(runners)
+    instrumented["study_fig3a"] = (
+        lambda: application_level_study(config, workers=1), {})
     with PERF.collecting() as registry:
-        application_level_study(config, workers=1)
+        for name in BENCH_WORKLOADS:
+            if name in selected:
+                instrumented[name][0]()
         snapshot = registry.snapshot()
     report["counters"] = snapshot["counters"]
     report["timers"] = snapshot["timers"]
+    report["caches"] = cache_stats(snapshot["counters"])
     return report
 
 

@@ -26,9 +26,31 @@ Counter names reported by the kernel
 ``calendar.materializations``
     Snapshots that were actually written to and paid the list copy.
 ``dp.expansions``
-    DP state expansions — the paper's strategy-generation expense.
+    DP state expansions actually performed.  The paper's
+    strategy-generation expense metric (``evaluations``) counts the
+    same events; warm-started runs perform — and therefore report —
+    fewer of them while returning bit-identical schedules.
+``dp.pruned``
+    Candidate transitions discarded by warm-start branch-and-bound
+    bounds (work the cold path would have expanded).
+``dp.incumbent_hits`` / ``dp.incumbent_misses``
+    Warm-start hints that re-fit as a feasible incumbent vs. hints
+    that no longer fit the current level/calendars (the run is then
+    cold).
 ``dp.transfer_cache_hits`` / ``dp.transfer_cache_misses``
-    Per-``(transfer, src, dst)`` transfer-time memoization.
+    Per-``(transfer, src, dst)`` transfer-time memoization (shared per
+    job across chains, levels, and repair retries).
+``dp.fit_cache_hits`` / ``dp.fit_cache_misses``
+    Version-keyed ``earliest_fit`` memo shared across DP calls; a hit
+    means the node's calendar is provably unchanged since the answer
+    was computed.
+``dp.fit_cache_evictions``
+    Wholesale clears of an overgrown fit cache.
+``dp.warm_fallbacks``
+    Warm runs that fell back to a cold pass (defensive; expected 0).
+``flow.plan_cache_hits`` / ``flow.plan_cache_misses``
+    Metascheduler strategy reuse keyed on (job, family, domain) and the
+    domain's calendar epoch slice.
 ``critical_works.rank_cache_hits`` / ``..._misses``
     Reuse of the per-(job, level) critical-works ranking.
 ``job.paths_cache_hits`` / ``job.paths_cache_misses``
@@ -47,7 +69,33 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["PerfRegistry", "PERF"]
+__all__ = ["PerfRegistry", "PERF", "cache_stats"]
+
+
+def cache_stats(counters: dict[str, int]) -> dict[str, dict[str, float]]:
+    """Derive per-cache hit statistics from ``*_hits``/``*_misses`` pairs.
+
+    Every counter pair named ``<cache>_hits`` / ``<cache>_misses``
+    (either side may be absent and defaults to 0) yields one entry
+    ``{<cache>: {"hits": h, "misses": m, "hit_rate": h / (h + m)}}``.
+    Used by the benchmark report and ``repro perf --json`` so cache
+    effectiveness is visible next to the timings.
+    """
+    names = {name[: -len(suffix)]
+             for name in counters
+             for suffix in ("_hits", "_misses")
+             if name.endswith(suffix)}
+    stats: dict[str, dict[str, float]] = {}
+    for name in sorted(names):
+        hits = int(counters.get(f"{name}_hits", 0))
+        misses = int(counters.get(f"{name}_misses", 0))
+        total = hits + misses
+        stats[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+    return stats
 
 
 class PerfRegistry:

@@ -149,3 +149,61 @@ def test_many_reservations_scan_correctness():
         cal.reserve(i * 10, i * 10 + 5, f"r{i}")
     assert [r.tag for r in cal.conflicts(250, 275)] == ["r25", "r26", "r27"]
     assert cal.is_free(255, 260)
+
+
+# ----------------------------------------------------------------------
+# Content versions (calendar epochs)
+# ----------------------------------------------------------------------
+
+def test_version_bumps_on_every_mutation():
+    calendar = ReservationCalendar()
+    versions = [calendar.version]
+    reservation = calendar.reserve(0, 5, tag="a")
+    versions.append(calendar.version)
+    calendar.reserve(10, 15, tag="b")
+    versions.append(calendar.version)
+    calendar.release(reservation)
+    versions.append(calendar.version)
+    calendar.release_tag("b")
+    versions.append(calendar.version)
+    # Strictly increasing: every mutation is observable.
+    assert versions == sorted(set(versions))
+    assert len(set(versions)) == len(versions)
+
+
+def test_version_stable_across_reads():
+    calendar = ReservationCalendar()
+    calendar.reserve(0, 5)
+    before = calendar.version
+    calendar.conflicts(0, 10)
+    calendar.is_free(6, 8)
+    calendar.earliest_fit(2, earliest=0, deadline=50)
+    assert calendar.version == before
+
+
+def test_release_tag_without_match_keeps_version():
+    calendar = ReservationCalendar()
+    calendar.reserve(0, 5, tag="a")
+    before = calendar.version
+    assert calendar.release_tag("missing") == 0
+    assert calendar.version == before
+
+
+def test_copy_shares_version_until_divergence():
+    """Equal versions must imply identical contents: a copy-on-write
+    snapshot keeps the source's version, and either side mutating draws
+    a fresh globally-unique version."""
+    calendar = ReservationCalendar()
+    calendar.reserve(0, 5)
+    snapshot = calendar.copy()
+    assert snapshot.version == calendar.version
+    snapshot.reserve(10, 12)
+    assert snapshot.version != calendar.version
+
+
+def test_versions_are_globally_unique():
+    first, second = ReservationCalendar(), ReservationCalendar()
+    assert first.version != second.version
+    first.reserve(0, 1)
+    second.reserve(0, 1)
+    assert first.version != second.version

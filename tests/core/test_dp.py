@@ -220,3 +220,83 @@ def test_evaluations_counter_positive():
     result = allocate_chain(job, ["A", "B", "C"], pool,
                             empty_calendars(pool), 20)
     assert result.evaluations > 0
+
+
+def test_fit_cache_and_transfer_cache_do_not_change_results():
+    """The version-keyed fit cache and the shared transfer cache are
+    pure memoization: results must equal the uncached run's exactly."""
+    job = chain_job()
+    pool = make_pool(1.0, 0.5, 1 / 3)
+    chain = ["A", "B", "C"]
+    calendars = empty_calendars(pool)
+    calendars[1].reserve(0, 3, tag="bg")
+    calendars[2].reserve(4, 6, tag="bg")
+
+    plain = allocate_chain(job, chain, pool, calendars, 25)
+    fit_cache: dict = {}
+    transfer_cache: dict = {}
+    cached = allocate_chain(job, chain, pool, calendars, 25,
+                            fit_cache=fit_cache,
+                            transfer_cache=transfer_cache)
+    assert plain is not None and cached is not None
+    assert cached.placements == plain.placements
+    assert cached.cost == plain.cost
+    assert cached.evaluations == plain.evaluations
+    assert fit_cache  # the run actually populated it
+
+    # A second cached run reuses entries and still agrees.
+    again = allocate_chain(job, chain, pool, calendars, 25,
+                           fit_cache=fit_cache,
+                           transfer_cache=transfer_cache)
+    assert again.placements == plain.placements
+    assert again.cost == plain.cost
+
+
+def test_stale_fit_cache_keys_are_ignored_after_mutation():
+    """Calendar mutations bump versions, so entries from the old state
+    can never be read back — the cached run must track the fresh state."""
+    job = chain_job()
+    pool = make_pool(1.0, 0.5)
+    chain = ["A", "B", "C"]
+    calendars = empty_calendars(pool)
+    fit_cache: dict = {}
+    allocate_chain(job, chain, pool, calendars, 25, fit_cache=fit_cache)
+
+    calendars[1].reserve(0, 4, tag="bg")
+    fresh = allocate_chain(job, chain, pool, calendars, 25,
+                           fit_cache=fit_cache)
+    uncached = allocate_chain(job, chain, pool, calendars, 25)
+    assert (fresh is None) == (uncached is None)
+    if uncached is not None:
+        assert fresh.placements == uncached.placements
+        assert fresh.cost == uncached.cost
+
+
+def test_hint_warm_start_is_bit_identical():
+    """A warm hint may only reduce work; the allocation itself must be
+    exactly the cold one's, even when the hint is wrong or stale."""
+    job = chain_job()
+    pool = make_pool(1.0, 0.5, 1 / 3)
+    chain = ["A", "B", "C"]
+    calendars = empty_calendars(pool)
+    calendars[2].reserve(0, 5, tag="bg")
+    cold = allocate_chain(job, chain, pool, calendars, 25)
+    assert cold is not None
+
+    good_hint = {p.task_id: p.node_id for p in cold.placements}
+    bad_hint = {"A": 2, "B": 2, "C": 2}
+    partial_hint = {"A": 1}
+    for hint in (good_hint, bad_hint, partial_hint, {}):
+        warm = allocate_chain(job, chain, pool, calendars, 25, hint=hint)
+        assert warm is not None
+        assert warm.placements == cold.placements
+        assert warm.cost == cold.cost
+
+
+def test_hint_on_infeasible_instance_still_returns_none():
+    job = chain_job(deadline=3)
+    pool = make_pool(0.33)
+    chain = ["A", "B", "C"]
+    hint = {"A": 1, "B": 1, "C": 1}
+    assert allocate_chain(job, chain, pool, empty_calendars(pool), 3,
+                          hint=hint) is None

@@ -126,3 +126,46 @@ def test_spec_property_roundtrip(generator):
     strategy = generator.generate(fig2_job(), empty_calendars(fig2_pool()),
                                   StrategyType.S2)
     assert strategy.spec is STRATEGY_SPECS[StrategyType.S2]
+
+
+# ----------------------------------------------------------------------
+# Level-covering filter
+# ----------------------------------------------------------------------
+
+def test_covering_schedules_filters_by_level(generator):
+    strategy = generator.generate(fig2_job(), empty_calendars(fig2_pool()),
+                                  StrategyType.S1)
+    covering = strategy.covering_schedules(0.5)
+    assert covering
+    assert all(s.level >= 0.5 for s in covering)
+    assert all(s.admissible for s in covering)
+    # Level 0 covers everything admissible.
+    assert strategy.covering_schedules(0.0) == strategy.admissible_schedules()
+
+
+def test_covering_schedules_tolerates_float_noise(generator):
+    from repro.core.strategy import LEVEL_EPS
+
+    strategy = generator.generate(fig2_job(), empty_calendars(fig2_pool()),
+                                  StrategyType.S1)
+    top = max(s.level for s in strategy.admissible_schedules())
+    # A query an epsilon above an exact level must not drop the exact
+    # variant (the classic 0.1 + 0.2 style float mishap).
+    barely_above = top + LEVEL_EPS / 2
+    assert any(s.level == top
+               for s in strategy.covering_schedules(barely_above))
+    clearly_above = top + 1e-6
+    assert all(s.level > top or s.level >= clearly_above - LEVEL_EPS
+               for s in strategy.covering_schedules(clearly_above))
+
+
+def test_schedule_for_level_consistent_with_covering(generator):
+    strategy = generator.generate(fig2_job(), empty_calendars(fig2_pool()),
+                                  StrategyType.S1)
+    for level in (0.0, 0.3, 0.5, 0.9):
+        chosen = strategy.schedule_for_level(level)
+        covering = strategy.covering_schedules(level)
+        if covering:
+            assert chosen in covering
+        else:
+            assert chosen is None

@@ -1,0 +1,104 @@
+"""Warm-started strategy generation is bit-identical to the cold path.
+
+The warm start seeds each level's DP with the adjacent level's
+allocation as an incumbent and prunes dominated partial chains; the
+guarantee is that only *work* changes — every returned schedule, cost,
+makespan, collision list, and admissibility flag must equal the cold
+run's exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import StrategyGenerator, StrategyType
+from repro.grid.environment import GridEnvironment
+from repro.workload.generator import generate_job, generate_pool
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def outcomes_equal(warm, cold):
+    """Field-by-field equality of two SchedulingOutcomes.
+
+    ``evaluations`` is deliberately excluded: performing less work is
+    the whole point of the warm start.
+    """
+    assert warm.job_id == cold.job_id
+    assert warm.level == cold.level
+    assert warm.admissible == cold.admissible
+    assert warm.cost == cold.cost
+    assert warm.makespan == cold.makespan
+    assert warm.collisions == cold.collisions
+    if cold.distribution is None:
+        assert warm.distribution is None
+    else:
+        assert warm.distribution is not None
+        assert list(warm.distribution) == list(cold.distribution)
+
+
+def strategies_equal(warm, cold):
+    assert [s.level for s in warm.schedules] == [
+        s.level for s in cold.schedules]
+    for warm_schedule, cold_schedule in zip(warm.schedules, cold.schedules):
+        outcomes_equal(warm_schedule.outcome, cold_schedule.outcome)
+    # NOTE: no per-strategy expense assertion here.  Warm runs usually
+    # expand fewer states, but a bound-proof memo entry re-expanded
+    # under a larger allowance can cost a few extra expansions on tiny
+    # instances; the aggregate saving is asserted separately.
+
+
+def generate_both(pool, job, calendars, stype, release=0):
+    warm = StrategyGenerator(pool, warm_start=True).generate(
+        job, calendars, stype, release=release)
+    cold = StrategyGenerator(pool, warm_start=False).generate(
+        job, calendars, stype, release=release)
+    return warm, cold
+
+
+@pytest.mark.parametrize("stype", list(StrategyType))
+def test_fig2_warm_equals_cold_on_empty_calendars(stype):
+    pool, job = fig2_pool(), fig2_job()
+    environment = GridEnvironment(pool)
+    warm, cold = generate_both(pool, job, environment.snapshot(), stype)
+    strategies_equal(warm, cold)
+
+
+@pytest.mark.parametrize("stype", list(StrategyType))
+@pytest.mark.parametrize("seed", [3, 5, 8])
+def test_fig2_warm_equals_cold_under_background_load(stype, seed):
+    pool, job = fig2_pool(), fig2_job()
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(
+        np.random.default_rng(seed), 0.4, 120)
+    warm, cold = generate_both(pool, job, environment.snapshot(), stype)
+    strategies_equal(warm, cold)
+
+
+@pytest.mark.parametrize("seed", [7, 11, 2009])
+def test_random_workloads_warm_equals_cold(seed):
+    rng = np.random.default_rng(seed)
+    pool = generate_pool(rng)
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(rng, 0.3, 200)
+    calendars = environment.snapshot()
+    for index in range(4):
+        job = generate_job(rng, index)
+        for stype in (StrategyType.S1, StrategyType.S2, StrategyType.MS1):
+            warm, cold = generate_both(pool, job, calendars, stype)
+            strategies_equal(warm, cold)
+
+
+def test_warm_start_actually_saves_work_under_load():
+    """On a loaded pool the warm start must prune at least some levels'
+    expansions (otherwise the optimization is dead code)."""
+    rng = np.random.default_rng(2009)
+    pool = generate_pool(rng)
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(rng, 0.5, 300)
+    calendars = environment.snapshot()
+    saved = 0
+    for index in range(3):
+        job = generate_job(rng, index)
+        warm, cold = generate_both(pool, job, calendars, StrategyType.S1)
+        strategies_equal(warm, cold)
+        saved += cold.generation_expense - warm.generation_expense
+    assert saved > 0

@@ -199,3 +199,116 @@ def test_vo_background_and_load_metrics():
     assert set(load) == {group for group in load}
     total_load = vo.load_by_group(0, 100, jobs_only=False)
     assert all(total_load[g] >= load[g] for g in load)
+
+
+# ----------------------------------------------------------------------
+# Epoch-keyed plan cache and conflict retries
+# ----------------------------------------------------------------------
+
+def test_conflict_retries_validation():
+    grid = GridEnvironment(two_domain_pool())
+    with pytest.raises(ValueError):
+        Metascheduler(grid, conflict_retries=-1)
+
+
+def test_plan_cache_reuses_untouched_domains():
+    """Re-dispatching a job replans only domains whose epoch slice
+    moved; the untouched domain's strategy is reused object-identically."""
+    from repro.perf import PERF
+
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    job = simple_job()
+
+    with PERF.collecting() as registry:
+        scheduler.submit(job, StrategyType.S1)
+        first = scheduler.dispatch()[0]
+        assert first.committed
+        counters = dict(registry.counters)
+    assert counters.get("flow.plan_cache_misses") == 2  # both domains
+    assert counters.get("flow.plan_cache_hits") is None
+
+    committed_domain = first.domain
+    untouched = [m for m in scheduler.managers
+                 if m.domain != committed_domain][0]
+    cached_strategy = untouched.strategies[job.job_id]
+
+    with PERF.collecting() as registry:
+        scheduler.submit(job, StrategyType.S1)
+        second = scheduler.dispatch()[0]
+        counters = dict(registry.counters)
+    # The committed domain's calendars moved (miss); the other did not.
+    assert counters.get("flow.plan_cache_hits") == 1
+    assert counters.get("flow.plan_cache_misses") == 1
+    assert untouched.strategies[job.job_id] is cached_strategy
+    assert second.job_id == job.job_id
+
+
+def test_plan_cache_misses_on_release_change():
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    job = simple_job(deadline=60)
+    from repro.perf import PERF
+
+    with PERF.collecting() as registry:
+        scheduler.submit(job, StrategyType.S1)
+        scheduler.dispatch(release=0)
+        grid.release_job(job.job_id)  # put calendars back
+        scheduler.submit(job, StrategyType.S1)
+        scheduler.dispatch(release=5)
+        counters = dict(registry.counters)
+    # A different release never hits, even where epochs happen to match.
+    assert counters.get("flow.plan_cache_hits") is None
+
+
+def conflict_once_grid():
+    """A grid whose ``can_commit`` refuses every variant during the
+    first planning pass only — the commit-time conflict scenario.
+
+    Planning passes are detected by counting ``epoch_slice`` calls (one
+    per manager per pass), so the gate opens exactly when a retry
+    re-plans.
+    """
+    grid = GridEnvironment(two_domain_pool())
+    true_can_commit = grid.can_commit
+    true_epoch_slice = grid.epoch_slice
+    calls = {"passes": 0}
+
+    def counting_epoch_slice(node_ids):
+        calls["passes"] += 1
+        return true_epoch_slice(node_ids)
+
+    def gated_can_commit(distribution):
+        if calls["passes"] <= len(grid.pool.domains()):
+            return False  # still the first pass: steal everything
+        return true_can_commit(distribution)
+
+    grid.epoch_slice = counting_epoch_slice
+    grid.can_commit = gated_can_commit
+    return grid
+
+
+def test_commit_conflict_rejects_without_retries():
+    scheduler = Metascheduler(conflict_once_grid(), conflict_retries=0)
+    scheduler.submit(simple_job(), StrategyType.S1)
+    record = scheduler.dispatch()[0]
+    assert not record.committed
+    assert record.reason == "conflict"
+
+
+def test_conflict_retry_replans_and_commits():
+    """When every variant is stolen between planning and commitment,
+    ``conflict_retries`` re-plans instead of rejecting outright; with
+    unchanged epochs the retry is served entirely from the plan cache."""
+    from repro.perf import PERF
+
+    scheduler = Metascheduler(conflict_once_grid(), conflict_retries=1)
+    scheduler.submit(simple_job(), StrategyType.S1)
+    with PERF.collecting() as registry:
+        record = scheduler.dispatch()[0]
+        counters = dict(registry.counters)
+    assert record.committed
+    assert record.reason == ""
+    # Nothing was committed between the passes, so the retry hit the
+    # cache for both domains.
+    assert counters.get("flow.plan_cache_hits") == 2

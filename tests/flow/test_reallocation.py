@@ -115,3 +115,140 @@ def test_events_beyond_horizon_ignored():
     result = strategy_time_to_live(strategy, events, horizon=100)
     assert result.survived
     assert result.ttl == 100
+
+
+# ---------------------------------------------------------------------------
+# Boundary semantics, deterministic ordering, and the interval index
+# ---------------------------------------------------------------------------
+
+def test_zero_length_windows_are_rejected():
+    with pytest.raises(ValueError, match="empty or inverted"):
+        BackgroundEvent(0, 1, 3, 3)
+    with pytest.raises(ValueError, match="empty or inverted"):
+        BackgroundEvent(0, 1, 4, 3)
+
+
+def test_executed_before_exact_end_boundary():
+    """A placement ending exactly at ``executed_before`` has fully run:
+    it must be immune, while one slot less exposes the final sliver."""
+    dist = Distribution("j", [Placement("A", 1, 0, 5)])
+    event = BackgroundEvent(6, 1, 2, 4)
+    assert not invalidates(event, dist, executed_before=5)
+    assert invalidates(event, dist, executed_before=4)
+
+
+def test_partially_executed_placements_stay_vulnerable():
+    """Immunity is all-or-nothing: only a placement that ran to
+    completion (``end <= executed_before``) is safe — a still-running
+    one is invalidated by any overlap with its whole window."""
+    dist = Distribution("j", [Placement("A", 1, 0, 5)])
+    assert invalidates(BackgroundEvent(6, 1, 0, 3), dist,
+                       executed_before=3)
+    # A window beyond the placement never clashes, executed or not.
+    assert not invalidates(BackgroundEvent(6, 1, 5, 8), dist,
+                           executed_before=3)
+
+
+def test_interval_index_matches_invalidates():
+    """The per-node interval index answers exactly like the reference
+    predicate, across random placements, windows, and progress marks."""
+    import numpy as np
+
+    from repro.flow.reallocation import _NodeIntervalIndex
+
+    rng = np.random.default_rng(5)
+    for _ in range(300):
+        placements = []
+        for index in range(int(rng.integers(1, 7))):
+            start = int(rng.integers(0, 30))
+            placements.append(Placement(
+                f"T{index}", int(rng.integers(1, 4)), start,
+                start + int(rng.integers(1, 6))))
+        dist = Distribution("j", placements)
+        interval_index = _NodeIntervalIndex(dist)
+        event_start = int(rng.integers(0, 35))
+        event = BackgroundEvent(int(rng.integers(0, 10)),
+                                int(rng.integers(1, 4)), event_start,
+                                event_start + int(rng.integers(1, 6)))
+        for executed_before in (None, 0, int(rng.integers(0, 35))):
+            assert (interval_index.clashes(event, executed_before)
+                    == invalidates(event, dist,
+                                   executed_before=executed_before))
+
+
+def test_shared_arrival_events_replay_order_independently():
+    """Events sharing an arrival slot replay in the deterministic
+    ``(arrival, node_id, start)`` order, so the caller's input order
+    cannot change the outcome (regression: ties used to keep input
+    order)."""
+    import itertools
+
+    strategy = make_strategy()
+    nodes = [node.node_id for node in fig2_pool()][:3]
+    events = [BackgroundEvent(3, node_id, 0, 50) for node_id in nodes]
+    results = set()
+    for permutation in itertools.permutations(events):
+        result = strategy_time_to_live(strategy, list(permutation),
+                                       horizon=100)
+        results.add((result.ttl, result.survived, result.switches,
+                     id(result.final)))
+    assert len(results) == 1
+
+
+def synthetic_strategy(levels_nodes_costs):
+    """A hand-built strategy: one placement per variant, all admissible."""
+    from repro.core.critical_works import SchedulingOutcome
+    from repro.core.strategy import Strategy, SupportingSchedule
+
+    schedules = []
+    for level, node_id, cost in levels_nodes_costs:
+        dist = Distribution("j", [Placement("A", node_id, 0, 10)])
+        schedules.append(SupportingSchedule(level=level, outcome=(
+            SchedulingOutcome(job_id="j", distribution=dist,
+                              admissible=True, level=level, cost=cost,
+                              makespan=10))))
+    job = fig2_job()
+    return Strategy(job=job, scheduled_job=job, stype=StrategyType.S1,
+                    schedules=schedules, generation_expense=0)
+
+
+def test_switches_count_only_active_deaths():
+    """Killing a fallback variant is free; a switch is counted only
+    when the *active* schedule dies, and death ends the replay."""
+    strategy = synthetic_strategy(
+        [(0.2, 1, 1.0), (0.5, 2, 2.0), (0.8, 3, 3.0)])
+    events = [
+        BackgroundEvent(2, 2, 0, 10),   # fallback on node 2 dies: free
+        BackgroundEvent(4, 1, 0, 10),   # active (cheapest) dies: switch
+        BackgroundEvent(6, 3, 0, 10),   # last variant dies: death
+    ]
+    result = strategy_time_to_live(strategy, events, horizon=100)
+    assert not result.survived
+    assert result.switches == 1
+    assert result.ttl == 6
+
+    survivors = strategy_time_to_live(strategy, events[:2], horizon=100)
+    assert survivors.survived
+    assert survivors.switches == 1
+    assert survivors.final is strategy.schedules[2]
+
+
+def test_ttl_min_level_uses_covering_variants_only():
+    """Variants below the forecast level reserve too little to be a
+    fallback: with ``min_level`` set, only covering variants count."""
+    strategy = synthetic_strategy([(0.2, 1, 1.0), (0.8, 2, 5.0)])
+    kill_node_2 = [BackgroundEvent(3, 2, 0, 10)]
+    covered = strategy_time_to_live(strategy, kill_node_2, horizon=100,
+                                    min_level=0.6)
+    assert not covered.survived and covered.ttl == 3
+    # Without the forecast the cheap low-level variant is active and the
+    # node-2 death only removes a fallback.
+    relaxed = strategy_time_to_live(strategy, kill_node_2, horizon=100)
+    assert relaxed.survived and relaxed.switches == 0
+    assert relaxed.final is strategy.schedules[0]
+    # Exactly-at-level variants stay covering within LEVEL_EPS.
+    from repro.core.strategy import LEVEL_EPS
+    exact = strategy_time_to_live(strategy, [], horizon=10,
+                                  min_level=0.8 + LEVEL_EPS / 2)
+    assert exact.survived
+    assert exact.final is strategy.schedules[1]

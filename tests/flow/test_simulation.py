@@ -103,3 +103,17 @@ def test_background_load_reduces_admission():
         config=OnlineConfig(horizon=200, busy_fraction=0.6))
     assert light.run() and heavy.run()
     assert heavy.admission_rate() <= light.admission_rate()
+
+
+def test_conflict_retries_config_validation():
+    with pytest.raises(ValueError):
+        OnlineConfig(conflict_retries=-1)
+    config = OnlineConfig(conflict_retries=2)
+    assert config.conflict_retries == 2
+
+
+def test_conflict_retries_reach_metascheduler():
+    sim = OnlineSimulation(make_pool(), seed=5,
+                           config=OnlineConfig(horizon=10,
+                                               conflict_retries=3))
+    assert sim.metascheduler.conflict_retries == 3

@@ -128,3 +128,53 @@ def test_utilization_by_group_tagged_excludes_background():
     assert levels[NodeGroup.FAST] == 0.5
     with pytest.raises(ValueError):
         env.utilization_by_group_tagged(5, 5)
+
+
+# ----------------------------------------------------------------------
+# Epoch vector
+# ----------------------------------------------------------------------
+
+def test_epochs_track_only_touched_nodes():
+    env = make_env()
+    before = env.epochs()
+    assert set(before) == set(env.pool.node_ids())
+    dist = Distribution("j", [Placement("A", 1, 0, 5)])
+    env.commit_distribution(dist)
+    after = env.epochs()
+    assert after[1] != before[1]
+    for node_id in env.pool.node_ids():
+        if node_id != 1:
+            assert after[node_id] == before[node_id]
+
+
+def test_epoch_slice_follows_node_order():
+    env = make_env()
+    node_ids = env.pool.node_ids()
+    full = env.epochs()
+    assert env.epoch_slice(node_ids) == tuple(full[n] for n in node_ids)
+    reversed_ids = tuple(reversed(node_ids))
+    assert env.epoch_slice(reversed_ids) == tuple(
+        full[n] for n in reversed_ids)
+
+
+def test_snapshot_shares_epochs_until_either_side_writes():
+    env = make_env()
+    snapshot = env.snapshot()
+    for node_id, calendar in snapshot.items():
+        assert calendar.version == env.epochs()[node_id]
+    # Planning on the snapshot never moves the environment's epochs.
+    before = env.epochs()
+    snapshot[1].reserve(0, 3)
+    assert env.epochs() == before
+    assert snapshot[1].version != env.epochs()[1]
+
+
+def test_release_job_bumps_epochs():
+    env = make_env()
+    dist = Distribution("j", [Placement("A", 1, 0, 5),
+                              Placement("B", 2, 0, 5)])
+    env.commit_distribution(dist)
+    before = env.epochs()
+    assert env.release_job("j") == 2
+    after = env.epochs()
+    assert after[1] != before[1] and after[2] != before[2]

@@ -28,12 +28,25 @@ def test_run_kernel_bench_report_shape():
     report = run_kernel_bench(jobs=2, repeats=1)
     assert report["schema"] == BENCH_SCHEMA_VERSION
     assert set(report["workloads"]) == {
-        "study_fig3a", "critical_works_fig2", "calendar_ops"}
+        "study_fig3a", "critical_works_fig2", "calendar_ops",
+        "strategy_generation", "online_sim"}
     for entry in report["workloads"].values():
         assert entry["seconds"] > 0
     assert report["counters"]["dp.expansions"] > 0
     assert report["timers"]["strategy.generate"] > 0
+    # Derived cache stats ride along for every hits/misses counter pair.
+    assert report["caches"]["dp.fit_cache"]["hits"] > 0
+    assert 0.0 <= report["caches"]["dp.fit_cache"]["hit_rate"] <= 1.0
+    assert "flow.plan_cache" in report["caches"]
     json.dumps(report)  # must be JSON-serializable as-is
+
+
+def test_run_kernel_bench_workload_filter():
+    report = run_kernel_bench(repeats=1, workloads=["calendar_ops"])
+    assert set(report["workloads"]) == {"calendar_ops"}
+    assert "caches" in report
+    with pytest.raises(ValueError, match="unknown workload"):
+        run_kernel_bench(repeats=1, workloads=["calendar_ops", "nope"])
 
 
 def test_compare_reports_flags_only_regressions():
@@ -78,22 +91,37 @@ def test_committed_baseline_is_comparable():
     baseline = json.loads(path.read_text(encoding="utf-8"))
     assert baseline["schema"] == BENCH_SCHEMA_VERSION
     rows = compare_reports(baseline, baseline)
-    assert len(rows) == 3
+    assert len(rows) == 5
     assert not any(row["regressed"] for row in rows)
     assert baseline["geometric_mean_speedup_vs_reference"] > 1.0
+    # The acceptance scenarios of the incremental-generation work must
+    # stay recorded at a >= 1.5x geometric-mean speedup over the
+    # pre-optimization reference.
+    reference = baseline["reference"]["workloads"]
+    product = 1.0
+    for name in ("strategy_generation", "online_sim"):
+        product *= (reference[name]["seconds"]
+                    / baseline["workloads"][name]["seconds"])
+    assert product ** 0.5 >= 1.5
+    assert baseline["caches"]["dp.fit_cache"]["hits"] > 0
 
 
 def test_cli_perf_smoke(tmp_path, capsys):
     """`repro perf` runs end to end, writes JSON, and compares."""
+    micro = ["--workloads", "calendar_ops", "critical_works_fig2"]
     out = tmp_path / "bench.json"
     assert main(["perf", "--jobs", "2", "--repeats", "1",
-                 "--json", str(out)]) == 0
+                 "--json", str(out), *micro]) == 0
     report = json.loads(out.read_text(encoding="utf-8"))
     assert report["schema"] == BENCH_SCHEMA_VERSION
+    assert set(report["workloads"]) == {"calendar_ops",
+                                        "critical_works_fig2"}
+    assert "caches" in report
     capsys.readouterr()
 
     assert main(["perf", "--jobs", "2", "--repeats", "1",
-                 "--compare", str(out), "--threshold", "1000"]) == 0
+                 "--compare", str(out), "--threshold", "1000",
+                 *micro]) == 0
     assert "workload" in capsys.readouterr().out
 
     # Strict mode turns a regression into a non-zero exit.
@@ -103,5 +131,5 @@ def test_cli_perf_smoke(tmp_path, capsys):
         for name, entry in report["workloads"].items()}
     out.write_text(json.dumps(shrunk), encoding="utf-8")
     assert main(["perf", "--jobs", "2", "--repeats", "1",
-                 "--compare", str(out), "--strict"]) == 1
+                 "--compare", str(out), "--strict", *micro]) == 1
     assert "REGRESSED" in capsys.readouterr().out
