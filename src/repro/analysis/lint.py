@@ -21,6 +21,15 @@ repository's reproducibility and modelling conventions:
   (``[]``, ``{}``, ``set()``, ...).  The dataclass-heavy core shares
   instances across jobs and strategies; an aliased default list is a
   cross-job state leak.
+* **REP005 scalar-fit-in-loop** — scalar ``.earliest_fit(...)`` calls
+  inside a loop of ``core/dp.py``.  The DP's hot loops must answer
+  placement queries through the batched gap-table kernel
+  (:mod:`repro.core.placement`) or the interval-witness fit cache; a
+  bare per-row ``earliest_fit`` re-bisects the calendar on every
+  iteration.  The sanctioned scalar fallback (what-if copy-on-write
+  snapshots without materialized gap tables) is marked with a
+  ``# lint: scalar-fallback`` comment on the call line or the line
+  above it.
 
 Run as a module over any file or directory tree::
 
@@ -58,6 +67,18 @@ _WALL_CLOCK_SCOPE = ("sim",)
 
 #: Constructors whose call produces a fresh mutable object.
 _MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+#: Comment marker sanctioning a scalar ``earliest_fit`` in a DP loop
+#: (REP005); effective on the call's line or the line above it.
+_SCALAR_FIT_MARKER = "lint: scalar-fallback"
+
+
+def _is_dp_module(path: Path) -> bool:
+    """True for the DP kernel module (``core/dp.py``), where REP005
+    applies."""
+    parts = path.parts
+    return (len(parts) >= 2 and parts[-1] == "dp.py"
+            and parts[-2] == "core")
 
 
 @dataclass(frozen=True)
@@ -124,10 +145,17 @@ def _is_rng_sanctuary(path: Path) -> bool:
 class _Checker(ast.NodeVisitor):
     """Walks one module and accumulates violations."""
 
-    def __init__(self, path: Path, aliases: dict[str, str]):
+    def __init__(self, path: Path, aliases: dict[str, str],
+                 sanctioned_lines: Optional[frozenset[int]] = None):
         self.path = path
         self.aliases = aliases
         self.violations: list[LintViolation] = []
+        #: Lines carrying the REP005 sanction marker.
+        self.sanctioned_lines = sanctioned_lines or frozenset()
+        #: Loop nesting depth of the *current* function body; a nested
+        #: function starts its own count (its body does not execute
+        #: inside the enclosing loop's iteration).
+        self._loop_depth = [0]
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(LintViolation(
@@ -152,7 +180,34 @@ class _Checker(ast.NodeVisitor):
                     node, "REP003",
                     f"wall-clock read `{dotted}` inside the simulator; "
                     f"use the discrete-event clock (Environment.now)")
+        self._check_scalar_fit(node)
         self.generic_visit(node)
+
+    # REP005 ----------------------------------------------------------
+
+    def _check_scalar_fit(self, node: ast.Call) -> None:
+        if not _is_dp_module(self.path) or self._loop_depth[-1] == 0:
+            return
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "earliest_fit"):
+            return
+        if node.lineno in self.sanctioned_lines \
+                or node.lineno - 1 in self.sanctioned_lines:
+            return
+        self._report(
+            node, "REP005",
+            "scalar earliest_fit inside a DP loop; batch through "
+            "repro.core.placement (or mark the sanctioned fallback "
+            f"with `# {_SCALAR_FIT_MARKER}`)")
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth[-1] += 1
+        self.generic_visit(node)
+        self._loop_depth[-1] -= 1
+
+    visit_For = visit_AsyncFor = visit_While = _visit_loop
+    visit_ListComp = visit_SetComp = visit_DictComp = _visit_loop
+    visit_GeneratorExp = _visit_loop
 
     # REP002 ----------------------------------------------------------
 
@@ -189,26 +244,27 @@ class _Checker(ast.NodeVisitor):
                     "mutable default argument; default to None (or a "
                     "dataclasses.field factory) and build inside")
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_function(
+            self,
+            node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+    ) -> None:
         self._check_defaults(node, node.args.defaults)
         self._check_defaults(node, node.args.kw_defaults)
+        self._loop_depth.append(0)
         self.generic_visit(node)
+        self._loop_depth.pop()
 
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node, node.args.defaults)
-        self._check_defaults(node, node.args.kw_defaults)
-        self.generic_visit(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._check_defaults(node, node.args.defaults)
-        self._check_defaults(node, node.args.kw_defaults)
-        self.generic_visit(node)
+    visit_FunctionDef = visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
 
 
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     """Lint one module's source text."""
     tree = ast.parse(source, filename=path)
-    checker = _Checker(Path(path), _module_aliases(tree))
+    sanctioned = frozenset(
+        number for number, line in enumerate(source.splitlines(), start=1)
+        if _SCALAR_FIT_MARKER in line)
+    checker = _Checker(Path(path), _module_aliases(tree), sanctioned)
     checker.visit(tree)
     return sorted(checker.violations,
                   key=lambda v: (v.path, v.line, v.col, v.code))

@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--workloads", metavar="NAME", nargs="+", default=None,
                       help="run only the named pinned workloads (CI gates "
                            "strictly on the fast micro scenarios this way)")
+    perf.add_argument("--profile", metavar="NAME", default=None,
+                      help="run one pinned workload under cProfile and "
+                           "print the top 25 functions by cumulative "
+                           "time instead of benchmarking")
 
     analyze = commands.add_parser(
         "analyze",
@@ -182,6 +186,9 @@ def _run_perf(args: argparse.Namespace) -> int:
     from .perf import (compare_reports, format_comparison, run_kernel_bench)
     from .perf.bench import DEFAULT_THRESHOLD
 
+    if args.profile is not None:
+        return _profile_workload(args)
+
     report = run_kernel_bench(jobs=args.jobs, seed=args.seed,
                               repeats=args.repeats,
                               workers=args.workers or None,
@@ -204,6 +211,33 @@ def _run_perf(args: argparse.Namespace) -> int:
     print(format_comparison(rows, threshold=threshold))
     regressed = any(row["regressed"] for row in rows)
     return 1 if (regressed and args.strict) else 0
+
+
+def _profile_workload(args: argparse.Namespace) -> int:
+    """Run one pinned bench workload under cProfile (top 25 cumulative).
+
+    Times nothing — a single pass of the chosen scenario is profiled so
+    the hot path can be read off directly (`repro perf --profile
+    strategy_generation`).
+    """
+    import cProfile
+    import pstats
+
+    from .perf.bench import BENCH_WORKLOADS, run_kernel_bench
+
+    name = args.profile
+    if name not in BENCH_WORKLOADS:
+        known = ", ".join(BENCH_WORKLOADS)
+        print(f"unknown workload {name!r}; choose one of: {known}")
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_kernel_bench(jobs=args.jobs, seed=args.seed, repeats=1,
+                     workers=args.workers or None, workloads=[name])
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(25)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -15,9 +15,17 @@ import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
 from ..perf import PERF
 
-__all__ = ["Reservation", "ReservationConflict", "ReservationCalendar"]
+__all__ = ["Reservation", "ReservationConflict", "ReservationCalendar",
+           "GapTable", "GAP_HORIZON"]
+
+#: Sentinel end of a calendar's last (unbounded) gap.  Far beyond any
+#: realistic slot value, yet small enough that gap ends offset by a
+#: per-row stride (see :mod:`repro.core.placement`) stay inside int64.
+GAP_HORIZON = 1 << 40
 
 #: Process-global version clock shared by every calendar.  Each mutation
 #: draws a fresh tick, so a version value identifies one concrete
@@ -35,6 +43,38 @@ _BY_END = operator.attrgetter("end")
 
 class ReservationConflict(RuntimeError):
     """Attempted to reserve a slot overlapping an existing reservation."""
+
+
+@dataclass(frozen=True)
+class GapTable:
+    """Structure-of-arrays view of one calendar's free gaps.
+
+    Gap ``k`` is the half-open free interval ``[gap_start[k],
+    gap_start[k] + gap_len[k])``; gaps are sorted and cover everything
+    the reservations do not.  The first gap opens at ``-GAP_HORIZON``
+    (a query never starts earlier) and the last gap ends at
+    :data:`GAP_HORIZON` (the calendar is free forever past its last
+    reservation), so every probe lands in exactly one gap.  Adjacent
+    reservations produce zero-length gaps — kept, so gap index
+    arithmetic stays aligned with the reservation list.
+
+    The table is immutable and tagged with the calendar's content
+    ``version``: equal versions guarantee identical reservations, so a
+    table can be cached per version and shared by every copy-on-write
+    clone of the calendar (see :mod:`repro.core.placement`).
+    """
+
+    version: int
+    #: Sorted gap starts (int64); ``gap_start[0] == -GAP_HORIZON``.
+    gap_start: np.ndarray
+    #: Gap lengths (int64); zero for back-to-back reservations.
+    gap_len: np.ndarray
+    #: ``gap_start + gap_len``, precomputed (the batch kernel bisects
+    #: on gap ends); ``gap_end[-1] == GAP_HORIZON``.
+    gap_end: np.ndarray
+    #: End of the last reservation (0 when empty) — lets callers
+    #: reproduce the scalar API's implied horizon for open deadlines.
+    last_end: int
 
 
 @dataclass(frozen=True)
@@ -220,6 +260,34 @@ class ReservationCalendar:
         """A horizon guaranteed to contain a fit when no deadline is given."""
         last_end = self._reservations[-1].end if self._reservations else 0
         return max(earliest, last_end) + duration
+
+    def gap_table(self) -> GapTable:
+        """The free-gap structure-of-arrays for the current version.
+
+        Derived once per content version from the sorted reservation
+        list; with ``n`` reservations the table has ``n + 1`` gaps
+        (possibly zero-length, for back-to-back reservations).  Callers
+        wanting amortized reuse should go through
+        :func:`repro.core.placement.gap_table`, which caches tables by
+        version across copy-on-write clones.
+        """
+        count = len(self._reservations)
+        gap_start = np.empty(count + 1, dtype=np.int64)
+        gap_end = np.empty(count + 1, dtype=np.int64)
+        gap_start[0] = -GAP_HORIZON
+        gap_end[count] = GAP_HORIZON
+        if count:
+            ends = np.fromiter((r.end for r in self._reservations),
+                               dtype=np.int64, count=count)
+            gap_start[1:] = ends
+            gap_end[:count] = np.fromiter(self._starts, dtype=np.int64,
+                                          count=count)
+            last_end = int(ends[-1])
+        else:
+            last_end = 0
+        return GapTable(version=self._version, gap_start=gap_start,
+                        gap_len=gap_end - gap_start, gap_end=gap_end,
+                        last_end=last_end)
 
     def utilization(self, start: int, end: int) -> float:
         """Fraction of ``[start, end)`` covered by reservations."""

@@ -16,12 +16,14 @@ paper's corporate non-commercial virtual organizations.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Sequence
+
+import numpy as np
 
 from .job import Job, Task
 from .resources import ProcessorNode, ResourcePool
 from .schedule import Distribution, Placement
-from .units import ceil_div
+from .units import EPSILON, ceil_div
 
 __all__ = [
     "CostModel",
@@ -42,6 +44,14 @@ class CostModel(Protocol):
     candidate rows once and to bound partial chains during warm-started
     search (:func:`repro.core.dp.allocate_chain`); models that price by
     wall-clock position (peak-hour tariffs, say) must leave it unset.
+
+    Time-invariant models may also provide ``task_cost_array(task,
+    durations, nodes) -> np.ndarray`` — a vectorized :meth:`task_cost`
+    over per-node reservation lengths.  The batch DP engine uses it to
+    price a task's whole candidate row set in one sweep; the values
+    must be **bit-identical** to elementwise ``task_cost`` (same float
+    operations in the same order), because warm-started pruning mixes
+    the two.  Models without it are priced through the scalar method.
     """
 
     def task_cost(self, task: Task, placement: Placement,
@@ -60,6 +70,11 @@ class VolumeOverTimeCost:
                   node: ProcessorNode) -> float:
         """``ceil(V_i / T_i)`` — the paper's per-task CF term."""
         return ceil_div(task.volume, placement.duration)
+
+    def task_cost_array(self, task: Task, durations: np.ndarray,
+                        nodes: Sequence[ProcessorNode]) -> np.ndarray:
+        """Vectorized :meth:`task_cost` — same float ops as ``ceil_div``."""
+        return np.ceil(task.volume / durations - EPSILON)
 
 
 class BalancedTimeCost:
@@ -89,6 +104,12 @@ class BalancedTimeCost:
         return (placement.duration
                 + self.cf_weight * ceil_div(task.volume, placement.duration))
 
+    def task_cost_array(self, task: Task, durations: np.ndarray,
+                        nodes: Sequence[ProcessorNode]) -> np.ndarray:
+        """Vectorized :meth:`task_cost` (durations + weighted CF term)."""
+        return (durations
+                + self.cf_weight * np.ceil(task.volume / durations - EPSILON))
+
 
 class PricedTimeCost:
     """Economic alternative: node price rate × reserved wall time.
@@ -114,6 +135,15 @@ class PricedTimeCost:
         rate = node.price_rate if node.price_rate is not None \
             else node.performance
         return rate * placement.duration * self.surge
+
+    def task_cost_array(self, task: Task, durations: np.ndarray,
+                        nodes: Sequence[ProcessorNode]) -> np.ndarray:
+        """Vectorized :meth:`task_cost` (rate × duration × surge)."""
+        rates = np.fromiter(
+            (node.price_rate if node.price_rate is not None
+             else node.performance for node in nodes),
+            dtype=np.float64, count=len(nodes))
+        return rates * durations * self.surge
 
 
 def distribution_cost(distribution: Distribution, job: Job,

@@ -29,11 +29,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..perf import PERF
+from . import placement as _placement
 from .calendar import ReservationCalendar
 from .collisions import Collision, CollisionStats
 from .costs import CostModel, VolumeOverTimeCost, distribution_cost
-from .dp import allocate_chain
+from .dp import _BATCH_MIN_ROWS, allocate_chain
 from .job import Job
 from .resources import ResourcePool
 from .schedule import Distribution, Placement
@@ -95,8 +98,17 @@ class CriticalWorksScheduler:
                  objective: str = "cost",
                  monopolize: bool = False,
                  accounting_model: Optional[CostModel] = None,
-                 self_check: bool = False):
+                 self_check: bool = False,
+                 engine: str = "auto"):
         self.pool = pool
+        if engine not in ("auto", "scalar", "batch"):
+            raise ValueError(f"unknown engine {engine!r}")
+        #: DP engine selection, forwarded to
+        #: :func:`repro.core.dp.allocate_chain` — ``"auto"`` batches the
+        #: phase-A (base snapshot) allocations and falls back to the
+        #: scalar recursion for phase-B working calendars; the choice
+        #: never affects results, only speed.
+        self.engine = engine
         self.transfer_model = transfer_model or NeutralTransferModel()
         #: Selection criterion the DP minimizes (a family's objective).
         self.cost_model = cost_model or VolumeOverTimeCost()
@@ -143,6 +155,11 @@ class CriticalWorksScheduler:
         #: repair retry.  Weakly keyed, like the transfer memos.
         self._duration_caches: "weakref.WeakKeyDictionary[Job, dict[tuple[str, int, float], int]]" \
             = weakref.WeakKeyDictionary()
+        #: Per-job transfer-lag *matrices* for the batch DP engine
+        #: (``transfer id -> pool src × pool dst`` int64 arrays); the
+        #: array analogue of :attr:`_transfer_caches`.
+        self._transfer_matrix_caches: "weakref.WeakKeyDictionary[Job, dict[str, np.ndarray]]" \
+            = weakref.WeakKeyDictionary()
 
     #: Bucket bound for :attr:`_fit_cache`; buckets hold a handful of
     #: (earliest, deadline) entries each, so this caps the memo in the
@@ -161,6 +178,13 @@ class CriticalWorksScheduler:
         if cache is None:
             cache = {}
             self._duration_caches[job] = cache
+        return cache
+
+    def _transfer_matrices_for(self, job: Job) -> dict[str, np.ndarray]:
+        cache = self._transfer_matrix_caches.get(job)
+        if cache is None:
+            cache = {}
+            self._transfer_matrix_caches[job] = cache
         return cache
 
     def _allowed_nodes(self, job: Job) -> Optional[set[int]]:
@@ -230,6 +254,18 @@ class CriticalWorksScheduler:
             if PERF.enabled:
                 PERF.incr("dp.fit_cache_evictions")
             self._fit_cache.clear()
+        if self.engine == "batch" or (
+                self.engine == "auto"
+                and len(calendars) >= _BATCH_MIN_ROWS):
+            # Materialize (or reuse — versions are shared by COW copies)
+            # gap tables for the base snapshot, so phase-A allocations
+            # qualify for the batch DP engine.  Phase-B working copies
+            # mutate into fresh untabled versions and deliberately fall
+            # back to the scalar recursion.  Pools too small to pass the
+            # batch row gate (domain subpools of online flows) skip the
+            # tables — their calls always take the scalar path.
+            for calendar in calendars.values():
+                _placement.gap_table(calendar)
         deadline = release + job.deadline if job.deadline else None
         if deadline is None:
             # No fixed completion time: bound by a generous horizon so the
@@ -358,13 +394,15 @@ class CriticalWorksScheduler:
         # makes collisions possible, as in the paper).
         transfer_cache = self._transfer_cache_for(job)
         duration_cache = self._duration_cache_for(job)
+        transfer_matrices = self._transfer_matrices_for(job)
         tentative = allocate_chain(
             job, segment, self.pool, base, deadline, level,
             self.transfer_model, self.cost_model, fixed=placed,
             release=release, allowed_nodes=allowed,
             objective=self.objective, fit_cache=self._fit_cache,
             hint=warm_hint, transfer_cache=transfer_cache,
-            duration_cache=duration_cache)
+            duration_cache=duration_cache,
+            transfer_matrices=transfer_matrices, engine=self.engine)
         if tentative is None:
             return False
         outcome.evaluations += tentative.evaluations
@@ -409,7 +447,8 @@ class CriticalWorksScheduler:
                 release=release, allowed_nodes=allowed,
                 objective=self.objective, fit_cache=self._fit_cache,
                 hint=segment_hint, transfer_cache=transfer_cache,
-                duration_cache=duration_cache)
+                duration_cache=duration_cache,
+                transfer_matrices=transfer_matrices, engine=self.engine)
             if resolved is None:
                 return False
             outcome.evaluations += resolved.evaluations

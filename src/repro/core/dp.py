@@ -50,9 +50,12 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Mapping, MutableMapping, Optional, Sequence
+from typing import Callable, Mapping, MutableMapping, Optional, Sequence
+
+import numpy as np
 
 from ..perf import PERF
+from . import placement as _placement
 from .calendar import ReservationCalendar
 from .costs import CostModel, VolumeOverTimeCost
 from .job import DataTransfer, Job
@@ -63,6 +66,28 @@ from .transfers import NeutralTransferModel, TransferModel
 __all__ = ["ChainAllocation", "allocate_chain"]
 
 _INFINITY = float("inf")
+
+#: Shortest chain the ``auto`` engine routes to the batch kernel.  A
+#: single-task chain touches each candidate row exactly once — array
+#: setup costs more than the loop it replaces.
+_BATCH_MIN_CHAIN = 2
+
+#: Widest candidate row set required before the ``auto`` engine
+#: batches.  Small pools (e.g. per-domain subpools of a metascheduler)
+#: spawn so few states per level that the scalar recursion beats the
+#: fixed per-level cost of the array ops; measured crossover on the
+#: bench scenarios sits around a dozen rows.
+_BATCH_MIN_ROWS = 12
+
+#: Stride packing a DP state ``(pool position, data-ready slot)`` into
+#: one int64 key for deduplication; must exceed every slot value (see
+#: :data:`repro.core.calendar.GAP_HORIZON`).
+_STATE_STRIDE = 1 << 41
+
+#: Shared empty columns for degenerate batch positions (no states or
+#: no candidate rows); read-only by convention.
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
 
 
 @dataclass
@@ -95,6 +120,8 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                                                  int]] = None,
                    duration_cache: Optional[dict[tuple[str, int, float],
                                                  int]] = None,
+                   transfer_matrices: Optional[dict[str, np.ndarray]] = None,
+                   engine: str = "auto",
                    ) -> Optional[ChainAllocation]:
     """Allocate every task of ``chain`` or return None if infeasible.
 
@@ -153,7 +180,23 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         Durations are pure in those three values, so a per-job dict
         amortizes :meth:`~repro.core.job.Task.duration_on` across
         phases, levels, and repair retries.
+    transfer_matrices:
+        Optional shared ``transfer id -> (pool src × pool dst)`` int64
+        lag matrix memo for the batch engine (a per-job dict turns the
+        per-expansion transfer lookup into one array gather per DP
+        level).  Indexed by *pool position*, so the dict must be scoped
+        to one pool.
+    engine:
+        ``"auto"`` (default) routes eligible calls — start-invariant
+        cost model, chain length ≥ 2, gap tables already materialized
+        for every candidate calendar — to the batched numpy engine and
+        everything else to the scalar recursion.  ``"scalar"`` forces
+        the recursion; ``"batch"`` forces the batch engine (building
+        missing gap tables) where eligible — both paths are
+        bit-identical, so the choice is purely about speed.
     """
+    if engine not in ("auto", "scalar", "batch"):
+        raise ValueError(f"unknown engine {engine!r}")
     if not chain:
         return ChainAllocation([], 0.0, release, 0)
     transfer_model = transfer_model or NeutralTransferModel()
@@ -215,11 +258,22 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         query at or past ``e1`` (shrinking the search window never
         creates slots).  One computed fit therefore covers a whole
         interval of ``earliest`` values — exact, never heuristic.
+
+        The row's bucket of the shared cache is attached on first use;
+        rows never queried through the scalar path (batch-engine rows,
+        pruned rows) skip the bucket lookup entirely.
         """
         fits = row[8]
         if fits is None:
-            return row[2].earliest_fit(row[4], earliest=earliest,
-                                       deadline=row[6])
+            if fit_cache is None:
+                return row[2].earliest_fit(row[4], earliest=earliest,
+                                           deadline=row[6])
+            fit_key = (row[1], row[3], row[4], row[6])
+            fits = fit_cache.get(fit_key)
+            if fits is None:
+                fits = ([], [])
+                fit_cache[fit_key] = fits
+            row[8] = fits
         keys, starts = fits
         position = bisect_right(keys, earliest) - 1
         if position >= 0:
@@ -259,6 +313,9 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     #             are all fixed per row, so they live in the bucket key
     #             once instead of in every lookup.
     node_info = [(node, calendars[node.node_id]) for node in nodes]
+    uniform_lag_fn = getattr(transfer_model, "uniform_lag", None)
+    performances = np.fromiter((node.performance for node in nodes),
+                               dtype=np.float64, count=len(nodes))
     candidates: dict[str, list[tuple]] = {}
     for task_id in chain:
         job_task = job.task(task_id)
@@ -283,39 +340,96 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             placed_succs.append(
                 (placed.start, transfer, pool.node(placed.node_id)))
 
+        # Uniform-lag models (every built-in policy) make the external
+        # bounds node-independent except on the placed neighbours' own
+        # nodes: floor = max(pred end + lag) everywhere but on a
+        # producer's node, where that producer's lag drops to zero.
+        # Precomputing the shared bound (and the handful of neighbour
+        # node ids needing the exact loop) turns the per-node work from
+        # |preds| transfer lookups into one dict-free comparison.
+        pred_lags = succ_lags = None
+        if uniform_lag_fn is not None:
+            pred_lags = [(pred_end, uniform_lag_fn(transfer),
+                          src_node.node_id)
+                         for pred_end, transfer, src_node in placed_preds]
+            shared_floor = release
+            for pred_end, lag, _ in pred_lags:
+                bound = pred_end + lag
+                if bound > shared_floor:
+                    shared_floor = bound
+            pred_ids = {src_id for _, _, src_id in pred_lags}
+            succ_lags = [(succ_start, uniform_lag_fn(transfer),
+                          dst_node.node_id)
+                         for succ_start, transfer, dst_node in placed_succs]
+            shared_ceiling = deadline
+            for succ_start, lag, _ in succ_lags:
+                bound = succ_start - lag
+                if bound < shared_ceiling:
+                    shared_ceiling = bound
+            succ_ids = {dst_id for _, _, dst_id in succ_lags}
+
+        # Durations are computed for all nodes in one vectorized sweep
+        # the first time a (task, level) misses the shared cache —
+        # online flows see every job cold, so misses arrive in whole
+        # per-task batches.  ``duration_array`` runs the same float ops
+        # as ``duration_on``, so cached and fresh values agree exactly.
+        task_durations: Optional[list[int]] = None
         rows = []
-        for node, calendar in node_info:
+        for position, (node, calendar) in enumerate(node_info):
             if duration_cache is None:
-                duration = job_task.duration_on(node.performance, level)
+                if task_durations is None:
+                    task_durations = job_task.duration_array(
+                        performances, level).tolist()
+                duration = task_durations[position]
             else:
                 dur_key = (task_id, node.node_id, level)
                 duration = duration_cache.get(dur_key)
                 if duration is None:
-                    duration = job_task.duration_on(node.performance, level)
+                    if task_durations is None:
+                        task_durations = job_task.duration_array(
+                            performances, level).tolist()
+                    duration = task_durations[position]
                     duration_cache[dur_key] = duration
-            floor = release
-            for pred_end, transfer, src_node in placed_preds:
-                bound = pred_end + transfer_time(transfer, src_node, node)
-                if bound > floor:
-                    floor = bound
-            ceiling = deadline
-            for succ_start, transfer, dst_node in placed_succs:
-                bound = succ_start - transfer_time(transfer, node, dst_node)
-                if bound < ceiling:
-                    ceiling = bound
+            if pred_lags is None:
+                floor = release
+                for pred_end, transfer, src_node in placed_preds:
+                    bound = pred_end + transfer_time(transfer, src_node,
+                                                     node)
+                    if bound > floor:
+                        floor = bound
+            elif node.node_id in pred_ids:
+                floor = release
+                for pred_end, lag, src_id in pred_lags:
+                    bound = (pred_end if src_id == node.node_id
+                             else pred_end + lag)
+                    if bound > floor:
+                        floor = bound
+            else:
+                floor = shared_floor
+            if succ_lags is None:
+                ceiling = deadline
+                for succ_start, transfer, dst_node in placed_succs:
+                    bound = succ_start - transfer_time(transfer, node,
+                                                       dst_node)
+                    if bound < ceiling:
+                        ceiling = bound
+            elif node.node_id in succ_ids:
+                ceiling = deadline
+                for succ_start, lag, dst_id in succ_lags:
+                    bound = (succ_start if dst_id == node.node_id
+                             else succ_start - lag)
+                    if bound < ceiling:
+                        ceiling = bound
+            else:
+                ceiling = shared_ceiling
             if floor + duration > ceiling:
                 continue
-            if fit_cache is None:
-                fits = None
-            else:
-                fit_key = (node.node_id, calendar.version, duration,
-                           ceiling)
-                fits = fit_cache.get(fit_key)
-                if fits is None:
-                    fits = ([], [])
-                    fit_cache[fit_key] = fits
+            # The fit-cache bucket (row[8]) is attached lazily by
+            # ``find_fit`` on the row's first scalar query: rows served
+            # by the batch kernel — and rows the scalar DP prunes away —
+            # never pay the bucket lookup.
             rows.append([node, node.node_id, calendar, calendar.version,
-                         duration, floor, ceiling, None, fits])
+                         duration, floor, ceiling, None, None])
         # An empty row set is kept (not short-circuited) so the DP
         # explores — and counts — exactly the states it always did.
         candidates[task_id] = rows
@@ -441,6 +555,28 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     # and the lower bounds would be.
     if hint is not None and len(chain) > 1 and (invariant_cost
                                                 or not cost_mode):
+        if cost_mode:
+            # The incumbent and lower bounds below touch every row's
+            # price; models with a vectorized pricer fill them in one
+            # sweep per task instead of one Placement-building call per
+            # row (tolist() round-trips float64 exactly, so the values
+            # match price_row bit for bit).
+            cost_array_fn = getattr(cost_model, "task_cost_array", None)
+            if cost_array_fn is not None:
+                for task_id in chain:
+                    rows = candidates[task_id]
+                    if len(rows) < _BATCH_MIN_ROWS:
+                        # Below the batching crossover the array
+                        # round-trip costs more than pricing the few
+                        # rows on demand (``price_row`` fills them).
+                        continue
+                    priced = cost_array_fn(
+                        job.task(task_id),
+                        np.fromiter((row[4] for row in rows),
+                                    dtype=np.int64, count=len(rows)),
+                        [row[0] for row in rows])
+                    for row, value in zip(rows, priced.tolist()):
+                        row[7] = value
         incumbent = hint_incumbent()
         if incumbent is None:
             # The hint no longer re-fits (drifted calendars, collision
@@ -470,6 +606,58 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         elif PERF.enabled:
             PERF.incr("dp.incumbent_misses")
 
+    chain_length = len(chain)
+    # Per-position constants, hoisted so each state expansion touches
+    # lists instead of re-querying the job graph.
+    incoming_by_index: list[Optional[DataTransfer]] = [None] * chain_length
+    for position in range(1, chain_length):
+        incoming_by_index[position] = job.transfer_between(
+            chain[position - 1], chain[position])
+    tasks_by_index = [job.task(task_id) for task_id in chain]
+    # Uniform-lag models collapse each edge's lag to one constant (zero
+    # co-located): the scalar inner loop then compares node ids instead
+    # of consulting the transfer cache at all.
+    uniform_by_index: list[Optional[int]] = [None] * chain_length
+    if uniform_lag_fn is not None:
+        for position in range(1, chain_length):
+            uniform_by_index[position] = uniform_lag_fn(
+                incoming_by_index[position])
+
+    # Engine dispatch.  The batch engine needs start-invariant row
+    # prices (both objectives rank on cost) and a materialized gap
+    # table per candidate calendar; in ``auto`` mode a missing table —
+    # the signature of a freshly mutated what-if copy — routes the call
+    # to the scalar recursion instead of paying a rebuild.  Both
+    # engines share the incumbent machinery above and return
+    # bit-identical allocations (see ``_allocate_batch``).
+    if (engine != "scalar" and invariant_cost
+            and chain_length >= (_BATCH_MIN_CHAIN if engine == "auto"
+                                 else 1)
+            and (engine == "batch"
+                 or max(len(candidates[task_id]) for task_id in chain)
+                 >= _BATCH_MIN_ROWS)):
+        stacks = _stacked_tables(chain, candidates, build=engine == "batch")
+        if stacks is not None:
+            allocation, spent = _allocate_batch(
+                job, chain, pool, candidates, stacks, incoming_by_index,
+                release, cost_mode, transfer_model, transfer_matrices,
+                cost_model, price_row, pruning, allowance_top, tail_lb)
+            if allocation is None and pruning:
+                # Mirrors the scalar defensive fallback: the incumbent
+                # proved feasibility, so rerun cold rather than ever
+                # returning a divergent answer.
+                if PERF.enabled:  # pragma: no cover - defensive
+                    PERF.incr("dp.warm_fallbacks")
+                allocation, extra = _allocate_batch(
+                    job, chain, pool, candidates, stacks, incoming_by_index,
+                    release, cost_mode, transfer_model, transfer_matrices,
+                    cost_model, price_row, False, _INFINITY, tail_lb)
+                spent += extra
+            if allocation is None:
+                return None
+            allocation.evaluations = spent
+            return allocation
+
     evaluations = 0
     # memo[(index, prev_node_id, ready)] ->
     #   (cost, finish, chosen node, start, end, next state key,
@@ -481,14 +669,6 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     # Placements are only materialized during reconstruction — the DP
     # itself works on plain ints.
     memo: dict[tuple[int, Optional[int], int], tuple] = {}
-    chain_length = len(chain)
-    # Per-position constants, hoisted so each state expansion touches
-    # lists instead of re-querying the job graph.
-    incoming_by_index: list[Optional[DataTransfer]] = [None] * chain_length
-    for position in range(1, chain_length):
-        incoming_by_index[position] = job.transfer_between(
-            chain[position - 1], chain[position])
-    tasks_by_index = [job.task(task_id) for task_id in chain]
     lag_cache_get = transfer_cache.get
 
     def best_from(index: int, prev_node_id: Optional[int], ready: int,
@@ -514,6 +694,7 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         task_id = chain[index]
         incoming = incoming_by_index[index]
         no_incoming = incoming is None or prev_node_id is None
+        uniform = None if no_incoming else uniform_by_index[index]
         # The previous node object is only needed to price an uncached
         # transfer lag — resolved lazily on the first cache miss.
         prev_node: Optional[ProcessorNode] = None
@@ -528,6 +709,11 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
              row_cost, fits) = row
             if no_incoming:
                 start_bound = ready
+            elif uniform is not None:
+                # Uniform-lag model: free co-located, one constant
+                # across nodes — no cache, no model call.
+                start_bound = (ready if prev_node_id == node_id
+                               else ready + uniform)
             else:
                 # Inlined transfer_time: this is the hottest lookup in
                 # the kernel, worth skipping the call overhead for.
@@ -560,7 +746,17 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                     continue
             # Inlined find_fit (see above): the fit query dominates the
             # inner loop, so the interval-witness lookup avoids a call.
+            # Buckets attach lazily on the row's first query — rows the
+            # DP never reaches stay bucket-free.
+            if fits is None and fit_cache is not None:
+                fit_key = (node_id, version, duration, end_bound)
+                fits = fit_cache.get(fit_key)
+                if fits is None:
+                    fits = ([], [])
+                    fit_cache[fit_key] = fits
+                row[8] = fits
             if fits is None:
+                # lint: scalar-fallback (no fit cache: bare query)
                 start = calendar.earliest_fit(
                     duration, earliest=start_bound, deadline=end_bound)
             else:
@@ -575,6 +771,7 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                 else:
                     if perf_on:
                         PERF.incr("dp.fit_cache_misses")
+                    # lint: scalar-fallback (witness miss; answer cached)
                     start = calendar.earliest_fit(
                         duration, earliest=start_bound, deadline=end_bound)
                     keys.insert(position + 1, start_bound)
@@ -664,3 +861,257 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             Placement(chain[key[0]], entry[2], entry[3], entry[4]))
         key = entry[5]
     return ChainAllocation(placements, total_cost, int(finish), evaluations)
+
+
+def _stacked_tables(chain: Sequence[str],
+                    candidates: Mapping[str, list],
+                    build: bool) -> Optional[list]:
+    """Stacked gap tables per chain position, or None to force scalar.
+
+    With ``build=False`` (the ``auto`` engine) any candidate calendar
+    without a materialized gap table vetoes the batch path — exactly
+    the freshly mutated what-if copies the scalar fallback exists for.
+    Positions with no candidate rows stack as None (the batch engine
+    never queries them).
+    """
+    stacks: list = []
+    for task_id in chain:
+        rows = candidates[task_id]
+        if not rows:
+            stacks.append(None)
+            continue
+        # The rows carry their calendar versions (row[3]), so a cached
+        # stack is found without touching the per-calendar tables — the
+        # stacked arrays are self-contained copies of the gap data.
+        stacked = _placement.cached_stack(tuple(row[3] for row in rows))
+        if stacked is None:
+            tables = []
+            for row in rows:
+                table = _placement.gap_table(row[2], build=build)
+                if table is None:
+                    return None
+                tables.append(table)
+            stacked = _placement.stack_gap_tables(tables)
+        stacks.append(stacked)
+    return stacks
+
+
+def _allocate_batch(job: Job, chain: Sequence[str], pool: ResourcePool,
+                    candidates: Mapping[str, list], stacks: list,
+                    incoming_by_index: Sequence[Optional[DataTransfer]],
+                    release: int, cost_mode: bool,
+                    transfer_model: TransferModel,
+                    transfer_matrices: Optional[dict[str, np.ndarray]],
+                    cost_model: CostModel,
+                    price_row: Callable[[str, list], float],
+                    pruning: bool, allowance: float,
+                    tail_lb: Sequence[float]
+                    ) -> tuple[Optional[ChainAllocation], int]:
+    """Level-synchronous batched DP over the candidate rows.
+
+    The scalar recursion explores states ``(position, previous node,
+    data-ready slot)`` one at a time; this engine sweeps the whole
+    state *level* of each chain position at once: an ``states × rows``
+    start-bound matrix (one lag-matrix gather + floor clamp), a
+    feasibility/pruning mask, one :func:`~repro.core.placement.
+    batch_earliest_fit` call for every surviving pair, and an
+    ``np.unique`` dedup of ``(node, end)`` successor states.  The
+    backward pass then ranks each state's candidates with vectorized
+    lexicographic argmins.
+
+    Bit-identical to the recursion by construction:
+
+    * candidate values use the same float operations in the same
+      association — ``row_cost + tail_cost`` right to left, finishes as
+      ``max(tail_finish, end)``;
+    * ties on the primary criterion break to the secondary, then to the
+      *first row in pool order* (the reversed-index scatter below);
+    * pruning drops a pair only when ``min prefix cost + row cost +
+      tail lower bound`` (cost mode) or ``start bound + duration +
+      tail lower bound`` (time mode) strictly exceeds the incumbent —
+      every state on an optimal path keeps its full tie set, so values,
+      winners, and placements match the cold recursion exactly (the
+      same argument as the scalar warm start, with the forward-minimum
+      prefix cost standing in for the recursion's running allowance);
+    * the expansion count is the number of states entering each
+      position — exactly the states the cold recursion would expand.
+
+    Returns ``(allocation or None, evaluations)``; the caller owns the
+    defensive cold rerun when pruning yields None.
+    """
+    pool_nodes = list(pool)
+    pool_position = {node.node_id: index
+                     for index, node in enumerate(pool_nodes)}
+    chain_length = len(chain)
+    cost_array_fn = getattr(cost_model, "task_cost_array", None)
+    uniform_fn = getattr(transfer_model, "uniform_lag", None)
+
+    # Candidate rows as per-position SoA columns.
+    col_pos: list[np.ndarray] = []
+    col_dur: list[np.ndarray] = []
+    col_floor: list[np.ndarray] = []
+    col_ceiling: list[np.ndarray] = []
+    col_cost: list[np.ndarray] = []
+    for task_id in chain:
+        rows = candidates[task_id]
+        count = len(rows)
+        col_pos.append(np.fromiter((pool_position[row[1]] for row in rows),
+                                   dtype=np.int64, count=count))
+        durations = np.fromiter((row[4] for row in rows), dtype=np.int64,
+                                count=count)
+        col_dur.append(durations)
+        col_floor.append(np.fromiter((row[5] for row in rows),
+                                     dtype=np.int64, count=count))
+        col_ceiling.append(np.fromiter((row[6] for row in rows),
+                                       dtype=np.int64, count=count))
+        if count and cost_array_fn is not None:
+            # Vectorized row pricing — elementwise the same float ops
+            # as CostModel.task_cost, so the values are bit-identical.
+            costs = np.asarray(
+                cost_array_fn(job.task(task_id), durations,
+                              [row[0] for row in rows]), dtype=np.float64)
+        else:
+            costs = np.fromiter(
+                (row[7] if row[7] is not None else price_row(task_id, row)
+                 for row in rows), dtype=np.float64, count=count)
+        col_cost.append(costs)
+
+    def lag_matrix(transfer: DataTransfer) -> np.ndarray:
+        matrix = (transfer_matrices.get(transfer.transfer_id)
+                  if transfer_matrices is not None else None)
+        if matrix is not None:
+            return matrix
+        size = len(pool_nodes)
+        matrix = np.empty((size, size), dtype=np.int64)
+        for src_at, src in enumerate(pool_nodes):
+            for dst_at, dst in enumerate(pool_nodes):
+                matrix[src_at, dst_at] = transfer_model.time(
+                    transfer, src, dst)
+        if PERF.enabled:
+            PERF.incr("dp.transfer_matrix_builds")
+        if transfer_matrices is not None:
+            transfer_matrices[transfer.transfer_id] = matrix
+        return matrix
+
+    # Forward sweep: enumerate the reachable state level of every
+    # position (ready slots per pool position), recording the feasible
+    # (state, row) pairs and their fitted start/end slots.
+    states_ready = np.full(1, release, dtype=np.int64)
+    states_pos = np.full(1, -1, dtype=np.int64)
+    # Minimum prefix cost per state — the pruning bound's g-value.
+    states_cost = np.zeros(1, dtype=np.float64)
+    evaluations = 0
+    perf_on = PERF.enabled
+    pairs: list[tuple] = []
+    for index in range(chain_length):
+        state_count = states_ready.shape[0]
+        row_count = col_dur[index].shape[0]
+        if state_count:
+            evaluations += state_count
+            if perf_on:
+                PERF.incr("dp.expansions", state_count)
+        if state_count == 0 or row_count == 0:
+            pairs.append((_EMPTY_I, _EMPTY_I, _EMPTY_I, _EMPTY_I, _EMPTY_I,
+                          state_count))
+            states_ready = states_pos = _EMPTY_I
+            states_cost = _EMPTY_F
+            continue
+        durations = col_dur[index]
+        ceilings = col_ceiling[index]
+        incoming = incoming_by_index[index]
+        if incoming is None:
+            start_bound = np.maximum(states_ready[:, None],
+                                     col_floor[index][None, :])
+        else:
+            uniform = (uniform_fn(incoming) if uniform_fn is not None
+                       else None)
+            if uniform is not None:
+                # Constant cross-node lag: one masked add replaces the
+                # node × node matrix gather.
+                start_bound = np.where(
+                    states_pos[:, None] == col_pos[index][None, :],
+                    states_ready[:, None],
+                    states_ready[:, None] + uniform)
+            else:
+                start_bound = states_ready[:, None] + lag_matrix(incoming)[
+                    states_pos[:, None], col_pos[index][None, :]]
+            np.maximum(start_bound, col_floor[index][None, :],
+                       out=start_bound)
+        feasible = start_bound + durations[None, :] <= ceilings[None, :]
+        if pruning:
+            if cost_mode:
+                bound = (states_cost[:, None] + col_cost[index][None, :]
+                         + tail_lb[index + 1])
+            else:
+                bound = (start_bound + durations[None, :]
+                         + tail_lb[index + 1])
+            feasible &= bound <= allowance
+        state_at, row_at = np.nonzero(feasible)
+        starts = _placement.batch_earliest_fit(
+            stacks[index], row_at, start_bound[state_at, row_at],
+            durations, ceilings)
+        placed = starts >= 0
+        state_at, row_at, starts = (state_at[placed], row_at[placed],
+                                    starts[placed])
+        ends = starts + durations[row_at]
+        keys = col_pos[index][row_at] * _STATE_STRIDE + ends
+        unique_keys, successor = np.unique(keys, return_inverse=True)
+        pairs.append((state_at, row_at, starts, ends, successor,
+                      state_count))
+        states_pos = unique_keys // _STATE_STRIDE
+        states_ready = unique_keys - states_pos * _STATE_STRIDE
+        if pruning and cost_mode:
+            accumulated = np.full(unique_keys.shape[0], _INFINITY)
+            np.minimum.at(accumulated, successor,
+                          states_cost[state_at] + col_cost[index][row_at])
+            states_cost = accumulated
+
+    # Backward value pass: per-state lexicographic argmin over pairs,
+    # ties to the first pair (pool order × monotone unique keys — the
+    # pair order within a state matches the scalar row order).
+    next_cost = next_finish = _EMPTY_F
+    picks: list[np.ndarray] = []
+    for index in range(chain_length - 1, -1, -1):
+        state_at, row_at, _, ends, successor, state_count = pairs[index]
+        cand_cost = col_cost[index][row_at]
+        if index == chain_length - 1:
+            cand_finish = ends.astype(np.float64)
+        else:
+            cand_cost = cand_cost + next_cost[successor]
+            cand_finish = np.maximum(next_finish[successor],
+                                     ends.astype(np.float64))
+        primary = cand_cost if cost_mode else cand_finish
+        secondary = cand_finish if cost_mode else cand_cost
+        best_primary = np.full(state_count, _INFINITY)
+        np.minimum.at(best_primary, state_at, primary)
+        tie = primary == best_primary[state_at]
+        best_secondary = np.full(state_count, _INFINITY)
+        np.minimum.at(best_secondary, state_at[tie], secondary[tie])
+        winners = np.nonzero(tie & (secondary == best_secondary[state_at]))[0]
+        pick = np.full(state_count, -1, dtype=np.int64)
+        pick[state_at[winners[::-1]]] = winners[::-1]
+        value_cost = np.full(state_count, _INFINITY)
+        value_finish = np.full(state_count, _INFINITY)
+        chosen = pick >= 0
+        value_cost[chosen] = cand_cost[pick[chosen]]
+        value_finish[chosen] = cand_finish[pick[chosen]]
+        picks.append(pick)
+        next_cost, next_finish = value_cost, value_finish
+    picks.reverse()
+
+    root_primary = next_cost[0] if cost_mode else next_finish[0]
+    if root_primary == _INFINITY:
+        return None, evaluations
+
+    placements: list[Placement] = []
+    state = 0
+    for index in range(chain_length):
+        pair = int(picks[index][state])
+        _, row_at, starts, ends, successor, _ = pairs[index]
+        row = candidates[chain[index]][int(row_at[pair])]
+        placements.append(Placement(
+            chain[index], row[1], int(starts[pair]), int(ends[pair])))
+        state = int(successor[pair])
+    return (ChainAllocation(placements, float(next_cost[0]),
+                            int(next_finish[0]), evaluations),
+            evaluations)

@@ -16,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+import numpy as np
+
 from ..perf import PERF as _PERF
-from .units import ceil_units, interpolate, scale_duration
+from .units import EPSILON, ceil_units, interpolate, scale_duration
 
 __all__ = ["Task", "DataTransfer", "Job", "JobValidationError"]
 
@@ -84,6 +86,18 @@ class Task:
             duration = scale_duration(self.base_time(level), performance)
             cache[key] = duration
         return duration
+
+    def duration_array(self, performances, level: float = 0.0):
+        """Vectorized :meth:`duration_on` over many performances.
+
+        ``performances`` is a float64 numpy array; the result is the
+        int64 array of per-node durations.  Elementwise the same float
+        operations as :func:`~repro.core.units.scale_duration`
+        (division, epsilon-tolerant ceil), so the values are
+        bit-identical to the scalar path.
+        """
+        base = self.base_time(level)
+        return np.ceil(base / performances - EPSILON).astype(np.int64)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,211 @@
+"""Batched placement queries over structure-of-arrays gap tables.
+
+The DP kernel (:func:`repro.core.dp.allocate_chain`) asks one question
+far more than any other: "where is the earliest free slot of this
+duration on this node before this deadline?".  The scalar path answers
+one ``(node, probe)`` pair at a time through
+:meth:`~repro.core.calendar.ReservationCalendar.earliest_fit`; this
+module answers the question for *every* candidate row of a task — and
+every pending DP state — in one numpy sweep over the stacked
+:class:`~repro.core.calendar.GapTable` arrays of the rows' calendars.
+
+Caching layers (both exact, both keyed on calendar content versions):
+
+* :func:`gap_table` — one table per calendar *version*.  Versions are
+  process-globally unique and shared by copy-on-write clones, so the
+  table built for a grid calendar is reused by every what-if snapshot
+  of it, across jobs and estimation levels, until the node mutates.
+* :func:`stack_gap_tables` — one stacked (concatenated) array set per
+  *sequence* of versions.  The DP's candidate rows for a task reuse
+  the same calendar sequence across estimation levels and chains, so
+  the concatenation cost is paid once per distinct row set.
+
+Counters: ``placement.batch_queries`` (kernel invocations),
+``placement.rows_per_batch`` (total query rows — the batching factor is
+their ratio), ``placement.gap_rebuilds`` (gap tables actually derived),
+plus eviction counts for both caches.
+
+Slot values must stay far below :data:`~repro.core.calendar.GAP_HORIZON`
+(``1 << 40``); the sentinel gap ends and the per-row key stride rely on
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..perf import PERF
+from .calendar import GAP_HORIZON, GapTable, ReservationCalendar
+
+__all__ = ["gap_table", "cached_stack", "stack_gap_tables",
+           "batch_earliest_fit", "table_earliest_fit", "StackedGaps"]
+
+#: Offset separating consecutive rows' gap-end keys in one stacked
+#: array, so a single global ``searchsorted`` resolves every row's
+#: entry gap at once.  Must exceed the full gap-end value range
+#: (``2 * GAP_HORIZON``).
+_ROW_STRIDE = 1 << 42
+
+#: Version-keyed gap tables; wholesale-cleared when full (stale
+#: versions of mutated calendars can never be queried again, so the
+#: clear only costs rebuilds of live entries).
+_GAP_TABLES: dict[int, GapTable] = {}
+_GAP_TABLE_LIMIT = 8192
+
+#: Stacked-array cache keyed on the tuple of stacked versions.
+_STACKS: dict[tuple[int, ...], "StackedGaps"] = {}
+_STACK_LIMIT = 1024
+
+
+def gap_table(calendar: ReservationCalendar,
+              build: bool = True) -> Optional[GapTable]:
+    """The calendar's gap table, cached by content version.
+
+    With ``build=False`` only a previously materialized table is
+    returned (None otherwise) — the probe the DP uses to decide
+    between the batch kernel and the scalar fallback: freshly mutated
+    what-if copies (phase-B working calendars) have fresh versions and
+    no table, so they take the scalar path without ever paying a
+    rebuild.
+    """
+    table = _GAP_TABLES.get(calendar.version)
+    if table is not None:
+        return table
+    if not build:
+        return None
+    if len(_GAP_TABLES) >= _GAP_TABLE_LIMIT:
+        if PERF.enabled:
+            PERF.incr("placement.gap_table_evictions")
+        _GAP_TABLES.clear()
+    table = calendar.gap_table()
+    if PERF.enabled:
+        PERF.incr("placement.gap_rebuilds")
+    _GAP_TABLES[table.version] = table
+    return table
+
+
+class StackedGaps:
+    """Gap tables of several calendars, concatenated for batch queries.
+
+    ``keyed_end`` offsets each row's gap ends by ``row * _ROW_STRIDE``,
+    making the concatenation globally sorted; one ``searchsorted`` with
+    equally offset probes then finds every query's entry gap — the
+    first gap of its row still open at the probe.  ``counts`` holds the
+    per-row gap counts (for broadcasting per-row values over the
+    concatenation)."""
+
+    __slots__ = ("versions", "gap_start", "gap_end", "gap_len", "counts",
+                 "keyed_end")
+
+    def __init__(self, tables: Sequence[GapTable]):
+        self.versions = tuple(table.version for table in tables)
+        self.gap_start = np.concatenate(
+            [table.gap_start for table in tables])
+        self.gap_end = np.concatenate([table.gap_end for table in tables])
+        self.gap_len = self.gap_end - self.gap_start
+        self.counts = np.fromiter(
+            (table.gap_start.shape[0] for table in tables),
+            dtype=np.int64, count=len(tables))
+        self.keyed_end = self.gap_end + np.repeat(
+            np.arange(len(tables), dtype=np.int64) * _ROW_STRIDE,
+            self.counts)
+
+
+def cached_stack(versions: tuple[int, ...]) -> Optional[StackedGaps]:
+    """A previously stacked array set for this exact version sequence.
+
+    Versions pin calendar contents process-globally, so a hit is exact
+    regardless of whether the per-calendar tables are still cached —
+    the stacked arrays are self-contained.
+    """
+    return _STACKS.get(versions)
+
+
+def stack_gap_tables(tables: Sequence[GapTable]) -> StackedGaps:
+    """Stack tables for :func:`batch_earliest_fit`, cached by versions."""
+    key = tuple(table.version for table in tables)
+    stacked = _STACKS.get(key)
+    if stacked is not None:
+        return stacked
+    if len(_STACKS) >= _STACK_LIMIT:
+        if PERF.enabled:
+            PERF.incr("placement.stack_evictions")
+        _STACKS.clear()
+    stacked = StackedGaps(tables)
+    if PERF.enabled:
+        PERF.incr("placement.stack_builds")
+    _STACKS[key] = stacked
+    return stacked
+
+
+def batch_earliest_fit(stacked: StackedGaps, row_index: np.ndarray,
+                       probes: np.ndarray, durations: np.ndarray,
+                       deadlines: np.ndarray) -> np.ndarray:
+    """Earliest fits for a batch of ``(row, probe)`` queries at once.
+
+    ``row_index[q]`` selects the query's calendar among the stacked
+    tables; ``durations``/``deadlines`` are per-*row* arrays (indexed
+    by ``row_index``).  Returns per-query start slots (int64), ``-1``
+    where no slot of the duration ends by the deadline — exactly the
+    answers of scalar ``earliest_fit(duration, earliest=probe,
+    deadline=deadline)`` on each row's calendar.
+
+    Loop-free: one ``searchsorted`` finds every query's entry gap — the
+    first gap of its row still open at the probe.  A query either fits
+    there (clamped start ``max(gap_start, probe)``), or its answer is
+    the first *later* gap of its row at least ``duration`` long: later
+    gaps begin at or past the entry gap's end, hence past the probe, so
+    the probe no longer clamps and plain gap length decides.  Those
+    "first long-enough gap after" queries are answered by a second
+    ``searchsorted`` over the (globally sorted) positions of long-enough
+    gaps; each row's sentinel gap is unbounded, so the search never
+    escapes the query's row.  The deadline check runs last — starts
+    are monotone over a row's gaps, so a deadline miss at the found
+    gap is a miss everywhere later.
+    """
+    queries = row_index.shape[0]
+    out = np.full(queries, -1, dtype=np.int64)
+    if queries == 0:
+        return out
+    if PERF.enabled:
+        PERF.incr("placement.batch_queries")
+        PERF.incr("placement.rows_per_batch", queries)
+    duration = durations[row_index]
+    deadline = deadlines[row_index]
+    entry = np.searchsorted(stacked.keyed_end,
+                            probes + row_index * _ROW_STRIDE, side="right")
+    start = np.maximum(stacked.gap_start[entry], probes)
+    overflow = start + duration > stacked.gap_end[entry]
+    rest = np.nonzero(overflow)[0]
+    if rest.size:
+        long_enough = np.nonzero(
+            stacked.gap_len >= np.repeat(durations, stacked.counts))[0]
+        found = long_enough[np.searchsorted(long_enough, entry[rest] + 1)]
+        start[rest] = stacked.gap_start[found]
+    ok = start + duration <= deadline
+    out[ok] = start[ok]
+    return out
+
+
+def table_earliest_fit(table: GapTable, duration: int, earliest: int = 0,
+                       deadline: Optional[int] = None) -> Optional[int]:
+    """Scalar-signature ``earliest_fit`` answered from a gap table.
+
+    Mirrors :meth:`ReservationCalendar.earliest_fit` bit for bit —
+    including the implied horizon when ``deadline`` is None — by
+    running a one-query batch.  Exists for differential testing and
+    one-off probes; hot paths should batch.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if deadline is None:
+        deadline = max(earliest, table.last_end) + duration
+    stacked = StackedGaps([table])
+    start = batch_earliest_fit(
+        stacked, np.zeros(1, dtype=np.int64),
+        np.asarray([earliest], dtype=np.int64),
+        np.asarray([duration], dtype=np.int64),
+        np.asarray([deadline], dtype=np.int64))[0]
+    return None if start < 0 else int(start)

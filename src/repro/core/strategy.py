@@ -255,6 +255,11 @@ class StrategyGenerator:
         strategies are bit-identical either way (the pruning is exact;
         see :func:`repro.core.dp.allocate_chain`); warm starts only
         reduce ``generation_expense`` and wall time.  On by default.
+    engine:
+        DP engine selection forwarded to the per-family schedulers
+        (``"auto"``, ``"scalar"``, or ``"batch"``; see
+        :func:`repro.core.dp.allocate_chain`).  Bit-identical either
+        way — strictly a speed knob, and the differential tests' lever.
     """
 
     def __init__(self, pool: ResourcePool,
@@ -262,7 +267,8 @@ class StrategyGenerator:
                                                  TransferModel]] = None,
                  cost_model: Optional[CostModel] = None,
                  balanced_cf_weight: Optional[float] = None,
-                 warm_start: bool = True):
+                 warm_start: bool = True,
+                 engine: str = "auto"):
         self.pool = pool
         if policy_models is None:
             policy_models = _default_policy_models()
@@ -272,6 +278,7 @@ class StrategyGenerator:
         #: calibrated default of :class:`~repro.core.costs.BalancedTimeCost`).
         self.balanced_cf_weight = balanced_cf_weight
         self.warm_start = warm_start
+        self.engine = engine
         self._schedulers: dict[StrategyType, CriticalWorksScheduler] = {}
 
     def scheduler_for(self, stype: StrategyType) -> CriticalWorksScheduler:
@@ -293,7 +300,7 @@ class StrategyGenerator:
             self._schedulers[stype] = CriticalWorksScheduler(
                 self.pool, model, criterion,
                 objective=spec.objective, monopolize=spec.monopolize,
-                accounting_model=self.cost_model)
+                accounting_model=self.cost_model, engine=self.engine)
         return self._schedulers[stype]
 
     def generate(self, job: Job,

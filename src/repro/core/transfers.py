@@ -18,7 +18,17 @@ __all__ = ["TransferModel", "NeutralTransferModel", "transfer_time_fn"]
 
 
 class TransferModel(Protocol):
-    """Timing model of data movement under one data policy."""
+    """Timing model of data movement under one data policy.
+
+    A model whose cross-node lag depends only on the transfer — not on
+    *which* two distinct nodes move the data (true for every built-in
+    policy: free co-located, one constant otherwise) — may additionally
+    provide ``uniform_lag(transfer) -> int`` returning that constant.
+    The batch DP engine then evaluates transfer lags with one masked
+    array op instead of gathering from a materialized node × node
+    matrix; models with genuinely pairwise timings (per-link topology,
+    say) simply omit the method.
+    """
 
     def time(self, transfer: DataTransfer, src_node: ProcessorNode,
              dst_node: ProcessorNode) -> int:
@@ -44,6 +54,10 @@ class NeutralTransferModel:
         return transfer.base_time
 
     def estimate(self, transfer: DataTransfer) -> int:
+        return transfer.base_time
+
+    def uniform_lag(self, transfer: DataTransfer) -> int:
+        """The node-independent cross-node lag (see ``TransferModel``)."""
         return transfer.base_time
 
 

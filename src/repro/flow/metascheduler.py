@@ -22,7 +22,7 @@ from ..perf import PERF
 from .economics import InsufficientBudget, VOEconomics
 from .manager import JobManager
 
-__all__ = ["FlowRecord", "Metascheduler"]
+__all__ = ["FlowRecord", "PlannedDispatch", "Metascheduler"]
 
 
 @dataclass
@@ -43,6 +43,22 @@ class FlowRecord:
     #: Why the job was not committed ("inadmissible", "conflict",
     #: "budget"); empty when committed.
     reason: str = ""
+
+
+@dataclass
+class PlannedDispatch:
+    """Phase-one output of a two-phase dispatch.
+
+    Produced by :meth:`Metascheduler.plan_job`, consumed by
+    :meth:`Metascheduler.commit_planned` — possibly at a later
+    simulated instant (planning latency).  ``manager``/``strategy``
+    are None when no domain offered an admissible strategy."""
+
+    job: Job
+    stype: StrategyType
+    release: int
+    manager: Optional["JobManager"]
+    strategy: Optional[Strategy]
 
 
 class Metascheduler:
@@ -144,15 +160,7 @@ class Metascheduler:
 
     def _dispatch_one(self, job: Job, stype: StrategyType,
                       release: int) -> FlowRecord:
-        record = self._plan_and_commit(job, stype, release)
-        retries = 0
-        while record.reason == "conflict" and retries < self.conflict_retries:
-            # Every variant was stolen between planning and commitment;
-            # re-plan against the drifted calendars.  Managers whose
-            # domains are untouched hit the plan cache and only re-offer.
-            retries += 1
-            record = self._plan_and_commit(job, stype, release)
-        return record
+        return self._finish(self.plan_job(job, stype, release))
 
     #: Entry bound for the plan cache; one strategy per entry, so this
     #: limits retained plans, not memory per se.
@@ -186,8 +194,15 @@ class Metascheduler:
         self._plan_cache[key] = (release, epochs, strategy)
         return strategy
 
-    def _plan_and_commit(self, job: Job, stype: StrategyType,
-                         release: int) -> FlowRecord:
+    def plan_job(self, job: Job, stype: StrategyType,
+                 release: int) -> PlannedDispatch:
+        """Phase one of dispatch: plan on every domain, pick the cheapest.
+
+        Nothing is booked; the returned :class:`PlannedDispatch` can be
+        committed later with :meth:`commit_planned`.  Plans go through
+        the epoch-keyed cache, so re-planning the same job against
+        unchanged domain calendars is free.
+        """
         calendars = self.grid.snapshot()
         best: Optional[tuple[JobManager, Strategy]] = None
         best_cost = float("inf")
@@ -201,11 +216,44 @@ class Metascheduler:
                 best = (manager, strategy)
                 best_cost = chosen.outcome.cost
         if best is None:
+            return PlannedDispatch(job, stype, release, None, None)
+        return PlannedDispatch(job, stype, release, best[0], best[1])
+
+    def commit_planned(self, planned: PlannedDispatch) -> FlowRecord:
+        """Phase two of dispatch: commit a previously planned job.
+
+        When the environment drifted between planning and commitment the
+        usual fallbacks apply — first across the strategy's supporting
+        schedules (reallocation), then up to ``conflict_retries``
+        replans at the *original* release.  Replans consult the plan
+        cache, so only domains whose calendars changed re-generate.
+        The outcome is appended to :attr:`records`.
+        """
+        record = self._finish(planned)
+        self.records.append(record)
+        return record
+
+    def _finish(self, planned: PlannedDispatch) -> FlowRecord:
+        job, stype = planned.job, planned.stype
+        if planned.manager is None:
             return FlowRecord(job_id=job.job_id, stype=stype, domain=None,
                               strategy=None, chosen=None, committed=False,
                               reason="inadmissible")
-        manager, strategy = best
-        return self._commit(job, stype, manager, strategy)
+        record = self._commit(job, stype, planned.manager, planned.strategy)
+        retries = 0
+        while record.reason == "conflict" and retries < self.conflict_retries:
+            # Every variant was stolen between planning and commitment;
+            # re-plan against the drifted calendars.  Managers whose
+            # domains are untouched hit the plan cache and only re-offer.
+            retries += 1
+            replanned = self.plan_job(job, stype, planned.release)
+            if replanned.manager is None:
+                return FlowRecord(job_id=job.job_id, stype=stype,
+                                  domain=None, strategy=None, chosen=None,
+                                  committed=False, reason="inadmissible")
+            record = self._commit(job, stype, replanned.manager,
+                                  replanned.strategy)
+        return record
 
     def _commit(self, job: Job, stype: StrategyType, manager: JobManager,
                 strategy: Strategy) -> FlowRecord:

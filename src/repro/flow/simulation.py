@@ -55,6 +55,15 @@ class OnlineConfig:
     #: domains reuse their cached strategies).  0 keeps the historical
     #: reject-on-conflict behaviour.
     conflict_retries: int = 0
+    #: Simulated slots between planning a job and committing its chosen
+    #: schedule — the metascheduler's decision lag.  0 (the historical
+    #: behaviour) plans and commits at the same instant, so nothing can
+    #: drift in between; a positive lag lets other jobs commit first,
+    #: making commitment conflicts (and hence epoch-aware replans that
+    #: exercise the plan cache) actually possible.  Plans target release
+    #: at the commit instant, so schedules never start before they are
+    #: booked.
+    plan_latency: int = 0
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -66,6 +75,9 @@ class OnlineConfig:
         if self.conflict_retries < 0:
             raise ValueError(
                 f"conflict_retries must be >= 0, got {self.conflict_retries}")
+        if self.plan_latency < 0:
+            raise ValueError(
+                f"plan_latency must be >= 0, got {self.plan_latency}")
 
 
 @dataclass
@@ -152,10 +164,27 @@ class OnlineSimulation:
 
     def _admit(self, job: Job, stype: StrategyType) -> None:
         now = int(self.sim.now)
-        self.metascheduler.submit(job, stype)
-        record = self.metascheduler.dispatch(release=now)[0]
-        outcome = JobOutcome(job_id=job.job_id, stype=stype, submitted=now,
-                             committed=record.committed,
+        latency = self.config.plan_latency
+        planned = self.metascheduler.plan_job(job, stype,
+                                              release=now + latency)
+        if latency:
+            self.sim.process(self._deferred_commit(planned, now, latency))
+        else:
+            self._commit_admitted(planned, now)
+
+    def _deferred_commit(self, planned, submitted: int, latency: int):
+        """Commit a planned job ``plan_latency`` slots after planning.
+
+        Other jobs' commitments can land in between; the metascheduler
+        then falls back across supporting schedules and, if all were
+        stolen, replans through the epoch-keyed plan cache."""
+        yield self.sim.timeout(latency)
+        self._commit_admitted(planned, submitted)
+
+    def _commit_admitted(self, planned, submitted: int) -> None:
+        record = self.metascheduler.commit_planned(planned)
+        outcome = JobOutcome(job_id=planned.job.job_id, stype=planned.stype,
+                             submitted=submitted, committed=record.committed,
                              reason=record.reason, charge=record.charge)
         self.outcomes.append(outcome)
         if record.committed:

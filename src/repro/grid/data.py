@@ -61,6 +61,10 @@ class ReplicationModel:
         """Node-independent estimate for critical-work ranking."""
         return ceil_units(self.overlap * transfer.base_time)
 
+    def uniform_lag(self, transfer: DataTransfer) -> int:
+        """The node-independent cross-node lag (batch DP fast path)."""
+        return ceil_units(self.overlap * transfer.base_time)
+
 
 @dataclass(frozen=True)
 class RemoteAccessModel:
@@ -75,6 +79,10 @@ class RemoteAccessModel:
 
     def estimate(self, transfer: DataTransfer) -> int:
         """Node-independent estimate for critical-work ranking."""
+        return transfer.base_time
+
+    def uniform_lag(self, transfer: DataTransfer) -> int:
+        """The node-independent cross-node lag (batch DP fast path)."""
         return transfer.base_time
 
 
@@ -99,6 +107,10 @@ class StaticStorageModel:
 
     def estimate(self, transfer: DataTransfer) -> int:
         """Node-independent estimate for critical-work ranking."""
+        return ceil_units(self.round_trip * transfer.base_time)
+
+    def uniform_lag(self, transfer: DataTransfer) -> int:
+        """The node-independent cross-node lag (batch DP fast path)."""
         return ceil_units(self.round_trip * transfer.base_time)
 
 

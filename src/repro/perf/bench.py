@@ -148,8 +148,12 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
                 expense += strategy.generation_expense
         return expense
 
+    # plan_latency > 0 separates planning from commitment on the DES
+    # clock, so commitment conflicts (and the epoch-aware replans that
+    # exercise the plan cache) actually occur in the benchmark.
     online_config = OnlineConfig(horizon=400, mean_interarrival=6.0,
-                                 busy_fraction=0.3, conflict_retries=1)
+                                 busy_fraction=0.3, conflict_retries=1,
+                                 plan_latency=4)
     online_pool = generate_pool(streams.stream("bench.online_pool"))
 
     def online_sim() -> None:
@@ -169,6 +173,7 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
             "mean_interarrival": online_config.mean_interarrival,
             "busy_fraction": online_config.busy_fraction,
             "conflict_retries": online_config.conflict_retries,
+            "plan_latency": online_config.plan_latency,
             "seed": seed}),
     }
 

@@ -48,6 +48,17 @@ Counter names reported by the kernel
     Wholesale clears of an overgrown fit cache.
 ``dp.warm_fallbacks``
     Warm runs that fell back to a cold pass (defensive; expected 0).
+``dp.transfer_matrix_builds``
+    Per-job ``(task, node)`` transfer-lag matrices precomputed for the
+    batch engine (replacing per-edge transfer-time calls).
+``placement.batch_queries`` / ``placement.rows_per_batch``
+    Batched gap-table placement-kernel invocations and the total query
+    rows they answered; the ratio is the batching factor.
+``placement.gap_rebuilds``
+    Gap tables actually derived from a reservation list (misses of the
+    version-keyed table cache); ``placement.gap_table_evictions``,
+    ``placement.stack_builds`` and ``placement.stack_evictions`` track
+    the table and stacked-array caches themselves.
 ``flow.plan_cache_hits`` / ``flow.plan_cache_misses``
     Metascheduler strategy reuse keyed on (job, family, domain) and the
     domain's calendar epoch slice.

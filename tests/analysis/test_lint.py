@@ -78,6 +78,63 @@ def test_integer_equality_is_fine():
     assert len(found) == 1 and found[0].code == "REP002"
 
 
+# REP005: scalar earliest_fit inside DP loops -------------------------
+
+SCALAR_FIT_LOOP = '''\
+def best_from(rows):
+    for row in rows:
+        start = row.calendar.earliest_fit(5, earliest=0)
+    return start
+'''
+
+SCALAR_FIT_SANCTIONED = '''\
+def best_from(rows):
+    for row in rows:
+        # lint: scalar-fallback (COW snapshot without gap tables)
+        start = row.calendar.earliest_fit(5, earliest=0)
+    return start
+'''
+
+
+def test_scalar_fit_in_dp_loop_caught():
+    found = lint_source(SCALAR_FIT_LOOP, path="src/repro/core/dp.py")
+    assert codes(found) == {"REP005"}
+    assert "scalar-fallback" in found[0].message
+
+
+def test_scalar_fit_sanction_marker_suppresses():
+    found = lint_source(SCALAR_FIT_SANCTIONED, path="src/repro/core/dp.py")
+    assert found == []
+
+
+def test_scalar_fit_only_flagged_in_dp_module():
+    for path in ("src/repro/core/calendar.py",
+                 "src/repro/flow/dp.py",
+                 "tests/core/test_dp.py"):
+        assert lint_source(SCALAR_FIT_LOOP, path=path) == []
+
+
+def test_scalar_fit_outside_loop_is_fine():
+    source = ("def probe(calendar):\n"
+              "    return calendar.earliest_fit(5, earliest=0)\n")
+    assert lint_source(source, path="src/repro/core/dp.py") == []
+
+
+def test_scalar_fit_in_comprehension_caught():
+    source = ("def probe(rows):\n"
+              "    return [r.calendar.earliest_fit(5) for r in rows]\n")
+    found = lint_source(source, path="src/repro/core/dp.py")
+    assert codes(found) == {"REP005"}
+
+
+def test_scalar_fit_nested_function_resets_loop_depth():
+    source = ("def outer(rows):\n"
+              "    for row in rows:\n"
+              "        def helper(calendar):\n"
+              "            return calendar.earliest_fit(5)\n")
+    assert lint_source(source, path="src/repro/core/dp.py") == []
+
+
 def test_source_tree_is_clean():
     src = Path(__file__).resolve().parents[2] / "src"
     assert src.is_dir()

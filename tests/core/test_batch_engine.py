@@ -1,0 +1,105 @@
+"""The batched DP engine is bit-identical to the scalar recursion.
+
+The batch engine answers every candidate row's placement query through
+the stacked gap tables (:mod:`repro.core.placement`) and ranks rows
+with vectorized lexicographic argmins; the guarantee is that engine
+choice is purely a speed knob — every schedule, cost, makespan,
+collision list, and admissibility flag must equal the scalar run's
+exactly, for every strategy family.
+"""
+
+import pytest
+
+from repro.core.dp import allocate_chain
+from repro.core.strategy import StrategyGenerator, StrategyType
+from repro.grid.environment import GridEnvironment
+from repro.workload.generator import generate_job, generate_pool
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+from .test_warm_start import strategies_equal
+
+
+def generate_with(pool, job, calendars, stype, engine, release=0):
+    return StrategyGenerator(pool, engine=engine).generate(
+        job, calendars, stype, release=release)
+
+
+def engines_equal(pool, job, calendars, stype, release=0):
+    scalar = generate_with(pool, job, dict(calendars), stype, "scalar",
+                           release)
+    batch = generate_with(pool, job, dict(calendars), stype, "batch",
+                          release)
+    auto = generate_with(pool, job, dict(calendars), stype, "auto",
+                         release)
+    strategies_equal(batch, scalar)
+    strategies_equal(auto, scalar)
+
+
+@pytest.mark.parametrize("stype", list(StrategyType))
+def test_fig2_batch_equals_scalar_on_empty_calendars(stype):
+    pool, job = fig2_pool(), fig2_job()
+    environment = GridEnvironment(pool)
+    engines_equal(pool, job, environment.snapshot(), stype)
+
+
+@pytest.mark.parametrize("stype", list(StrategyType))
+@pytest.mark.parametrize("seed", [7, 2009])
+def test_fig2_batch_equals_scalar_under_background_load(stype, seed):
+    from repro.sim.rng import RandomStreams
+
+    pool, job = fig2_pool(), fig2_job()
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(
+        RandomStreams(seed).stream("bg"), 0.4, 300)
+    engines_equal(pool, job, environment.snapshot(), stype)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_workloads_batch_equals_scalar(seed):
+    """Seeded random jobs on a loaded random pool, all families."""
+    from repro.sim.rng import RandomStreams
+
+    streams = RandomStreams(seed)
+    pool = generate_pool(streams.stream("pool"))
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(streams.stream("bg"), 0.5, 400)
+    for index in range(3):
+        job = generate_job(streams.stream(f"job{index}"), index)
+        for stype in StrategyType:
+            engines_equal(pool, job, environment.snapshot(), stype,
+                          release=index * 7)
+
+
+@pytest.mark.parametrize("objective", ["cost", "time"])
+def test_allocate_chain_engines_agree_directly(objective):
+    """Engine equality at the allocate_chain level, both objectives.
+
+    The forced batch engine must return the same placements, cost, and
+    finish as the scalar recursion — and, cold against cold, the same
+    expansion count (the batch sweep expands exactly the states the
+    cold recursion would).
+    """
+    from repro.sim.rng import RandomStreams
+
+    streams = RandomStreams(42)
+    pool = generate_pool(streams.stream("pool"))
+    environment = GridEnvironment(pool)
+    environment.apply_background_load(streams.stream("bg"), 0.5, 300)
+    job = generate_job(streams.stream("job"), 0)
+    order = job.topological_order()
+    chain = [order[0]]
+    for task_id in order[1:]:
+        if job.transfer_between(chain[-1], task_id) is not None:
+            chain.append(task_id)
+    assert len(chain) >= 2, "workload generator no longer yields chains"
+    calendars = environment.snapshot()
+    deadline = 10_000
+    scalar = allocate_chain(job, chain, pool, calendars, deadline,
+                            objective=objective, engine="scalar")
+    batch = allocate_chain(job, chain, pool, calendars, deadline,
+                           objective=objective, engine="batch")
+    assert scalar is not None and batch is not None
+    assert batch.placements == scalar.placements
+    assert batch.cost == scalar.cost
+    assert batch.finish == scalar.finish
+    assert batch.evaluations == scalar.evaluations

@@ -244,6 +244,39 @@ def test_plan_cache_reuses_untouched_domains():
     assert second.job_id == job.job_id
 
 
+def test_two_phase_warm_second_plan_hits_cache():
+    """plan_job books nothing; a warm second plan over unchanged
+    calendars is served entirely from the plan cache; commit_planned
+    then books and records the outcome."""
+    from repro.perf import PERF
+
+    grid = GridEnvironment(two_domain_pool())
+    scheduler = Metascheduler(grid)
+    job = simple_job()
+    all_nodes = grid.pool.node_ids()
+
+    epochs_before = grid.epoch_slice(all_nodes)
+    with PERF.collecting() as registry:
+        planned = scheduler.plan_job(job, StrategyType.S1, release=0)
+        counters = dict(registry.counters)
+    assert planned.manager is not None
+    assert counters.get("flow.plan_cache_misses") == 2  # both domains
+    # Planning alone must not touch any calendar.
+    assert grid.epoch_slice(all_nodes) == epochs_before
+
+    with PERF.collecting() as registry:
+        replanned = scheduler.plan_job(job, StrategyType.S1, release=0)
+        counters = dict(registry.counters)
+    assert counters.get("flow.plan_cache_hits") == 2
+    assert counters.get("flow.plan_cache_misses") is None
+    assert replanned.strategy is planned.strategy
+
+    record = scheduler.commit_planned(planned)
+    assert record.committed
+    assert scheduler.records[-1] is record
+    assert grid.epoch_slice(all_nodes) != epochs_before
+
+
 def test_plan_cache_misses_on_release_change():
     grid = GridEnvironment(two_domain_pool())
     scheduler = Metascheduler(grid)

@@ -112,6 +112,33 @@ def test_conflict_retries_config_validation():
     assert config.conflict_retries == 2
 
 
+def test_plan_latency_validation():
+    with pytest.raises(ValueError):
+        OnlineConfig(plan_latency=-1)
+    assert OnlineConfig(plan_latency=3).plan_latency == 3
+
+
+def test_plan_latency_exercises_plan_cache():
+    """With a decision lag, other commitments land between a job's plan
+    and its commit; conflicted jobs replan through the epoch-keyed
+    cache, so the online run produces real cache hits (the bench
+    scenario's configuration — the cache used to be dead there)."""
+    from repro.perf import PERF
+
+    config = OnlineConfig(horizon=400, mean_interarrival=6.0,
+                          busy_fraction=0.3, conflict_retries=1,
+                          plan_latency=4)
+    pool = generate_pool(RandomStreams(2009).stream("bench.online_pool"))
+    simulation = OnlineSimulation(pool, seed=2009, config=config)
+    with PERF.collecting() as registry:
+        outcomes = simulation.run()
+        counters = dict(registry.counters)
+    assert any(o.committed for o in outcomes)
+    assert counters.get("flow.plan_cache_hits", 0) > 0
+    # Every planned job was eventually committed or recorded as refused.
+    assert len(simulation.metascheduler.records) == len(outcomes)
+
+
 def test_conflict_retries_reach_metascheduler():
     sim = OnlineSimulation(make_pool(), seed=5,
                            config=OnlineConfig(horizon=10,

@@ -1,0 +1,83 @@
+"""Property tests: gap-table placement vs the scalar bisect path.
+
+:func:`repro.core.placement.table_earliest_fit` answers through the
+structure-of-arrays gap table what
+:meth:`~repro.core.calendar.ReservationCalendar.earliest_fit` answers
+through bisect; the two must agree on every calendar and query —
+including the awkward ones: zero-length gaps between adjacent
+reservations, probes far past the last reservation, and deadlines that
+cut a fitting slot short.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.placement import gap_table, table_earliest_fit
+
+# Interval layouts biased toward adjacency and overlap-free stacking:
+# sorting random endpoints yields runs of touching reservations (and
+# with lo=0 gap widths of exactly zero).
+intervals = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 30)),
+    min_size=0, max_size=25)
+durations = st.integers(1, 40)
+probes = st.integers(0, 400)
+deadlines = st.none() | st.integers(0, 500)
+
+
+def build_calendar(layout):
+    calendar = ReservationCalendar()
+    cursor = 0
+    for offset, width in layout:
+        start = cursor + offset
+        end = start + width
+        if width > 0:
+            calendar.reserve(start, end, tag=f"r{cursor}")
+        # width == 0 advances the cursor without reserving, so the
+        # next reservation may start exactly where the previous ended
+        # (adjacent reservations, zero-length gap in between).
+        cursor = end
+    return calendar
+
+
+@given(intervals, durations, probes, deadlines)
+@settings(max_examples=300, deadline=None)
+def test_table_earliest_fit_matches_scalar(layout, duration, probe,
+                                           deadline):
+    calendar = build_calendar(layout)
+    expected = calendar.earliest_fit(duration, earliest=probe,
+                                     deadline=deadline)
+    actual = table_earliest_fit(gap_table(calendar), duration,
+                                earliest=probe, deadline=deadline)
+    assert actual == expected
+
+
+@given(intervals, durations)
+@settings(max_examples=100, deadline=None)
+def test_probe_past_horizon_matches_scalar(layout, duration):
+    """Probes beyond the last reservation still agree (trailing gap)."""
+    calendar = build_calendar(layout)
+    horizon = max((booking.end for booking in calendar.reservations),
+                  default=0)
+    for probe in (horizon, horizon + 1, horizon + 1000):
+        expected = calendar.earliest_fit(duration, earliest=probe)
+        actual = table_earliest_fit(gap_table(calendar), duration,
+                                    earliest=probe)
+        assert actual == expected
+
+
+@given(st.integers(0, 50), durations)
+@settings(max_examples=60, deadline=None)
+def test_adjacent_reservations_leave_no_phantom_gap(start, duration):
+    """Back-to-back reservations: the zero-length boundary never fits."""
+    calendar = ReservationCalendar()
+    calendar.reserve(start, start + 5, tag="a")
+    calendar.reserve(start + 5, start + 10, tag="b")
+    expected = calendar.earliest_fit(duration, earliest=0)
+    actual = table_earliest_fit(gap_table(calendar), duration)
+    assert actual == expected
+    if duration <= start:
+        assert actual == 0
+    else:
+        assert actual == start + 10
