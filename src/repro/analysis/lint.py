@@ -30,6 +30,18 @@ repository's reproducibility and modelling conventions:
   snapshots without materialized gap tables) is marked with a
   ``# lint: scalar-fallback`` comment on the call line or the line
   above it.
+* **REP006 stray-cache** — cache state declared outside
+  :mod:`repro.core.context` in the ``core``/``flow`` packages: a
+  module- or class-level cache dict/set, a cache-named ``self``
+  attribute, a cache-named function parameter (cache threading through
+  signatures is exactly what the context replaced), or an
+  ``object.__setattr__`` smuggling a mutable cache onto a frozen
+  object.  "Cache-named" means the lowercase name contains ``cache``,
+  ``memo``, ``_tables``, ``_stacks``, or ``matrices``.  Every kernel
+  cache must live on :class:`~repro.core.context.SchedulingContext`,
+  where invalidation, eviction, and stats are uniform; sanctioned
+  exceptions (pure value-keyed memos on immutable objects) carry a
+  ``# lint: context-cache`` comment on the line or the line above it.
 
 Run as a module over any file or directory tree::
 
@@ -71,6 +83,50 @@ _MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
 #: Comment marker sanctioning a scalar ``earliest_fit`` in a DP loop
 #: (REP005); effective on the call's line or the line above it.
 _SCALAR_FIT_MARKER = "lint: scalar-fallback"
+
+#: Comment marker sanctioning cache state outside the
+#: SchedulingContext (REP006); effective on the declaration's line or
+#: the line above it.
+_CONTEXT_CACHE_MARKER = "lint: context-cache"
+
+#: Lowercase substrings that make a name "cache-named" for REP006.
+_CACHE_NAME_HINTS = ("cache", "memo", "_tables", "_stacks", "matrices")
+
+#: Packages in which REP006 (stray-cache) applies.
+_CACHE_SCOPE = ("core", "flow")
+
+#: Constructors whose call produces a container REP006 treats as cache
+#: storage.
+_CACHE_FACTORIES = frozenset({
+    "dict", "set", "list", "OrderedDict", "defaultdict",
+    "WeakKeyDictionary", "WeakValueDictionary",
+})
+
+
+def _is_cache_scope(path: Path) -> bool:
+    """True where REP006 applies: ``repro.core``/``repro.flow`` modules
+    other than the context module itself (tests may build scratch
+    caches freely)."""
+    return ("repro" in path.parts and _in_scope(path, _CACHE_SCOPE)
+            and path.parts[-1] != "context.py")
+
+
+def _is_cache_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(hint in lowered for hint in _CACHE_NAME_HINTS)
+
+
+def _is_cache_value(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """True when the expression builds a mutable container."""
+    if isinstance(node, (ast.Dict, ast.Set, ast.List, ast.DictComp,
+                         ast.SetComp, ast.ListComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted_name(node.func, aliases)
+        if dotted is not None and \
+                dotted.split(".")[-1] in _CACHE_FACTORIES:
+            return True
+    return False
 
 
 def _is_dp_module(path: Path) -> bool:
@@ -146,15 +202,20 @@ class _Checker(ast.NodeVisitor):
     """Walks one module and accumulates violations."""
 
     def __init__(self, path: Path, aliases: dict[str, str],
-                 sanctioned_lines: Optional[frozenset[int]] = None):
+                 sanctioned_lines: Optional[frozenset[int]] = None,
+                 cache_sanctioned_lines: Optional[frozenset[int]] = None):
         self.path = path
         self.aliases = aliases
         self.violations: list[LintViolation] = []
         #: Lines carrying the REP005 sanction marker.
         self.sanctioned_lines = sanctioned_lines or frozenset()
+        #: Lines carrying the REP006 sanction marker.
+        self.cache_sanctioned_lines = cache_sanctioned_lines or frozenset()
         #: Loop nesting depth of the *current* function body; a nested
         #: function starts its own count (its body does not execute
-        #: inside the enclosing loop's iteration).
+        #: inside the enclosing loop's iteration).  The stack length
+        #: doubles as the function nesting depth: length 1 means
+        #: module/class level.
         self._loop_depth = [0]
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -181,6 +242,7 @@ class _Checker(ast.NodeVisitor):
                     f"wall-clock read `{dotted}` inside the simulator; "
                     f"use the discrete-event clock (Environment.now)")
         self._check_scalar_fit(node)
+        self._check_cache_setattr(node)
         self.generic_visit(node)
 
     # REP005 ----------------------------------------------------------
@@ -250,6 +312,7 @@ class _Checker(ast.NodeVisitor):
     ) -> None:
         self._check_defaults(node, node.args.defaults)
         self._check_defaults(node, node.args.kw_defaults)
+        self._check_cache_params(node)
         self._loop_depth.append(0)
         self.generic_visit(node)
         self._loop_depth.pop()
@@ -257,14 +320,93 @@ class _Checker(ast.NodeVisitor):
     visit_FunctionDef = visit_AsyncFunctionDef = _visit_function
     visit_Lambda = _visit_function
 
+    # REP006 ----------------------------------------------------------
+
+    def _cache_sanctioned(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 0)
+        return (lineno in self.cache_sanctioned_lines
+                or lineno - 1 in self.cache_sanctioned_lines)
+
+    def _report_stray_cache(self, node: ast.AST, what: str) -> None:
+        self._report(
+            node, "REP006",
+            f"{what}; kernel caches belong on "
+            "repro.core.context.SchedulingContext (or mark a sanctioned "
+            f"exception with `# {_CONTEXT_CACHE_MARKER}`)")
+
+    def _check_cache_params(
+            self,
+            node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+    ) -> None:
+        if not _is_cache_scope(self.path) or self._cache_sanctioned(node):
+            return
+        arguments = node.args
+        for argument in (list(arguments.posonlyargs) + list(arguments.args)
+                         + list(arguments.kwonlyargs)):
+            if _is_cache_name(argument.arg):
+                self._report_stray_cache(
+                    argument,
+                    f"cache-named parameter `{argument.arg}` threads cache "
+                    f"state through a signature")
+
+    def _check_cache_assign(self, node: "ast.Assign | ast.AnnAssign",
+                            targets: Sequence[ast.expr],
+                            value: Optional[ast.expr]) -> None:
+        if not _is_cache_scope(self.path) or self._cache_sanctioned(node):
+            return
+        if value is None or not _is_cache_value(value, self.aliases):
+            return
+        at_top_level = len(self._loop_depth) == 1
+        for target in targets:
+            if isinstance(target, ast.Name) and at_top_level \
+                    and _is_cache_name(target.id):
+                self._report_stray_cache(
+                    node,
+                    f"module/class-level cache container `{target.id}`")
+            elif isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self" \
+                    and _is_cache_name(target.attr):
+                self._report_stray_cache(
+                    node,
+                    f"cache container assigned to `self.{target.attr}`")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_cache_assign(node, node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_cache_assign(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    def _check_cache_setattr(self, node: ast.Call) -> None:
+        if not _is_cache_scope(self.path) or self._cache_sanctioned(node):
+            return
+        dotted = _dotted_name(node.func, self.aliases)
+        if dotted != "object.__setattr__" or len(node.args) != 3:
+            return
+        name = node.args[1]
+        if isinstance(name, ast.Constant) and isinstance(name.value, str) \
+                and _is_cache_name(name.value) \
+                and _is_cache_value(node.args[2], self.aliases):
+            self._report_stray_cache(
+                node,
+                f"object.__setattr__ smuggles cache container "
+                f"`{name.value}` onto a frozen object")
+
 
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     """Lint one module's source text."""
     tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
     sanctioned = frozenset(
-        number for number, line in enumerate(source.splitlines(), start=1)
+        number for number, line in enumerate(lines, start=1)
         if _SCALAR_FIT_MARKER in line)
-    checker = _Checker(Path(path), _module_aliases(tree), sanctioned)
+    cache_sanctioned = frozenset(
+        number for number, line in enumerate(lines, start=1)
+        if _CONTEXT_CACHE_MARKER in line)
+    checker = _Checker(Path(path), _module_aliases(tree), sanctioned,
+                       cache_sanctioned)
     checker.visit(tree)
     return sorted(checker.violations,
                   key=lambda v: (v.path, v.line, v.col, v.code))

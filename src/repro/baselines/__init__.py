@@ -2,6 +2,11 @@
 independent-task heuristics (ref. [13]), HEFT list scheduling, and a
 greedy earliest-finish co-allocator."""
 
+from .adapters import (
+    GreedyScheduler,
+    HeftScheduler,
+    IndependentTasksScheduler,
+)
 from .greedy import greedy_schedule
 from .heuristics import Heuristic, MappingResult, map_independent_tasks
 from .list_scheduling import heft_schedule, upward_ranks
@@ -13,4 +18,7 @@ __all__ = [
     "heft_schedule",
     "upward_ranks",
     "greedy_schedule",
+    "GreedyScheduler",
+    "HeftScheduler",
+    "IndependentTasksScheduler",
 ]

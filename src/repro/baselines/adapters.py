@@ -1,0 +1,139 @@
+"""Scheduler-protocol adapters for the baseline schedulers.
+
+The baselines historically exposed three call shapes: the greedy and
+HEFT co-allocators return a bare ``Distribution`` (or None), and the
+independent-task heuristics return a ``MappingResult`` that ignores
+precedence entirely.  These adapters wrap each shape behind the
+:class:`repro.core.context.Scheduler` protocol —
+``schedule(job, pool, calendars, *, context, level, release)`` →
+:class:`~repro.core.critical_works.SchedulingOutcome` — so experiments
+and the bench dispatch every scheduler the same way the critical-works
+method is dispatched.
+
+Outcomes are priced with the same accounting model as the
+critical-works scheduler (the paper's CF by default), which is what
+makes the ablation's cost columns comparable.  The adapters are
+stateless and ignore the ``context`` argument: the baselines have no
+caches to share, and accepting it keeps the protocol uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.calendar import ReservationCalendar
+from ..core.context import SchedulingContext
+from ..core.costs import CostModel, VolumeOverTimeCost, distribution_cost
+from ..core.critical_works import SchedulingOutcome
+from ..core.job import Job
+from ..core.resources import ResourcePool
+from ..core.schedule import Distribution, check_distribution
+from ..core.transfers import TransferModel
+from .greedy import greedy_schedule
+from .heuristics import Heuristic, map_independent_tasks
+from .list_scheduling import heft_schedule
+
+__all__ = ["GreedyScheduler", "HeftScheduler", "IndependentTasksScheduler"]
+
+
+def _outcome_from_distribution(distribution: Optional[Distribution],
+                               job: Job, pool: ResourcePool,
+                               accounting_model: CostModel,
+                               level: float) -> SchedulingOutcome:
+    """Wrap a baseline's Distribution-or-None into a SchedulingOutcome.
+
+    The co-allocating baselines return None exactly when some task
+    missed the deadline, so admissibility is the non-None check.
+    """
+    outcome = SchedulingOutcome(job_id=job.job_id, distribution=distribution,
+                                admissible=distribution is not None,
+                                level=level)
+    if distribution is not None:
+        outcome.cost = distribution_cost(distribution, job, pool,
+                                         accounting_model)
+        outcome.makespan = distribution.makespan
+    return outcome
+
+
+@dataclass
+class GreedyScheduler:
+    """Earliest-finish-first co-allocator behind the Scheduler protocol.
+
+    Wraps :func:`repro.baselines.greedy.greedy_schedule`; DAG-aware but
+    cost-blind, the paper's "no optimization" comparison point.
+    """
+
+    transfer_model: Optional[TransferModel] = None
+    accounting_model: CostModel = field(default_factory=VolumeOverTimeCost)
+
+    def schedule(self, job: Job, pool: ResourcePool,
+                 calendars: Mapping[int, ReservationCalendar], *,
+                 context: Optional[SchedulingContext] = None,
+                 level: float = 0.0,
+                 release: int = 0) -> SchedulingOutcome:
+        distribution = greedy_schedule(job, pool, calendars,
+                                       transfer_model=self.transfer_model,
+                                       level=level, release=release)
+        return _outcome_from_distribution(distribution, job, pool,
+                                          self.accounting_model, level)
+
+
+@dataclass
+class HeftScheduler:
+    """HEFT list scheduling behind the Scheduler protocol.
+
+    Wraps :func:`repro.baselines.list_scheduling.heft_schedule`; the
+    makespan-objective DAG baseline.
+    """
+
+    transfer_model: Optional[TransferModel] = None
+    accounting_model: CostModel = field(default_factory=VolumeOverTimeCost)
+
+    def schedule(self, job: Job, pool: ResourcePool,
+                 calendars: Mapping[int, ReservationCalendar], *,
+                 context: Optional[SchedulingContext] = None,
+                 level: float = 0.0,
+                 release: int = 0) -> SchedulingOutcome:
+        distribution = heft_schedule(job, pool, calendars,
+                                     transfer_model=self.transfer_model,
+                                     level=level, release=release)
+        return _outcome_from_distribution(distribution, job, pool,
+                                          self.accounting_model, level)
+
+
+@dataclass
+class IndependentTasksScheduler:
+    """Independent-task heuristics (min-min & co) behind the protocol.
+
+    Wraps :func:`repro.baselines.heuristics.map_independent_tasks` —
+    the structure-blindness baseline: precedence and transfer lags are
+    ignored during mapping, then re-checked on the resulting
+    distribution.  Admissibility therefore means "the mapping happens
+    to satisfy precedence *and* the deadline", matching how the
+    ablation has always scored it.  Background calendars are likewise
+    ignored (the heuristics assume dedicated nodes).
+    """
+
+    heuristic: Heuristic = Heuristic.MIN_MIN
+    accounting_model: CostModel = field(default_factory=VolumeOverTimeCost)
+
+    def schedule(self, job: Job, pool: ResourcePool,
+                 calendars: Mapping[int, ReservationCalendar], *,
+                 context: Optional[SchedulingContext] = None,
+                 level: float = 0.0,
+                 release: int = 0) -> SchedulingOutcome:
+        mapping = map_independent_tasks(list(job.tasks.values()), pool,
+                                        self.heuristic, level=level)
+        distribution = Distribution(job.job_id, mapping.placements.values())
+        violations = check_distribution(job, distribution, pool)
+        admissible = not violations and (
+            not job.deadline
+            or distribution.makespan <= release + job.deadline)
+        outcome = SchedulingOutcome(job_id=job.job_id,
+                                    distribution=distribution,
+                                    admissible=admissible, level=level)
+        outcome.cost = distribution_cost(distribution, job, pool,
+                                         self.accounting_model)
+        outcome.makespan = distribution.makespan
+        return outcome

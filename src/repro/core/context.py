@@ -1,0 +1,444 @@
+"""One epoch-aware session layer for every cache in the kernel.
+
+After three optimization passes the kernel had grown seven independent
+caches — ``earliest_fit`` interval witnesses, per-job transfer lags and
+durations, gap tables and their stacked concatenations, critical-works
+rankings, source→sink path enumerations, and the metascheduler's
+epoch-keyed plan cache — each with its own plumbing (module globals,
+scheduler attributes, optional keyword arguments threaded through the
+DP) and its own ad-hoc eviction (wholesale ``clear()`` at a size
+limit).  :class:`SchedulingContext` owns all of them behind one object:
+
+* every cache keyed on data that pins its inputs exactly — calendar
+  *content versions* (process-globally unique, shared by copy-on-write
+  clones; see :attr:`~repro.core.calendar.ReservationCalendar.version`)
+  for placement state, :meth:`~repro.grid.environment.GridEnvironment.
+  epoch_slice` vectors for whole-domain plans, and pure value keys
+  (task, node, level) for durations — so invalidation is never a
+  heuristic: a mutated node simply stops matching its old keys;
+* bounded caches evict **per entry, least-recently-used** instead of
+  clearing wholesale (the plan-cache thrash fix: a hot key survives a
+  flood of unrelated keys);
+* per-*job* caches are weakly keyed on the job object and scoped by
+  the identity of the transfer model (lags differ across strategy
+  families) and the pool (matrices and rankings are pool-indexed), so
+  one context is safe to share across families, domains, and a whole
+  online run;
+* one :meth:`stats` surface reports every cache's hit rate, size, and
+  eviction count for ``repro perf --json``.
+
+The module also defines the :class:`Scheduler` protocol —
+``schedule(job, pool, calendars, context=...) -> SchedulingOutcome`` —
+implemented by :class:`~repro.core.critical_works.
+CriticalWorksScheduler` and the :mod:`repro.baselines` adapters, so
+experiments, the metascheduler, and the benchmark dispatch through one
+interface.
+
+Sharing a context never changes results: every cache is exact (pure
+value keys or content-version keys), so a warm context returns
+bit-identical schedules to a cold one — asserted by the differential
+tests in ``tests/core/test_context_differential.py`` and the stale-
+entry property tests in ``tests/property/test_context_invalidation.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import (TYPE_CHECKING, Any, Dict, Generic, Iterator, List,
+                    Mapping, Optional, Protocol, Sequence, Tuple, TypeVar,
+                    runtime_checkable)
+
+from ..perf import PERF
+from .calendar import GapTable, ReservationCalendar
+from .placement import StackedGaps
+
+if TYPE_CHECKING:  # imports that would be circular at runtime
+    from ..flow.metascheduler import Metascheduler  # noqa: F401
+    from .critical_works import SchedulingOutcome
+    from .job import Job
+    from .resources import ResourcePool
+    from .strategy import Strategy, StrategyType
+
+__all__ = ["LruCache", "SchedulingContext", "Scheduler",
+           "CONTEXT_CACHE_NAMES"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Interval-witness fit buckets retained before LRU eviction; buckets
+#: hold a handful of (earliest, start) witnesses each, so this caps the
+#: memo in the tens of MB.
+DEFAULT_FIT_CAPACITY = 1 << 16
+#: Gap tables retained (one per live calendar content version).
+DEFAULT_GAP_TABLE_CAPACITY = 8192
+#: Stacked gap-table array sets retained (one per version sequence).
+DEFAULT_STACK_CAPACITY = 1024
+#: Epoch-tagged strategies retained by the flow layer.
+DEFAULT_PLAN_CAPACITY = 4096
+
+#: Every cache (or counter pair) the context owns, as reported by
+#: :meth:`SchedulingContext.stats`.  The orphan audit in
+#: ``tests/perf/test_counter_audit.py`` asserts that each
+#: ``*_hits``/``*_misses`` pair of the :mod:`repro.perf` registry maps
+#: onto exactly one of these names.
+CONTEXT_CACHE_NAMES: Tuple[str, ...] = (
+    "dp.fit_cache",
+    "dp.transfer_cache",
+    "dp.duration_cache",
+    "placement.gap_table",
+    "placement.stack",
+    "critical_works.rank_cache",
+    "job.paths_cache",
+    "flow.plan_cache",
+)
+
+
+class LruCache(Generic[K, V]):
+    """A bounded mapping with per-entry least-recently-used eviction.
+
+    ``get`` refreshes recency; inserting past ``capacity`` evicts the
+    least recently used entry (never the whole cache — the wholesale
+    ``clear()`` the kernel's caches used before this layer existed).
+    Evictions are counted locally (always) and mirrored to the perf
+    registry as ``<name>_evictions`` when it is collecting.
+    """
+
+    __slots__ = ("name", "capacity", "evictions", "_data")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (refreshing its recency), or None."""
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+            if PERF.enabled:
+                PERF.incr(f"{self.name}_evictions")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (evictions are not counted as LRU churn)."""
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<LruCache {self.name}: {len(self._data)}"
+                f"/{self.capacity}, {self.evictions} evicted>")
+
+
+#: Interval-witness bucket: parallel sorted (earliest, start) lists
+#: (see ``find_fit`` in :func:`repro.core.dp.allocate_chain`).
+_FitBucket = Tuple[List[int], List[Optional[int]]]
+#: Fit-cache key: (node id, calendar version, duration, deadline).
+_FitKey = Tuple[int, int, int, int]
+#: Plan-cache key: (job id, strategy family, domain).
+_PlanKey = Tuple[str, "StrategyType", str]
+#: Plan-cache entry: (release, domain epoch slice, strategy).
+_PlanEntry = Tuple[int, Tuple[int, ...], "Strategy"]
+
+
+class SchedulingContext:
+    """Session state shared by every scheduler touching one environment.
+
+    Create one per logical scheduling session — a strategy generator, a
+    metascheduler and all its domain managers, a whole online run — and
+    pass it down; every component then shares the same placement
+    knowledge.  A default-constructed context is always safe: sharing
+    only ever changes speed, never results.
+    """
+
+    def __init__(self, fit_capacity: int = DEFAULT_FIT_CAPACITY,
+                 gap_table_capacity: int = DEFAULT_GAP_TABLE_CAPACITY,
+                 stack_capacity: int = DEFAULT_STACK_CAPACITY,
+                 plan_capacity: int = DEFAULT_PLAN_CAPACITY) -> None:
+        #: Interval-witness ``earliest_fit`` memo, bucketed on (node,
+        #: calendar version, duration, deadline); consumed directly by
+        #: the DP inner loop (:func:`repro.core.dp.allocate_chain`).
+        self.fit_cache: LruCache[_FitKey, _FitBucket] = LruCache(
+            "dp.fit_cache", fit_capacity)
+        #: Epoch-tagged strategies of the flow layer, consumed by
+        #: :class:`~repro.flow.metascheduler.Metascheduler`.
+        self.plans: LruCache[_PlanKey, _PlanEntry] = LruCache(
+            "flow.plan_cache", plan_capacity)
+        self._gap_tables: LruCache[int, GapTable] = LruCache(
+            "placement.gap_table", gap_table_capacity)
+        self._stacks: LruCache[Tuple[int, ...], StackedGaps] = LruCache(
+            "placement.stack", stack_capacity)
+        #: Per-job caches, weakly keyed so retired jobs free their
+        #: state; the inner mapping is keyed on (kind, *scope tokens).
+        self._job_caches: "weakref.WeakKeyDictionary[Job, Dict[Tuple[object, ...], Dict[Any, Any]]]" \
+            = weakref.WeakKeyDictionary()
+        #: Identity tokens for scope objects (transfer models, pools):
+        #: id -> (token, weak ref).  Tokens are monotonic and never
+        #: reused, so an address recycled by the allocator can never
+        #: alias a dead object's cache scope.
+        self._tokens: Dict[int, Tuple[int, "weakref.ref[object]"]] = {}
+        self._next_token = 0
+
+    # ------------------------------------------------------------------
+    # Identity scoping
+    # ------------------------------------------------------------------
+
+    def token(self, obj: object) -> int:
+        """A stable identity token for a scope object.
+
+        Distinct live objects always get distinct tokens (unlike raw
+        ``id()``, which the allocator recycles); the same object always
+        gets the same token.  Used to scope per-job caches by transfer
+        model and pool identity without requiring those objects to be
+        hashable.
+        """
+        entry = self._tokens.get(id(obj))
+        if entry is not None and entry[1]() is obj:
+            return entry[0]
+        token = self._next_token
+        self._next_token += 1
+        self._tokens[id(obj)] = (token, weakref.ref(obj))
+        if len(self._tokens) > 4096:
+            self._prune_tokens()
+        return token
+
+    def _prune_tokens(self) -> None:
+        dead = [key for key, (_, ref) in self._tokens.items()
+                if ref() is None]
+        for key in dead:
+            del self._tokens[key]
+
+    def job_cache(self, job: "Job", kind: str,
+                  *scope: object) -> Dict[Any, Any]:
+        """The per-job cache dict of one kind, scoped by identities.
+
+        ``scope`` objects (transfer models, pools) are resolved to
+        identity tokens: lags depend on the transfer model, matrices
+        and rankings additionally on the pool's node order, so caches
+        of different scopes must never alias.  The dict lives exactly
+        as long as the job object does.
+        """
+        per_job = self._job_caches.get(job)
+        if per_job is None:
+            per_job = {}
+            self._job_caches[job] = per_job
+        key: Tuple[object, ...] = (kind,) + tuple(
+            self.token(item) for item in scope)
+        cache = per_job.get(key)
+        if cache is None:
+            cache = {}
+            per_job[key] = cache
+        return cache
+
+    # ------------------------------------------------------------------
+    # Per-job caches consumed by the DP and the critical-works method
+    # ------------------------------------------------------------------
+
+    def transfer_lags(self, job: "Job",
+                      model: object) -> Dict[Tuple[str, int, int], int]:
+        """``(transfer id, src node, dst node) -> lag`` memo.
+
+        Scoped per transfer model: the strategy families time the same
+        edge differently (replication vs remote access vs static), so a
+        shared context must never serve one family another's lags.
+        """
+        return self.job_cache(job, "transfer", model)
+
+    def durations(self, job: "Job"
+                  ) -> Dict[Tuple[str, int, float], int]:
+        """``(task id, node id, level) -> duration`` memo (pure keys)."""
+        return self.job_cache(job, "duration")
+
+    def transfer_matrices(self, job: "Job", model: object,
+                          pool: object) -> Dict[str, Any]:
+        """``transfer id -> (src × dst)`` lag-matrix memo for the batch
+        engine; indexed by *pool position*, hence scoped per pool."""
+        return self.job_cache(job, "matrix", model, pool)
+
+    def rankings(self, job: "Job", model: object, pool: object
+                 ) -> Dict[float, List[Tuple[int, List[str]]]]:
+        """``level -> ranked critical works`` memo.
+
+        Chain-length estimates use the pool's fastest node and the
+        transfer model's timing, hence the (model, pool) scope.
+        """
+        return self.job_cache(job, "rank", model, pool)
+
+    def job_paths(self, job: "Job",
+                  limit: int = 10000) -> List[List[str]]:
+        """The job's source→sink chains, memoized per enumeration limit.
+
+        Jobs are immutable once built, so the enumeration is pure;
+        treat the returned list as read-only.
+        """
+        cache = self.job_cache(job, "paths")
+        paths: Optional[List[List[str]]] = cache.get(limit)
+        if paths is None:
+            if PERF.enabled:
+                PERF.incr("job.paths_cache_misses")
+            paths = job.all_paths(limit)
+            cache[limit] = paths
+        elif PERF.enabled:
+            PERF.incr("job.paths_cache_hits")
+        return paths
+
+    # ------------------------------------------------------------------
+    # Placement caches (content-version keyed)
+    # ------------------------------------------------------------------
+
+    def gap_table(self, calendar: ReservationCalendar,
+                  build: bool = True) -> Optional[GapTable]:
+        """The calendar's gap table, cached by content version.
+
+        With ``build=False`` only a previously materialized table is
+        returned (None otherwise) — the probe the DP uses to decide
+        between the batch kernel and the scalar fallback: freshly
+        mutated what-if copies have fresh versions and no table, so
+        they take the scalar path without ever paying a rebuild.
+        Stale versions of mutated calendars can never be queried again,
+        so LRU eviction only ever retires dead or cold entries.
+        """
+        table = self._gap_tables.get(calendar.version)
+        if table is not None:
+            if PERF.enabled:
+                PERF.incr("placement.gap_table_hits")
+            return table
+        if not build:
+            return None
+        if PERF.enabled:
+            PERF.incr("placement.gap_table_misses")
+        table = calendar.gap_table()
+        self._gap_tables[table.version] = table
+        return table
+
+    def cached_stack(self, versions: Tuple[int, ...]
+                     ) -> Optional[StackedGaps]:
+        """A previously stacked array set for this exact version
+        sequence (the stacked arrays are self-contained, so a hit is
+        exact even after the per-calendar tables were evicted)."""
+        stacked = self._stacks.get(versions)
+        if stacked is not None and PERF.enabled:
+            PERF.incr("placement.stack_hits")
+        return stacked
+
+    def stack_gap_tables(self, tables: Sequence[GapTable]) -> StackedGaps:
+        """Stack tables for :func:`~repro.core.placement.
+        batch_earliest_fit`, cached by the version sequence."""
+        key = tuple(table.version for table in tables)
+        stacked = self._stacks.get(key)
+        if stacked is not None:
+            if PERF.enabled:
+                PERF.incr("placement.stack_hits")
+            return stacked
+        if PERF.enabled:
+            PERF.incr("placement.stack_misses")
+        stacked = StackedGaps(tables)
+        self._stacks[key] = stacked
+        return stacked
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats(self, counters: Optional[Mapping[str, int]] = None
+              ) -> Dict[str, Dict[str, object]]:
+        """Per-cache statistics for ``repro perf --json``.
+
+        Structural numbers (entries, capacity, evictions) are tracked
+        by the context itself; hit/miss counts come from the perf
+        registry (pass a counter snapshot, or the live ``PERF.counters``
+        is read), so hit rates are only meaningful for runs collected
+        under :meth:`~repro.perf.registry.PerfRegistry.collecting`.
+        """
+        if counters is None:
+            counters = PERF.counters
+
+        def pair(name: str, **extra: object) -> Dict[str, object]:
+            hits = int(counters.get(f"{name}_hits", 0))
+            misses = int(counters.get(f"{name}_misses", 0))
+            total = hits + misses
+            entry: Dict[str, object] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+            }
+            entry.update(extra)
+            return entry
+
+        out: Dict[str, Dict[str, object]] = {}
+        for lru in (self.fit_cache, self._gap_tables, self._stacks,
+                    self.plans):
+            out[lru.name] = pair(lru.name, policy="lru",
+                                 entries=len(lru), capacity=lru.capacity,
+                                 evictions=lru.evictions)
+
+        sizes = {"transfer": 0, "duration": 0, "matrix": 0, "rank": 0,
+                 "paths": 0}
+        jobs = 0
+        for per_job in self._job_caches.values():
+            jobs += 1
+            for key, cache in per_job.items():
+                kind = key[0]
+                if isinstance(kind, str) and kind in sizes:
+                    sizes[kind] += len(cache)
+        weak = {"dp.transfer_cache": "transfer",
+                "dp.duration_cache": "duration",
+                "critical_works.rank_cache": "rank",
+                "job.paths_cache": "paths"}
+        for name, kind in weak.items():
+            out[name] = pair(name, policy="weak-per-job",
+                             entries=sizes[kind], jobs=jobs)
+        out["dp.transfer_matrices"] = {
+            "policy": "weak-per-job", "entries": sizes["matrix"],
+            "jobs": jobs,
+            "builds": int(counters.get("dp.transfer_matrix_builds", 0)),
+        }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SchedulingContext fit={len(self.fit_cache)} "
+                f"gaps={len(self._gap_tables)} stacks={len(self._stacks)} "
+                f"plans={len(self.plans)} jobs={len(self._job_caches)}>")
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """One interface for every application-level scheduler.
+
+    Implemented by :class:`~repro.core.critical_works.
+    CriticalWorksScheduler` and the :mod:`repro.baselines.adapters`
+    wrappers (greedy, HEFT, independent-task heuristics), so the
+    experiments, the metascheduler, and the benchmark dispatch through
+    a single shape instead of three.
+    """
+
+    def schedule(self, job: "Job", pool: "ResourcePool",
+                 calendars: Mapping[int, ReservationCalendar], *,
+                 context: Optional[SchedulingContext] = None,
+                 level: float = 0.0,
+                 release: int = 0) -> "SchedulingOutcome":
+        """Build one schedule for ``job`` on ``pool`` against
+        ``calendars`` (not mutated), optionally through a shared
+        ``context``."""
+        ...  # pragma: no cover - protocol
+
+
+def _iter_caches(context: SchedulingContext) -> Iterator[str]:
+    """Names of the caches a context reports (testing helper)."""
+    yield from context.stats()

@@ -24,17 +24,14 @@ second DP pass against the fully-booked working calendars.
 
 from __future__ import annotations
 
-import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
-import numpy as np
-
 from ..perf import PERF
-from . import placement as _placement
 from .calendar import ReservationCalendar
 from .collisions import Collision, CollisionStats
+from .context import SchedulingContext
 from .costs import CostModel, VolumeOverTimeCost, distribution_cost
 from .dp import _BATCH_MIN_ROWS, allocate_chain
 from .job import Job
@@ -90,6 +87,14 @@ class CriticalWorksScheduler:
         and a :class:`ScheduleInvariantError` is raised on the first
         violation.  Off by default — the test suite turns it on
         globally via ``tests/conftest.py``.
+    context:
+        The :class:`~repro.core.context.SchedulingContext` holding
+        every cache the scheduler and its DP calls consult (fit memo,
+        transfer lags and matrices, durations, rankings, job paths,
+        gap tables).  Callers that schedule through several schedulers
+        or across arrivals pass one shared context; by default the
+        scheduler owns a private one.  All context caches are exact,
+        so sharing never changes results.
     """
 
     def __init__(self, pool: ResourcePool,
@@ -99,7 +104,8 @@ class CriticalWorksScheduler:
                  monopolize: bool = False,
                  accounting_model: Optional[CostModel] = None,
                  self_check: bool = False,
-                 engine: str = "auto"):
+                 engine: str = "auto",
+                 context: Optional[SchedulingContext] = None):
         self.pool = pool
         if engine not in ("auto", "scalar", "batch"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -126,66 +132,12 @@ class CriticalWorksScheduler:
         self.monopolize = monopolize
         #: Invariant hook: verify every outcome before returning it.
         self.self_check = self_check
-        #: Per-(job, level) critical-works rankings.  The pool, transfer
-        #: model, and job structure are fixed for a scheduler's
-        #: lifetime, so the ranking can be reused across the repeated
-        #: ``build_schedule`` calls a strategy generation makes (one per
-        #: estimation level, plus monopolize fallbacks).  Keyed weakly
-        #: so retired jobs do not accumulate.
-        self._ranking_cache: "weakref.WeakKeyDictionary[Job, dict[float, list[tuple[int, list[str]]]]]" \
-            = weakref.WeakKeyDictionary()
-        #: Shared ``earliest_fit`` memo, bucketed on (node, calendar
-        #: version, duration, deadline) with interval witnesses inside
-        #: each bucket (see :func:`repro.core.dp.allocate_chain`).
-        #: Calendar versions
-        #: (see :attr:`~repro.core.calendar.ReservationCalendar.version`)
-        #: make every entry exact for as long as its node is untouched,
-        #: so the memo carries across estimation levels, repair retries,
-        #: and — in online runs — across arrivals.  Bounded: cleared
-        #: wholesale once it outgrows :attr:`_FIT_CACHE_LIMIT`.
-        self._fit_cache: dict[tuple, object] = {}
-        #: Per-job transfer-lag memos: lags depend only on (edge, src
-        #: node, dst node) for a fixed transfer model, so one dict per
-        #: job serves every chain, estimation level, and repair retry.
-        #: Weakly keyed, like the ranking cache.
-        self._transfer_caches: "weakref.WeakKeyDictionary[Job, dict[tuple[str, int, int], int]]" \
-            = weakref.WeakKeyDictionary()
-        #: Per-job duration memos: durations are pure in (task, node,
-        #: level), so one dict per job serves every phase, level, and
-        #: repair retry.  Weakly keyed, like the transfer memos.
-        self._duration_caches: "weakref.WeakKeyDictionary[Job, dict[tuple[str, int, float], int]]" \
-            = weakref.WeakKeyDictionary()
-        #: Per-job transfer-lag *matrices* for the batch DP engine
-        #: (``transfer id -> pool src × pool dst`` int64 arrays); the
-        #: array analogue of :attr:`_transfer_caches`.
-        self._transfer_matrix_caches: "weakref.WeakKeyDictionary[Job, dict[str, np.ndarray]]" \
-            = weakref.WeakKeyDictionary()
-
-    #: Bucket bound for :attr:`_fit_cache`; buckets hold a handful of
-    #: (earliest, deadline) entries each, so this caps the memo in the
-    #: tens of MB before it is dropped and rebuilt.
-    _FIT_CACHE_LIMIT = 1 << 16
-
-    def _transfer_cache_for(self, job: Job) -> dict[tuple[str, int, int], int]:
-        cache = self._transfer_caches.get(job)
-        if cache is None:
-            cache = {}
-            self._transfer_caches[job] = cache
-        return cache
-
-    def _duration_cache_for(self, job: Job) -> dict[tuple[str, int, float], int]:
-        cache = self._duration_caches.get(job)
-        if cache is None:
-            cache = {}
-            self._duration_caches[job] = cache
-        return cache
-
-    def _transfer_matrices_for(self, job: Job) -> dict[str, np.ndarray]:
-        cache = self._transfer_matrix_caches.get(job)
-        if cache is None:
-            cache = {}
-            self._transfer_matrix_caches[job] = cache
-        return cache
+        #: Session cache layer; see the class docstring.  Everything
+        #: the pre-context scheduler owned privately — fit memo,
+        #: rankings, transfer lags/matrices, durations — now lives
+        #: here, scoped by (job, model, pool) keys so a shared context
+        #: stays exact across schedulers.
+        self.context = context if context is not None else SchedulingContext()
 
     def _allowed_nodes(self, job: Job) -> Optional[set[int]]:
         if not self.monopolize:
@@ -198,7 +150,8 @@ class CriticalWorksScheduler:
 
     # ------------------------------------------------------------------
 
-    def critical_works(self, job: Job, level: float = 0.0
+    def critical_works(self, job: Job, level: float = 0.0,
+                       context: Optional[SchedulingContext] = None
                        ) -> list[tuple[int, list[str]]]:
         """All chains ranked as critical works (longest first).
 
@@ -206,13 +159,11 @@ class CriticalWorksScheduler:
         transfer times from the data-policy model, matching "the longest
         chain ... along with the best combination of available resources".
 
-        The ranking is cached per (job, level); treat the returned list
-        as read-only.
+        The ranking is cached in the context per (job, transfer model,
+        pool, level); treat the returned list as read-only.
         """
-        per_job = self._ranking_cache.get(job)
-        if per_job is None:
-            per_job = {}
-            self._ranking_cache[job] = per_job
+        ctx = context if context is not None else self.context
+        per_job = ctx.rankings(job, self.transfer_model, self.pool)
         cached = per_job.get(level)
         if cached is not None:
             if PERF.enabled:
@@ -225,7 +176,7 @@ class CriticalWorksScheduler:
             (job.chain_length(path, best_performance, level,
                               transfer_time=self.transfer_model.estimate),
              path)
-            for path in job.all_paths()
+            for path in ctx.job_paths(job)
         ]
         scored.sort(key=lambda item: (-item[0], item[1]))
         per_job[level] = scored
@@ -234,7 +185,8 @@ class CriticalWorksScheduler:
     def build_schedule(self, job: Job,
                        calendars: Mapping[int, ReservationCalendar],
                        level: float = 0.0, release: int = 0,
-                       warm_hint: Optional[Mapping[str, int]] = None
+                       warm_hint: Optional[Mapping[str, int]] = None,
+                       context: Optional[SchedulingContext] = None
                        ) -> SchedulingOutcome:
         """Run the critical works method once at one estimation level.
 
@@ -247,13 +199,13 @@ class CriticalWorksScheduler:
         branch-and-bound incumbent.  The outcome is bit-identical with
         or without a hint — only ``evaluations`` (and the wall time)
         drops.  See :func:`repro.core.dp.allocate_chain`.
+
+        ``context`` overrides the scheduler's own
+        :class:`~repro.core.context.SchedulingContext` for this call.
         """
+        ctx = context if context is not None else self.context
         outcome = SchedulingOutcome(job_id=job.job_id, distribution=None,
                                     admissible=False, level=level)
-        if len(self._fit_cache) > self._FIT_CACHE_LIMIT:
-            if PERF.enabled:
-                PERF.incr("dp.fit_cache_evictions")
-            self._fit_cache.clear()
         if self.engine == "batch" or (
                 self.engine == "auto"
                 and len(calendars) >= _BATCH_MIN_ROWS):
@@ -265,7 +217,7 @@ class CriticalWorksScheduler:
             # batch row gate (domain subpools of online flows) skip the
             # tables — their calls always take the scalar path.
             for calendar in calendars.values():
-                _placement.gap_table(calendar)
+                ctx.gap_table(calendar)
         deadline = release + job.deadline if job.deadline else None
         if deadline is None:
             # No fixed completion time: bound by a generous horizon so the
@@ -275,13 +227,13 @@ class CriticalWorksScheduler:
 
         allowed = self._allowed_nodes(job)
         placed = self._attempt(job, calendars, deadline, level, release,
-                               outcome, allowed, warm_hint)
+                               outcome, allowed, warm_hint, ctx)
         if placed is None and allowed is not None:
             # The monopolized top-performance set could not host the job;
             # fall back to the whole pool (S3 keeps its coarse tasks and
             # static data policy but gives up the monopoly).
             placed = self._attempt(job, calendars, deadline, level,
-                                   release, outcome, None, warm_hint)
+                                   release, outcome, None, warm_hint, ctx)
         if placed is None:
             return outcome
 
@@ -296,6 +248,25 @@ class CriticalWorksScheduler:
         if self.self_check:
             self._verify(job, outcome, release)
         return outcome
+
+    def schedule(self, job: Job, pool: ResourcePool,
+                 calendars: Mapping[int, ReservationCalendar], *,
+                 context: Optional[SchedulingContext] = None,
+                 level: float = 0.0,
+                 release: int = 0) -> SchedulingOutcome:
+        """:class:`~repro.core.context.Scheduler` protocol entry point.
+
+        The scheduler's pool, models, and objective are construction
+        state; the protocol's ``pool`` argument must match — passing a
+        different pool is an error rather than a silent rebind, because
+        the rankings and lag matrices are keyed to ``self.pool``.
+        """
+        if pool is not self.pool:
+            raise ValueError(
+                "CriticalWorksScheduler is bound to its construction "
+                "pool; build a scheduler per pool")
+        return self.build_schedule(job, calendars, level=level,
+                                   release=release, context=context)
 
     def _verify(self, job: Job, outcome: SchedulingOutcome,
                 release: int) -> None:
@@ -322,7 +293,8 @@ class CriticalWorksScheduler:
                  deadline: int, level: float, release: int,
                  outcome: SchedulingOutcome,
                  allowed: Optional[set[int]],
-                 warm_hint: Optional[Mapping[str, int]] = None
+                 warm_hint: Optional[Mapping[str, int]],
+                 ctx: SchedulingContext
                  ) -> Optional[dict[str, Placement]]:
         """One full critical-works pass; None when the job cannot fit.
 
@@ -339,7 +311,8 @@ class CriticalWorksScheduler:
         # nodes keeps the retried (extended) segment warm-startable even
         # where the adjacent level made different choices.
         hint = dict(warm_hint) if warm_hint else None
-        paths = [path for _, path in self.critical_works(job, level)]
+        paths = [path for _, path in self.critical_works(job, level,
+                                                         context=ctx)]
         repairs = 0
         index = 0
         while index < len(paths):
@@ -347,7 +320,7 @@ class CriticalWorksScheduler:
             for segment in _unassigned_segments(paths[index], placed):
                 if not self._place_segment(job, segment, calendars, working,
                                            placed, deadline, level, release,
-                                           outcome, allowed, hint):
+                                           outcome, allowed, hint, ctx):
                     failed_segment = segment
                     break
             if failed_segment is None:
@@ -373,7 +346,7 @@ class CriticalWorksScheduler:
                     if not self._place_segment(job, segment, calendars,
                                                working, placed, deadline,
                                                level, release, outcome,
-                                               allowed, hint):
+                                               allowed, hint, ctx):
                         return None
         if len(placed) != len(job.tasks):  # pragma: no cover - safety net
             return None
@@ -385,24 +358,19 @@ class CriticalWorksScheduler:
                        placed: dict[str, Placement],
                        deadline: int, level: float, release: int,
                        outcome: SchedulingOutcome,
-                       allowed: Optional[set[int]] = None,
-                       warm_hint: Optional[Mapping[str, int]] = None
-                       ) -> bool:
+                       allowed: Optional[set[int]],
+                       warm_hint: Optional[Mapping[str, int]],
+                       ctx: SchedulingContext) -> bool:
         """Allocate one run of unassigned tasks; returns False on failure."""
         # Phase A: optimize the critical work against the base snapshot,
         # independently of this job's other critical works (this is what
         # makes collisions possible, as in the paper).
-        transfer_cache = self._transfer_cache_for(job)
-        duration_cache = self._duration_cache_for(job)
-        transfer_matrices = self._transfer_matrices_for(job)
         tentative = allocate_chain(
             job, segment, self.pool, base, deadline, level,
             self.transfer_model, self.cost_model, fixed=placed,
             release=release, allowed_nodes=allowed,
-            objective=self.objective, fit_cache=self._fit_cache,
-            hint=warm_hint, transfer_cache=transfer_cache,
-            duration_cache=duration_cache,
-            transfer_matrices=transfer_matrices, engine=self.engine)
+            objective=self.objective, hint=warm_hint,
+            engine=self.engine, context=ctx)
         if tentative is None:
             return False
         outcome.evaluations += tentative.evaluations
@@ -445,10 +413,8 @@ class CriticalWorksScheduler:
                 job, remainder, self.pool, working, deadline, level,
                 self.transfer_model, self.cost_model, fixed=placed,
                 release=release, allowed_nodes=allowed,
-                objective=self.objective, fit_cache=self._fit_cache,
-                hint=segment_hint, transfer_cache=transfer_cache,
-                duration_cache=duration_cache,
-                transfer_matrices=transfer_matrices, engine=self.engine)
+                objective=self.objective, hint=segment_hint,
+                engine=self.engine, context=ctx)
             if resolved is None:
                 return False
             outcome.evaluations += resolved.evaluations

@@ -20,9 +20,10 @@ so each transition considers one start per node.
 
 Incremental generation (two orthogonal mechanisms, both exact):
 
-* ``fit_cache`` — a shared memo of ``earliest_fit`` answers keyed on
-  the owning calendar's content *version* (see
-  :attr:`~repro.core.calendar.ReservationCalendar.version`).  Each
+* the ``context`` fit cache — a shared memo of ``earliest_fit``
+  answers keyed on the owning calendar's content *version* (see
+  :attr:`~repro.core.calendar.ReservationCalendar.version`), owned by
+  the caller's :class:`~repro.core.context.SchedulingContext`.  Each
   ``(node, version, duration, deadline)`` bucket holds *interval
   witnesses*: one computed fit at ``e1`` answering ``s1`` covers every
   query in ``[e1, s1]``, and one failure covers every query at or past
@@ -50,13 +51,14 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Mapping, MutableMapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..perf import PERF
 from . import placement as _placement
 from .calendar import ReservationCalendar
+from .context import SchedulingContext
 from .costs import CostModel, VolumeOverTimeCost
 from .job import DataTransfer, Job
 from .resources import ProcessorNode, ResourcePool
@@ -114,14 +116,9 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                    release: int = 0,
                    allowed_nodes: Optional[set[int]] = None,
                    objective: str = "cost",
-                   fit_cache: Optional[MutableMapping[tuple, object]] = None,
                    hint: Optional[Mapping[str, int]] = None,
-                   transfer_cache: Optional[dict[tuple[str, int, int],
-                                                 int]] = None,
-                   duration_cache: Optional[dict[tuple[str, int, float],
-                                                 int]] = None,
-                   transfer_matrices: Optional[dict[str, np.ndarray]] = None,
                    engine: str = "auto",
+                   context: Optional[SchedulingContext] = None,
                    ) -> Optional[ChainAllocation]:
     """Allocate every task of ``chain`` or return None if infeasible.
 
@@ -157,35 +154,11 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         tie-break (the economic strategies S1/MS1/S3); ``"time"``
         minimizes finish time with cost as the tie-break (the paper's
         "fastest, most expensive, most accurate" S2 family).
-    fit_cache:
-        Optional shared memo for calendar ``earliest_fit`` queries,
-        bucketed on ``(node, calendar version, duration, deadline)``
-        with interval witnesses inside each bucket (one computed fit
-        answers a whole range of ``earliest`` values).  Exact: equal
-        versions guarantee identical calendar contents, so reuse never
-        changes results.
     hint:
         Optional warm start: a ``task id -> node id`` mapping (e.g. the
         adjacent estimation level's allocation) used to seed an
         incumbent for branch-and-bound pruning.  Results are identical
         to ``hint=None``; only the expansion count drops.
-    transfer_cache:
-        Optional shared ``(transfer id, src node, dst node) -> lag``
-        memo.  Transfer lags depend only on the edge and the node pair,
-        so a caller holding one dict per job amortizes the transfer
-        model across every chain, level, and repair retry.  A private
-        per-call dict is used when omitted.
-    duration_cache:
-        Optional shared ``(task id, node id, level) -> duration`` memo.
-        Durations are pure in those three values, so a per-job dict
-        amortizes :meth:`~repro.core.job.Task.duration_on` across
-        phases, levels, and repair retries.
-    transfer_matrices:
-        Optional shared ``transfer id -> (pool src × pool dst)`` int64
-        lag matrix memo for the batch engine (a per-job dict turns the
-        per-expansion transfer lookup into one array gather per DP
-        level).  Indexed by *pool position*, so the dict must be scoped
-        to one pool.
     engine:
         ``"auto"`` (default) routes eligible calls — start-invariant
         cost model, chain length ≥ 2, gap tables already materialized
@@ -194,6 +167,21 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         the recursion; ``"batch"`` forces the batch engine (building
         missing gap tables) where eligible — both paths are
         bit-identical, so the choice is purely about speed.
+    context:
+        The caller's :class:`~repro.core.context.SchedulingContext`,
+        which owns every cache this function consults: the
+        interval-witness fit cache, the per-(job, model) transfer-lag
+        memo, the per-job duration memo, the per-(job, model, pool)
+        lag matrices of the batch engine, and the gap-table/stack
+        caches.  All exact, so sharing a context across calls, levels,
+        and jobs never changes results — only speed.  ``None`` runs
+        the call cacheless (and, in ``auto`` mode, scalar: no
+        materialized gap tables exist to batch over).
+
+        .. versionchanged:: PR 5
+           replaces the removed ``fit_cache`` / ``transfer_cache`` /
+           ``duration_cache`` / ``transfer_matrices`` keyword
+           arguments; construct a context instead of threading dicts.
     """
     if engine not in ("auto", "scalar", "batch"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -227,12 +215,24 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     if not nodes:
         return None
 
-    # Per-(transfer, src, dst) transfer times: the DP asks for the same
-    # lag once per state expansion, while the distinct combinations are
-    # few (edges × node pairs).  A shared per-job cache from the caller
-    # additionally amortizes the model across calls.
-    if transfer_cache is None:
+    # Every cache below lives in the caller's context, scoped wide
+    # enough to be exact: lags per (job, transfer model), durations per
+    # job (pure value keys), lag matrices per (job, model, pool) — the
+    # batch engine indexes them by pool position.  Without a context
+    # the call runs cacheless: a private per-call lag dict (the DP asks
+    # for the same lag once per state expansion), no fit memo, no
+    # batched tables.
+    if context is not None:
+        fit_cache = context.fit_cache
+        transfer_cache = context.transfer_lags(job, transfer_model)
+        duration_cache = context.durations(job)
+        transfer_matrices = context.transfer_matrices(
+            job, transfer_model, pool)
+    else:
+        fit_cache = None
         transfer_cache = {}
+        duration_cache = None
+        transfer_matrices = None
 
     def transfer_time(transfer: DataTransfer, src_node: ProcessorNode,
                       dst_node: ProcessorNode) -> int:
@@ -385,11 +385,15 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                 dur_key = (task_id, node.node_id, level)
                 duration = duration_cache.get(dur_key)
                 if duration is None:
+                    if PERF.enabled:
+                        PERF.incr("dp.duration_cache_misses")
                     if task_durations is None:
                         task_durations = job_task.duration_array(
                             performances, level).tolist()
                     duration = task_durations[position]
                     duration_cache[dur_key] = duration
+                elif PERF.enabled:
+                    PERF.incr("dp.duration_cache_hits")
             if pred_lags is None:
                 floor = release
                 for pred_end, transfer, src_node in placed_preds:
@@ -602,9 +606,9 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                     step = min((r[4] for r in rows), default=_INFINITY)
                 tail_lb[position] = step + tail_lb[position + 1]
             if PERF.enabled:
-                PERF.incr("dp.incumbent_hits")
+                PERF.incr("dp.incumbents_warm")
         elif PERF.enabled:
-            PERF.incr("dp.incumbent_misses")
+            PERF.incr("dp.incumbents_cold")
 
     chain_length = len(chain)
     # Per-position constants, hoisted so each state expansion touches
@@ -623,6 +627,27 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             uniform_by_index[position] = uniform_lag_fn(
                 incoming_by_index[position])
 
+    def lag_matrix(transfer: DataTransfer) -> np.ndarray:
+        """The transfer's (pool src × pool dst) lag matrix, memoized in
+        the context so the batch engine pays one build per (job, model,
+        pool, edge) instead of per call."""
+        matrix = (transfer_matrices.get(transfer.transfer_id)
+                  if transfer_matrices is not None else None)
+        if matrix is not None:
+            return matrix
+        pool_nodes = list(pool)
+        size = len(pool_nodes)
+        matrix = np.empty((size, size), dtype=np.int64)
+        for src_at, src in enumerate(pool_nodes):
+            for dst_at, dst in enumerate(pool_nodes):
+                matrix[src_at, dst_at] = transfer_model.time(
+                    transfer, src, dst)
+        if PERF.enabled:
+            PERF.incr("dp.transfer_matrix_builds")
+        if transfer_matrices is not None:
+            transfer_matrices[transfer.transfer_id] = matrix
+        return matrix
+
     # Engine dispatch.  The batch engine needs start-invariant row
     # prices (both objectives rank on cost) and a materialized gap
     # table per candidate calendar; in ``auto`` mode a missing table —
@@ -636,11 +661,12 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             and (engine == "batch"
                  or max(len(candidates[task_id]) for task_id in chain)
                  >= _BATCH_MIN_ROWS)):
-        stacks = _stacked_tables(chain, candidates, build=engine == "batch")
+        stacks = _stacked_tables(chain, candidates,
+                                 build=engine == "batch", context=context)
         if stacks is not None:
             allocation, spent = _allocate_batch(
                 job, chain, pool, candidates, stacks, incoming_by_index,
-                release, cost_mode, transfer_model, transfer_matrices,
+                release, cost_mode, transfer_model, lag_matrix,
                 cost_model, price_row, pruning, allowance_top, tail_lb)
             if allocation is None and pruning:
                 # Mirrors the scalar defensive fallback: the incumbent
@@ -650,7 +676,7 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                     PERF.incr("dp.warm_fallbacks")
                 allocation, extra = _allocate_batch(
                     job, chain, pool, candidates, stacks, incoming_by_index,
-                    release, cost_mode, transfer_model, transfer_matrices,
+                    release, cost_mode, transfer_model, lag_matrix,
                     cost_model, price_row, False, _INFINITY, tail_lb)
                 spent += extra
             if allocation is None:
@@ -865,14 +891,17 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
 
 def _stacked_tables(chain: Sequence[str],
                     candidates: Mapping[str, list],
-                    build: bool) -> Optional[list]:
+                    build: bool,
+                    context: Optional[SchedulingContext]) -> Optional[list]:
     """Stacked gap tables per chain position, or None to force scalar.
 
     With ``build=False`` (the ``auto`` engine) any candidate calendar
     without a materialized gap table vetoes the batch path — exactly
     the freshly mutated what-if copies the scalar fallback exists for.
     Positions with no candidate rows stack as None (the batch engine
-    never queries them).
+    never queries them).  Without a context there is nothing to probe
+    or memoize: ``build=False`` always vetoes, ``build=True`` stacks
+    fresh tables per call.
     """
     stacks: list = []
     for task_id in chain:
@@ -880,18 +909,24 @@ def _stacked_tables(chain: Sequence[str],
         if not rows:
             stacks.append(None)
             continue
+        if context is None:
+            if not build:
+                return None
+            stacks.append(_placement.StackedGaps(
+                [row[2].gap_table() for row in rows]))
+            continue
         # The rows carry their calendar versions (row[3]), so a cached
         # stack is found without touching the per-calendar tables — the
         # stacked arrays are self-contained copies of the gap data.
-        stacked = _placement.cached_stack(tuple(row[3] for row in rows))
+        stacked = context.cached_stack(tuple(row[3] for row in rows))
         if stacked is None:
             tables = []
             for row in rows:
-                table = _placement.gap_table(row[2], build=build)
+                table = context.gap_table(row[2], build=build)
                 if table is None:
                     return None
                 tables.append(table)
-            stacked = _placement.stack_gap_tables(tables)
+            stacked = context.stack_gap_tables(tables)
         stacks.append(stacked)
     return stacks
 
@@ -901,7 +936,7 @@ def _allocate_batch(job: Job, chain: Sequence[str], pool: ResourcePool,
                     incoming_by_index: Sequence[Optional[DataTransfer]],
                     release: int, cost_mode: bool,
                     transfer_model: TransferModel,
-                    transfer_matrices: Optional[dict[str, np.ndarray]],
+                    lag_matrix: Callable[[DataTransfer], np.ndarray],
                     cost_model: CostModel,
                     price_row: Callable[[str, list], float],
                     pruning: bool, allowance: float,
@@ -975,23 +1010,6 @@ def _allocate_batch(job: Job, chain: Sequence[str], pool: ResourcePool,
                 (row[7] if row[7] is not None else price_row(task_id, row)
                  for row in rows), dtype=np.float64, count=count)
         col_cost.append(costs)
-
-    def lag_matrix(transfer: DataTransfer) -> np.ndarray:
-        matrix = (transfer_matrices.get(transfer.transfer_id)
-                  if transfer_matrices is not None else None)
-        if matrix is not None:
-            return matrix
-        size = len(pool_nodes)
-        matrix = np.empty((size, size), dtype=np.int64)
-        for src_at, src in enumerate(pool_nodes):
-            for dst_at, dst in enumerate(pool_nodes):
-                matrix[src_at, dst_at] = transfer_model.time(
-                    transfer, src, dst)
-        if PERF.enabled:
-            PERF.incr("dp.transfer_matrix_builds")
-        if transfer_matrices is not None:
-            transfer_matrices[transfer.transfer_id] = matrix
-        return matrix
 
     # Forward sweep: enumerate the reachable state level of every
     # position (ready slots per pool position), recording the feasible

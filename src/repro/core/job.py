@@ -18,7 +18,6 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..perf import PERF as _PERF
 from .units import EPSILON, ceil_units, interpolate, scale_duration
 
 __all__ = ["Task", "DataTransfer", "Job", "JobValidationError"]
@@ -66,8 +65,10 @@ class Task:
         # Durations are pure functions of the (frozen) estimates, and
         # the DP asks for the same (performance, level) combinations on
         # every state expansion — memoize them (not a dataclass field,
-        # so equality and repr are untouched).
-        object.__setattr__(self, "_duration_cache", {})
+        # so equality and repr are untouched).  Sanctioned outside the
+        # SchedulingContext: the memo is pure value-keyed state of an
+        # immutable object, with no invalidation to coordinate.
+        object.__setattr__(self, "_duration_cache", {})  # lint: context-cache
 
     def base_time(self, level: float = 0.0) -> int:
         """Base execution time at estimation ``level`` (0 = best, 1 = worst)."""
@@ -189,9 +190,6 @@ class Job:
             self._pred[transfer.dst].append(transfer.src)
 
         self._topo_order = self._compute_topo_order()
-        # The DAG is immutable after construction, so path enumerations
-        # are memoized (keyed by the enumeration limit).
-        self._paths_cache: dict[int, list[list[str]]] = {}
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -267,17 +265,10 @@ class Job:
         ``limit`` bounds the enumeration on pathological graphs; the jobs
         in the paper's experiments have a handful of paths.
 
-        The result is memoized (jobs are immutable once built) and the
-        critical-works scheduler re-asks per estimation level — treat
-        the returned list as read-only.
+        Pure enumeration — repeated callers should go through
+        :meth:`repro.core.context.SchedulingContext.job_paths`, which
+        memoizes per job (the DAG is immutable once built).
         """
-        cached = self._paths_cache.get(limit)
-        if cached is not None:
-            if _PERF.enabled:
-                _PERF.incr("job.paths_cache_hits")
-            return cached
-        if _PERF.enabled:
-            _PERF.incr("job.paths_cache_misses")
         paths: list[list[str]] = []
 
         def descend(task_id: str, prefix: list[str]) -> None:
@@ -293,7 +284,6 @@ class Job:
 
         for source in self.sources():
             descend(source, [])
-        self._paths_cache[limit] = paths
         return paths
 
     def chain_length(self, chain: Sequence[str], performance: float = 1.0,

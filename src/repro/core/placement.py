@@ -9,21 +9,17 @@ module answers the question for *every* candidate row of a task — and
 every pending DP state — in one numpy sweep over the stacked
 :class:`~repro.core.calendar.GapTable` arrays of the rows' calendars.
 
-Caching layers (both exact, both keyed on calendar content versions):
+The caching layers that used to live here — per-version gap tables and
+version-tuple-keyed stacked arrays — moved to
+:class:`repro.core.context.SchedulingContext` (``gap_table`` /
+``cached_stack`` / ``stack_gap_tables`` methods), which bounds them
+with per-entry LRU eviction and reports them through
+``context.stats()``.  This module keeps the pure array kernels only.
 
-* :func:`gap_table` — one table per calendar *version*.  Versions are
-  process-globally unique and shared by copy-on-write clones, so the
-  table built for a grid calendar is reused by every what-if snapshot
-  of it, across jobs and estimation levels, until the node mutates.
-* :func:`stack_gap_tables` — one stacked (concatenated) array set per
-  *sequence* of versions.  The DP's candidate rows for a task reuse
-  the same calendar sequence across estimation levels and chains, so
-  the concatenation cost is paid once per distinct row set.
-
-Counters: ``placement.batch_queries`` (kernel invocations),
-``placement.rows_per_batch`` (total query rows — the batching factor is
-their ratio), ``placement.gap_rebuilds`` (gap tables actually derived),
-plus eviction counts for both caches.
+Counters: ``placement.batch_queries`` (kernel invocations) and
+``placement.rows_per_batch`` (total query rows — the batching factor
+is their ratio); the cache hit/miss/eviction counters are emitted by
+the context.
 
 Slot values must stay far below :data:`~repro.core.calendar.GAP_HORIZON`
 (``1 << 40``); the sentinel gap ends and the per-row key stride rely on
@@ -37,53 +33,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..perf import PERF
-from .calendar import GAP_HORIZON, GapTable, ReservationCalendar
+from .calendar import GapTable
 
-__all__ = ["gap_table", "cached_stack", "stack_gap_tables",
-           "batch_earliest_fit", "table_earliest_fit", "StackedGaps"]
+__all__ = ["batch_earliest_fit", "table_earliest_fit", "StackedGaps"]
 
 #: Offset separating consecutive rows' gap-end keys in one stacked
 #: array, so a single global ``searchsorted`` resolves every row's
 #: entry gap at once.  Must exceed the full gap-end value range
 #: (``2 * GAP_HORIZON``).
 _ROW_STRIDE = 1 << 42
-
-#: Version-keyed gap tables; wholesale-cleared when full (stale
-#: versions of mutated calendars can never be queried again, so the
-#: clear only costs rebuilds of live entries).
-_GAP_TABLES: dict[int, GapTable] = {}
-_GAP_TABLE_LIMIT = 8192
-
-#: Stacked-array cache keyed on the tuple of stacked versions.
-_STACKS: dict[tuple[int, ...], "StackedGaps"] = {}
-_STACK_LIMIT = 1024
-
-
-def gap_table(calendar: ReservationCalendar,
-              build: bool = True) -> Optional[GapTable]:
-    """The calendar's gap table, cached by content version.
-
-    With ``build=False`` only a previously materialized table is
-    returned (None otherwise) — the probe the DP uses to decide
-    between the batch kernel and the scalar fallback: freshly mutated
-    what-if copies (phase-B working calendars) have fresh versions and
-    no table, so they take the scalar path without ever paying a
-    rebuild.
-    """
-    table = _GAP_TABLES.get(calendar.version)
-    if table is not None:
-        return table
-    if not build:
-        return None
-    if len(_GAP_TABLES) >= _GAP_TABLE_LIMIT:
-        if PERF.enabled:
-            PERF.incr("placement.gap_table_evictions")
-        _GAP_TABLES.clear()
-    table = calendar.gap_table()
-    if PERF.enabled:
-        PERF.incr("placement.gap_rebuilds")
-    _GAP_TABLES[table.version] = table
-    return table
 
 
 class StackedGaps:
@@ -111,33 +69,6 @@ class StackedGaps:
         self.keyed_end = self.gap_end + np.repeat(
             np.arange(len(tables), dtype=np.int64) * _ROW_STRIDE,
             self.counts)
-
-
-def cached_stack(versions: tuple[int, ...]) -> Optional[StackedGaps]:
-    """A previously stacked array set for this exact version sequence.
-
-    Versions pin calendar contents process-globally, so a hit is exact
-    regardless of whether the per-calendar tables are still cached —
-    the stacked arrays are self-contained.
-    """
-    return _STACKS.get(versions)
-
-
-def stack_gap_tables(tables: Sequence[GapTable]) -> StackedGaps:
-    """Stack tables for :func:`batch_earliest_fit`, cached by versions."""
-    key = tuple(table.version for table in tables)
-    stacked = _STACKS.get(key)
-    if stacked is not None:
-        return stacked
-    if len(_STACKS) >= _STACK_LIMIT:
-        if PERF.enabled:
-            PERF.incr("placement.stack_evictions")
-        _STACKS.clear()
-    stacked = StackedGaps(tables)
-    if PERF.enabled:
-        PERF.incr("placement.stack_builds")
-    _STACKS[key] = stacked
-    return stacked
 
 
 def batch_earliest_fit(stacked: StackedGaps, row_index: np.ndarray,

@@ -27,6 +27,7 @@ from typing import Mapping, Optional
 from ..perf import PERF
 from .calendar import ReservationCalendar
 from .collisions import Collision
+from .context import SchedulingContext
 from .costs import BalancedTimeCost, CostModel
 from .critical_works import CriticalWorksScheduler, SchedulingOutcome
 from .granularity import coarsen, serialize
@@ -260,6 +261,11 @@ class StrategyGenerator:
         (``"auto"``, ``"scalar"``, or ``"batch"``; see
         :func:`repro.core.dp.allocate_chain`).  Bit-identical either
         way — strictly a speed knob, and the differential tests' lever.
+    context:
+        The :class:`~repro.core.context.SchedulingContext` shared by
+        every per-family scheduler the generator builds (one private
+        context by default).  Metaschedulers pass their own so fit
+        memos and gap tables carry across managers and arrivals.
     """
 
     def __init__(self, pool: ResourcePool,
@@ -268,7 +274,8 @@ class StrategyGenerator:
                  cost_model: Optional[CostModel] = None,
                  balanced_cf_weight: Optional[float] = None,
                  warm_start: bool = True,
-                 engine: str = "auto"):
+                 engine: str = "auto",
+                 context: Optional[SchedulingContext] = None):
         self.pool = pool
         if policy_models is None:
             policy_models = _default_policy_models()
@@ -279,6 +286,8 @@ class StrategyGenerator:
         self.balanced_cf_weight = balanced_cf_weight
         self.warm_start = warm_start
         self.engine = engine
+        #: Session cache layer shared by all family schedulers.
+        self.context = context if context is not None else SchedulingContext()
         self._schedulers: dict[StrategyType, CriticalWorksScheduler] = {}
 
     def scheduler_for(self, stype: StrategyType) -> CriticalWorksScheduler:
@@ -300,7 +309,8 @@ class StrategyGenerator:
             self._schedulers[stype] = CriticalWorksScheduler(
                 self.pool, model, criterion,
                 objective=spec.objective, monopolize=spec.monopolize,
-                accounting_model=self.cost_model, engine=self.engine)
+                accounting_model=self.cost_model, engine=self.engine,
+                context=self.context)
         return self._schedulers[stype]
 
     def generate(self, job: Job,

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..baselines.greedy import greedy_schedule
-from ..baselines.heuristics import Heuristic, map_independent_tasks
-from ..baselines.list_scheduling import heft_schedule
-from ..core.costs import distribution_cost
+from ..baselines.adapters import (
+    GreedyScheduler,
+    HeftScheduler,
+    IndependentTasksScheduler,
+)
+from ..baselines.heuristics import Heuristic
 from ..core.critical_works import CriticalWorksScheduler
-from ..core.schedule import Distribution, check_distribution
 from ..core.strategy import DataPolicyKind
 from ..grid.data import default_policy_models
 from ..grid.environment import GridEnvironment
@@ -62,33 +63,21 @@ def run(n_jobs: int = 150, seed: int = 2009,
             horizon, max_burst=config.background_burst)
         calendars = environment.snapshot()
 
-        outcome = CriticalWorksScheduler(
-            subset, transfer_model).build_schedule(job, calendars)
-        if outcome.admissible:
-            stats["critical-works"]["admissible"] += 1
-            stats["critical-works"]["costs"].append(outcome.cost)
-            stats["critical-works"]["makespans"].append(outcome.makespan)
-
-        for name, scheduler in (("greedy", greedy_schedule),
-                                ("heft", heft_schedule)):
-            distribution = scheduler(job, subset, calendars,
-                                     transfer_model=transfer_model)
-            if distribution is not None:
+        # One protocol, four schedulers: everything below dispatches
+        # through Scheduler.schedule and scores the outcome uniformly.
+        schedulers = [
+            ("critical-works", CriticalWorksScheduler(subset,
+                                                      transfer_model)),
+            ("greedy", GreedyScheduler(transfer_model)),
+            ("heft", HeftScheduler(transfer_model)),
+            ("min-min", IndependentTasksScheduler(Heuristic.MIN_MIN)),
+        ]
+        for name, scheduler in schedulers:
+            outcome = scheduler.schedule(job, subset, calendars)
+            if outcome.admissible:
                 stats[name]["admissible"] += 1
-                stats[name]["costs"].append(
-                    distribution_cost(distribution, job, subset))
-                stats[name]["makespans"].append(distribution.makespan)
-
-        mapping = map_independent_tasks(
-            list(job.tasks.values()), subset, Heuristic.MIN_MIN)
-        independent = Distribution(job.job_id,
-                                   mapping.placements.values())
-        violations = check_distribution(job, independent, subset)
-        if not violations and independent.makespan <= job.deadline:
-            stats["min-min"]["admissible"] += 1
-            stats["min-min"]["costs"].append(
-                distribution_cost(independent, job, subset))
-            stats["min-min"]["makespans"].append(independent.makespan)
+                stats[name]["costs"].append(outcome.cost)
+                stats[name]["makespans"].append(outcome.makespan)
 
     table = ExperimentTable(
         experiment_id="abl-dp",

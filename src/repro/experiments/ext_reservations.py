@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..baselines.greedy import greedy_schedule
+from ..baselines.adapters import GreedyScheduler
 from ..core.strategy import StrategyGenerator, StrategyType
 from ..grid.environment import GridEnvironment
 from ..grid.execution import simulate_execution
@@ -55,6 +55,7 @@ def run(n_jobs: int = 80, seed: int = 2009,
                 streams.stream("background"), busy_fraction, horizon,
                 max_burst=20)
         generator = StrategyGenerator(pool)
+        best_effort = GreedyScheduler(model)
 
         accepted = 0
         met = 0
@@ -85,9 +86,9 @@ def run(n_jobs: int = 80, seed: int = 2009,
                 if trace.makespan <= release + job.deadline:
                     met += 1
             else:
-                distribution = greedy_schedule(
+                distribution = best_effort.schedule(
                     _unbounded(job), pool, calendars,
-                    transfer_model=model, level=0.0, release=release)
+                    level=0.0, release=release).distribution
                 if distribution is None:
                     continue  # only when literally nothing fits
                 environment.commit_distribution(distribution)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from ..core.calendar import ReservationCalendar
+from ..core.context import SchedulingContext
 from ..core.costs import CostModel
 from ..core.job import Job
 from ..core.resources import ResourcePool
@@ -42,7 +43,8 @@ class JobManager:
     def __init__(self, domain: str, pool: ResourcePool,
                  policy_models: Optional[Mapping[DataPolicyKind,
                                                  TransferModel]] = None,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: Optional[CostModel] = None,
+                 context: Optional[SchedulingContext] = None):
         self.domain = domain
         nodes = pool.by_domain(domain)
         if not nodes:
@@ -50,7 +52,7 @@ class JobManager:
         #: The manager's own slice of the VO resources.
         self.pool = ResourcePool(list(nodes))
         self.generator = StrategyGenerator(self.pool, policy_models,
-                                           cost_model)
+                                           cost_model, context=context)
         #: Strategies currently maintained, by job id.
         self.strategies: dict[str, Strategy] = {}
 

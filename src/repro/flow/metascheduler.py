@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.context import SchedulingContext
 from ..core.job import Job
 from ..core.strategy import Strategy, StrategyType, SupportingSchedule
 from ..grid.environment import GridEnvironment
@@ -76,22 +77,27 @@ class Metascheduler:
                  policy_models=None, cost_model=None,
                  economics: Optional[VOEconomics] = None,
                  use_local_managers: bool = False,
-                 conflict_retries: int = 0):
+                 conflict_retries: int = 0,
+                 context: Optional[SchedulingContext] = None):
         self.grid = grid
         self.economics = economics
         if conflict_retries < 0:
             raise ValueError(
                 f"conflict_retries must be >= 0, got {conflict_retries}")
         self.conflict_retries = conflict_retries
-        #: Epoch-tagged strategies: (job id, family, domain) ->
+        #: Session cache layer shared by every domain manager's strategy
+        #: generator and by the plan cache below (``context.plans``):
+        #: epoch-tagged strategies keyed (job id, family, domain) ->
         #: (release, domain epoch slice, strategy).  A hit requires the
         #: same release and an unchanged epoch slice over the domain's
         #: nodes, which guarantees byte-identical calendar contents —
         #: strategy generation is deterministic, so reuse is exact.
-        self._plan_cache: dict[tuple[str, StrategyType, str],
-                               tuple[int, tuple[int, ...], Strategy]] = {}
+        #: Bounded by per-entry LRU eviction, so a flood of one-shot
+        #: keys can no longer wipe hot entries wholesale.
+        self.context = context if context is not None else SchedulingContext()
         self.managers: list[JobManager] = [
-            JobManager(domain, grid.pool, policy_models, cost_model)
+            JobManager(domain, grid.pool, policy_models, cost_model,
+                       context=self.context)
             for domain in grid.pool.domains()
         ]
         #: When True, commitments go through each domain's local
@@ -162,10 +168,6 @@ class Metascheduler:
                       release: int) -> FlowRecord:
         return self._finish(self.plan_job(job, stype, release))
 
-    #: Entry bound for the plan cache; one strategy per entry, so this
-    #: limits retained plans, not memory per se.
-    _PLAN_CACHE_LIMIT = 4096
-
     def _plan_for(self, manager: JobManager, job: Job, stype: StrategyType,
                   release: int, calendars) -> Strategy:
         """Plan through the epoch-keyed cache (exact reuse).
@@ -173,10 +175,13 @@ class Metascheduler:
         The cached strategy is reused only when the release matches and
         no calendar of the manager's domain changed version since it
         was generated — the generation inputs are then byte-identical.
+        A stale entry (drifted epochs or release) misses and is simply
+        overwritten; the LRU in ``context.plans`` evicts the coldest
+        key when the cache is full.
         """
         key = (job.job_id, stype, manager.domain)
         epochs = self.grid.epoch_slice(manager.pool.node_ids())
-        cached = self._plan_cache.get(key)
+        cached = self.context.plans.get(key)
         if (cached is not None and cached[0] == release
                 and cached[1] == epochs):
             if PERF.enabled:
@@ -189,9 +194,7 @@ class Metascheduler:
         if PERF.enabled:
             PERF.incr("flow.plan_cache_misses")
         strategy = manager.plan(job, calendars, stype, release=release)
-        if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
-            self._plan_cache.clear()
-        self._plan_cache[key] = (release, epochs, strategy)
+        self.context.plans[key] = (release, epochs, strategy)
         return strategy
 
     def plan_job(self, job: Job, stype: StrategyType,

@@ -122,6 +122,10 @@ class OnlineSimulation:
         self.metascheduler = Metascheduler(
             self.grid, economics=economics,
             conflict_retries=self.config.conflict_retries)
+        #: The one long-lived cache layer of the whole run: plan cache,
+        #: fit memos, and gap tables carry across arrivals instead of
+        #: starting cold per job.
+        self.context = self.metascheduler.context
         self.agents = {node.node_id: NodeAgent(self.sim, node)
                        for node in pool}
         #: Jobs planned-and-committed but not yet finished, over time.

@@ -16,12 +16,13 @@ from .bench import (
     measure_speedup,
     run_kernel_bench,
 )
-from .registry import PERF, PerfRegistry, cache_stats
+from .registry import PERF, PerfRegistry, cache_stats, derive_cache_stats
 
 __all__ = [
     "PERF",
     "PerfRegistry",
     "cache_stats",
+    "derive_cache_stats",
     "BENCH_SCHEMA_VERSION",
     "run_kernel_bench",
     "compare_reports",

@@ -20,11 +20,16 @@ together cover the scheduling kernel's hot paths:
     A pinned :class:`~repro.flow.simulation.OnlineSimulation` run —
     plan, epoch-aware commit, and discrete-event execution end to end.
 
-The report also embeds one :class:`~repro.perf.registry.PerfRegistry`
-snapshot of the study workload plus derived per-cache hit rates
-(``caches``), so counter drift (e.g. a cache that stopped hitting) is
-visible next to the timings.  ``compare_reports`` diffs two reports for
-the CI regression gates.
+The report also embeds a merged :class:`~repro.perf.registry.
+PerfRegistry` snapshot of one instrumented pass over every selected
+workload plus derived per-cache hit rates (``caches``), so counter
+drift (e.g. a cache that stopped hitting) is visible next to the
+timings.  Workloads that run through a
+:class:`~repro.core.context.SchedulingContext` additionally report the
+context's own per-cache view (entries, capacities, eviction policies)
+under ``context.<workload>`` — the unified ``context.stats()`` surface
+the refactor consolidated the cache inventory behind.
+``compare_reports`` diffs two reports for the CI regression gates.
 
 Workload imports are lazy: the kernel imports :mod:`repro.perf` for the
 ``PERF`` registry, so this module must not import the kernel at module
@@ -37,7 +42,7 @@ import platform
 import time
 from typing import Any, Callable, Iterable, Optional
 
-from .registry import PERF, cache_stats
+from .registry import PERF, derive_cache_stats
 
 __all__ = ["BENCH_SCHEMA_VERSION", "BENCH_WORKLOADS", "run_kernel_bench",
            "compare_reports", "format_comparison"]
@@ -113,7 +118,7 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         for _ in range(200):
             calendars = {node.node_id: ReservationCalendar()
                          for node in pool}
-            scheduler.build_schedule(job, calendars)
+            scheduler.schedule(job, pool, calendars)
 
     def calendar_ops() -> int:
         calendar = ReservationCalendar()
@@ -137,8 +142,11 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
     sgen_env = GridEnvironment(sgen_pool)
     sgen_env.apply_background_load(sgen_rng, sgen_busy, 400)
 
+    last_sgen_context: list[Any] = [None]
+
     def strategy_generation() -> int:
         generator = StrategyGenerator(sgen_pool)
+        last_sgen_context[0] = generator.context
         expense = 0
         for batch_job in sgen_batch:
             for stype in (StrategyType.S1, StrategyType.S2,
@@ -155,9 +163,13 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
                                  busy_fraction=0.3, conflict_retries=1,
                                  plan_latency=4)
     online_pool = generate_pool(streams.stream("bench.online_pool"))
+    last_online_context: list[Any] = [None]
 
     def online_sim() -> None:
-        OnlineSimulation(online_pool, seed=seed, config=online_config).run()
+        simulation = OnlineSimulation(online_pool, seed=seed,
+                                      config=online_config)
+        last_online_context[0] = simulation.context
+        simulation.run()
 
     runners: dict[str, tuple[Callable[[], Any], dict[str, Any]]] = {
         "study_fig3a": (study, {"jobs": jobs, "seed": seed,
@@ -191,22 +203,44 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         entry.update(params)
         report["workloads"][name] = entry
 
-    # One instrumented pass of every selected workload: the counters
-    # document how hard the kernel worked, and the derived cache stats
-    # show how well its caches performed.  The study runs in-process
-    # here (workers=1) — subprocess workers report into their own
-    # registries, not this one.
+    # One instrumented pass of every selected workload, each under its
+    # own collection scope: the merged counters document how hard the
+    # kernel worked overall, and workloads that schedule through a
+    # SchedulingContext additionally report that context's unified
+    # per-cache stats (hits/misses from the scoped counters, plus
+    # entries, capacities, and eviction policies from the context).
+    # The study runs in-process here (workers=1) — subprocess workers
+    # report into their own registries, not this one; its generators
+    # (and calendar_ops) are context-free in this report.
     instrumented = dict(runners)
     instrumented["study_fig3a"] = (
         lambda: application_level_study(config, workers=1), {})
-    with PERF.collecting() as registry:
-        for name in BENCH_WORKLOADS:
-            if name in selected:
-                instrumented[name][0]()
-        snapshot = registry.snapshot()
-    report["counters"] = snapshot["counters"]
-    report["timers"] = snapshot["timers"]
-    report["caches"] = cache_stats(snapshot["counters"])
+    workload_contexts: dict[str, Callable[[], Any]] = {
+        "critical_works_fig2": lambda: scheduler.context,
+        "strategy_generation": lambda: last_sgen_context[0],
+        "online_sim": lambda: last_online_context[0],
+    }
+    merged_counters: dict[str, int] = {}
+    merged_timers: dict[str, float] = {}
+    report["context"] = {}
+    for name in BENCH_WORKLOADS:
+        if name not in selected:
+            continue
+        with PERF.collecting() as registry:
+            instrumented[name][0]()
+            snapshot = registry.snapshot()
+        for counter, value in snapshot["counters"].items():
+            merged_counters[counter] = (
+                merged_counters.get(counter, 0) + int(value))
+        for timer, seconds in snapshot["timers"].items():
+            merged_timers[timer] = round(
+                merged_timers.get(timer, 0.0) + float(seconds), 6)
+        context = workload_contexts.get(name, lambda: None)()
+        if context is not None:
+            report["context"][name] = context.stats(snapshot["counters"])
+    report["counters"] = dict(sorted(merged_counters.items()))
+    report["timers"] = dict(sorted(merged_timers.items()))
+    report["caches"] = derive_cache_stats(merged_counters)
     return report
 
 

@@ -33,39 +33,57 @@ Counter names reported by the kernel
 ``dp.pruned``
     Candidate transitions discarded by warm-start branch-and-bound
     bounds (work the cold path would have expanded).
-``dp.incumbent_hits`` / ``dp.incumbent_misses``
+``dp.incumbents_warm`` / ``dp.incumbents_cold``
     Warm-start hints that re-fit as a feasible incumbent vs. hints
     that no longer fit the current level/calendars (the run is then
-    cold).
+    cold).  Deliberately *not* a ``*_hits``/``*_misses`` pair: the
+    incumbent machinery is not a cache, and the pair suffix is
+    reserved for caches owned by the
+    :class:`~repro.core.context.SchedulingContext`.
 ``dp.transfer_cache_hits`` / ``dp.transfer_cache_misses``
-    Per-``(transfer, src, dst)`` transfer-time memoization (shared per
-    job across chains, levels, and repair retries).
+    Per-``(transfer, src, dst)`` transfer-time memoization — the
+    context's per-(job, transfer model) lag memo.
 ``dp.fit_cache_hits`` / ``dp.fit_cache_misses``
-    Version-keyed ``earliest_fit`` memo shared across DP calls; a hit
-    means the node's calendar is provably unchanged since the answer
-    was computed.
+    The context's version-keyed ``earliest_fit`` memo shared across DP
+    calls; a hit means the node's calendar is provably unchanged since
+    the answer was computed.
 ``dp.fit_cache_evictions``
-    Wholesale clears of an overgrown fit cache.
+    Single entries dropped by the fit cache's LRU bound (was a
+    wholesale-clear count before the context refactor).
+``dp.duration_cache_hits`` / ``dp.duration_cache_misses``
+    The context's per-job (task, node, level) duration memo.
 ``dp.warm_fallbacks``
     Warm runs that fell back to a cold pass (defensive; expected 0).
 ``dp.transfer_matrix_builds``
-    Per-job ``(task, node)`` transfer-lag matrices precomputed for the
+    Per-(job, model, pool) transfer-lag matrices precomputed for the
     batch engine (replacing per-edge transfer-time calls).
 ``placement.batch_queries`` / ``placement.rows_per_batch``
     Batched gap-table placement-kernel invocations and the total query
     rows they answered; the ratio is the batching factor.
-``placement.gap_rebuilds``
-    Gap tables actually derived from a reservation list (misses of the
-    version-keyed table cache); ``placement.gap_table_evictions``,
-    ``placement.stack_builds`` and ``placement.stack_evictions`` track
-    the table and stacked-array caches themselves.
+``placement.gap_table_hits`` / ``placement.gap_table_misses``
+    The context's version-keyed gap-table cache (a miss derives the
+    table from the reservation list — the former
+    ``placement.gap_rebuilds``); ``placement.gap_table_evictions``
+    counts LRU drops.
+``placement.stack_hits`` / ``placement.stack_misses``
+    The context's stacked-array cache, keyed on version tuples (a miss
+    concatenates — the former ``placement.stack_builds``);
+    ``placement.stack_evictions`` counts LRU drops.
 ``flow.plan_cache_hits`` / ``flow.plan_cache_misses``
     Metascheduler strategy reuse keyed on (job, family, domain) and the
-    domain's calendar epoch slice.
+    domain's calendar epoch slice — the context's plan LRU;
+    ``flow.plan_cache_evictions`` counts single-entry LRU drops (the
+    pre-context cache cleared wholesale instead).
 ``critical_works.rank_cache_hits`` / ``..._misses``
-    Reuse of the per-(job, level) critical-works ranking.
+    Reuse of the context's per-(job, model, pool, level) critical-works
+    ranking.
 ``job.paths_cache_hits`` / ``job.paths_cache_misses``
-    Reuse of the per-job source→sink path enumeration.
+    Reuse of the context's per-job source→sink path enumeration.
+
+Every ``*_hits``/``*_misses`` pair above is emitted by exactly one
+cache owned by the :class:`~repro.core.context.SchedulingContext`
+(see ``CONTEXT_CACHE_NAMES``); ``tests/perf/test_counter_audit.py``
+enforces the invariant so orphaned pairs cannot accumulate.
 
 Timer names
 -----------
@@ -80,17 +98,21 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["PerfRegistry", "PERF", "cache_stats"]
+__all__ = ["PerfRegistry", "PERF", "cache_stats", "derive_cache_stats"]
 
 
-def cache_stats(counters: dict[str, int]) -> dict[str, dict[str, float]]:
+def derive_cache_stats(counters: dict[str, int]
+                       ) -> dict[str, dict[str, float]]:
     """Derive per-cache hit statistics from ``*_hits``/``*_misses`` pairs.
 
     Every counter pair named ``<cache>_hits`` / ``<cache>_misses``
     (either side may be absent and defaults to 0) yields one entry
     ``{<cache>: {"hits": h, "misses": m, "hit_rate": h / (h + m)}}``.
     Used by the benchmark report and ``repro perf --json`` so cache
-    effectiveness is visible next to the timings.
+    effectiveness is visible next to the timings.  Each derived name
+    must correspond to a :class:`~repro.core.context.SchedulingContext`
+    cache (``CONTEXT_CACHE_NAMES``) — the counter audit test keeps the
+    two in lockstep.
     """
     names = {name[: -len(suffix)]
              for name in counters
@@ -107,6 +129,10 @@ def cache_stats(counters: dict[str, int]) -> dict[str, dict[str, float]]:
             "hit_rate": round(hits / total, 4) if total else 0.0,
         }
     return stats
+
+
+#: Backwards-compatible alias (pre-PR 5 name).
+cache_stats = derive_cache_stats
 
 
 class PerfRegistry:

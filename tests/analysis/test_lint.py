@@ -135,6 +135,106 @@ def test_scalar_fit_nested_function_resets_loop_depth():
     assert lint_source(source, path="src/repro/core/dp.py") == []
 
 
+# REP006: stray caches outside the SchedulingContext ------------------
+
+STRAY_MODULE_CACHE = "_PLAN_CACHE = {}\n_PLAN_CACHE_LIMIT = 64\n"
+
+STRAY_SELF_CACHE = '''\
+class Scheduler:
+    def __init__(self, pool):
+        self._fit_cache = dict()
+        self.pool = pool
+'''
+
+STRAY_PARAM_CACHE = '''\
+def allocate(chain, pool, fit_cache=None, transfer_matrices=None):
+    return chain
+'''
+
+STRAY_SETATTR_CACHE = '''\
+class Job:
+    def __post_init__(self):
+        object.__setattr__(self, "_duration_cache", {})
+'''
+
+STRAY_SETATTR_SANCTIONED = '''\
+class Job:
+    def __post_init__(self):
+        # lint: context-cache (pure value-keyed memo on a frozen job)
+        object.__setattr__(self, "_duration_cache", {})
+'''
+
+
+def test_stray_module_cache_caught_in_core_and_flow():
+    for path in ("src/repro/core/dp.py", "src/repro/flow/metascheduler.py"):
+        found = lint_source(STRAY_MODULE_CACHE, path=path)
+        assert codes(found) == {"REP006"}, path
+        assert "_PLAN_CACHE" in found[0].message
+        assert "SchedulingContext" in found[0].message
+
+
+def test_stray_self_attribute_cache_caught():
+    found = lint_source(STRAY_SELF_CACHE, path="src/repro/core/cw.py")
+    assert codes(found) == {"REP006"}
+    assert "self._fit_cache" in found[0].message
+
+
+def test_cache_threading_parameters_caught():
+    found = lint_source(STRAY_PARAM_CACHE, path="src/repro/core/dp.py")
+    rep006 = [v for v in found if v.code == "REP006"]
+    assert len(rep006) == 2  # fit_cache and transfer_matrices
+    assert any("fit_cache" in v.message for v in rep006)
+    assert any("transfer_matrices" in v.message for v in rep006)
+
+
+def test_setattr_smuggled_cache_caught_and_sanctionable():
+    found = lint_source(STRAY_SETATTR_CACHE, path="src/repro/core/job.py")
+    assert codes(found) == {"REP006"}
+    assert "_duration_cache" in found[0].message
+    assert lint_source(STRAY_SETATTR_SANCTIONED,
+                       path="src/repro/core/job.py") == []
+
+
+def test_context_cache_marker_suppresses_all_forms():
+    sanctioned = ("_RANK_MEMO = {}  # lint: context-cache\n")
+    assert lint_source(sanctioned, path="src/repro/core/cw.py") == []
+    marker_above = ("# lint: context-cache\n"
+                    "_RANK_MEMO = {}\n")
+    assert lint_source(marker_above, path="src/repro/core/cw.py") == []
+
+
+def test_stray_cache_only_flagged_in_core_and_flow():
+    for path in ("src/repro/analysis/verify.py",
+                 "src/repro/perf/bench.py",
+                 "tests/core/test_dp.py"):
+        assert lint_source(STRAY_MODULE_CACHE, path=path) == [], path
+
+
+def test_context_module_is_exempt():
+    assert lint_source(STRAY_MODULE_CACHE,
+                       path="src/repro/core/context.py") == []
+    assert lint_source(STRAY_SELF_CACHE,
+                       path="src/repro/core/context.py") == []
+
+
+def test_local_cache_variables_are_fine():
+    source = ("def rank(job):\n"
+              "    memo = {}\n"
+              "    memo[job] = 1\n"
+              "    return memo\n")
+    assert lint_source(source, path="src/repro/core/cw.py") == []
+
+
+def test_non_cache_names_and_values_are_fine():
+    # Cache-named but not a container build: fine (e.g. a view handle).
+    source = "def f(self):\n    self._fit_cache = make_view()\n"
+    # ``make_view`` is not a known container factory.
+    assert lint_source(source, path="src/repro/core/cw.py") == []
+    # Container build but not cache-named: fine.
+    source = "_REGISTRY = {}\n"
+    assert lint_source(source, path="src/repro/core/cw.py") == []
+
+
 def test_source_tree_is_clean():
     src = Path(__file__).resolve().parents[2] / "src"
     assert src.is_dir()

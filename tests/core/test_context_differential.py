@@ -1,0 +1,96 @@
+"""A shared SchedulingContext never changes results, only speed.
+
+Every context cache is exact — pure value keys or calendar content
+versions — so schedules built through a warm, long-lived context must
+be bit-identical to schedules built cold.  These tests run the same
+workloads twice (one context shared across everything vs. a fresh
+context per call) and compare outcomes field by field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calendar import ReservationCalendar
+from repro.core.context import SchedulingContext
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.core.strategy import StrategyGenerator, StrategyType
+from repro.workload.generator import generate_job, generate_pool
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def outcomes_equal(warm, cold):
+    assert warm.job_id == cold.job_id
+    assert warm.level == cold.level
+    assert warm.admissible == cold.admissible
+    assert warm.cost == cold.cost
+    assert warm.makespan == cold.makespan
+    assert warm.collisions == cold.collisions
+    if cold.distribution is None:
+        assert warm.distribution is None
+    else:
+        assert warm.distribution is not None
+        assert list(warm.distribution) == list(cold.distribution)
+
+
+def strategies_equal(warm, cold):
+    assert [s.level for s in warm.schedules] == \
+        [s.level for s in cold.schedules]
+    for warm_schedule, cold_schedule in zip(warm.schedules, cold.schedules):
+        outcomes_equal(warm_schedule.outcome, cold_schedule.outcome)
+
+
+def empty_calendars(pool):
+    return {node.node_id: ReservationCalendar() for node in pool}
+
+
+def test_shared_context_matches_cold_across_levels():
+    """One context across every relative-load level of fig2 vs. a
+    fresh scheduler (fresh context) per level."""
+    pool, job = fig2_pool(), fig2_job()
+    shared = CriticalWorksScheduler(pool, context=SchedulingContext())
+    calendars = empty_calendars(pool)
+    for level in (0.0, 0.25, 0.5, 0.75, 1.0):
+        warm = shared.build_schedule(job, calendars, level=level)
+        cold = CriticalWorksScheduler(pool).build_schedule(
+            job, calendars, level=level)
+        outcomes_equal(warm, cold)
+
+
+def test_repeated_build_through_warm_context_is_stable():
+    """The second build answers mostly from caches; same outcome."""
+    pool, job = fig2_pool(), fig2_job()
+    scheduler = CriticalWorksScheduler(pool)
+    calendars = empty_calendars(pool)
+    first = scheduler.build_schedule(job, calendars)
+    second = scheduler.build_schedule(job, calendars)
+    outcomes_equal(second, first)
+
+
+@pytest.mark.parametrize("stype", list(StrategyType))
+def test_shared_context_across_families_and_jobs(stype):
+    """One context shared across a seeded batch and all families vs. a
+    fresh generator per (job, family)."""
+    rng = np.random.default_rng(2009)
+    pool = generate_pool(rng)
+    jobs = [generate_job(rng, index) for index in range(4)]
+    calendars = empty_calendars(pool)
+    shared = StrategyGenerator(pool, context=SchedulingContext())
+    for job in jobs:
+        warm = shared.generate(job, calendars, stype)
+        cold = StrategyGenerator(pool).generate(job, calendars, stype)
+        strategies_equal(warm, cold)
+
+
+def test_shared_context_with_background_load():
+    """Background reservations exercise phase B (working calendars);
+    the shared context must stay exact through collisions."""
+    pool, job = fig2_pool(), fig2_job()
+    calendars = empty_calendars(pool)
+    for at, calendar in enumerate(calendars.values()):
+        calendar.reserve(2 * at, 2 * at + 3, "background")
+    shared = CriticalWorksScheduler(pool, context=SchedulingContext())
+    for level in (0.0, 0.5, 1.0):
+        warm = shared.build_schedule(job, calendars, level=level)
+        cold = CriticalWorksScheduler(pool).build_schedule(
+            job, calendars, level=level)
+        outcomes_equal(warm, cold)

@@ -222,9 +222,11 @@ def test_evaluations_counter_positive():
     assert result.evaluations > 0
 
 
-def test_fit_cache_and_transfer_cache_do_not_change_results():
-    """The version-keyed fit cache and the shared transfer cache are
-    pure memoization: results must equal the uncached run's exactly."""
+def test_context_caches_do_not_change_results():
+    """The context's version-keyed fit cache and transfer-lag memo are
+    pure memoization: results must equal the cacheless run's exactly."""
+    from repro.core.context import SchedulingContext
+
     job = chain_job()
     pool = make_pool(1.0, 0.5, 1 / 3)
     chain = ["A", "B", "C"]
@@ -233,38 +235,37 @@ def test_fit_cache_and_transfer_cache_do_not_change_results():
     calendars[2].reserve(4, 6, tag="bg")
 
     plain = allocate_chain(job, chain, pool, calendars, 25)
-    fit_cache: dict = {}
-    transfer_cache: dict = {}
+    context = SchedulingContext()
     cached = allocate_chain(job, chain, pool, calendars, 25,
-                            fit_cache=fit_cache,
-                            transfer_cache=transfer_cache)
+                            context=context)
     assert plain is not None and cached is not None
     assert cached.placements == plain.placements
     assert cached.cost == plain.cost
     assert cached.evaluations == plain.evaluations
-    assert fit_cache  # the run actually populated it
+    assert len(context.fit_cache)  # the run actually populated it
 
-    # A second cached run reuses entries and still agrees.
+    # A second run through the same context reuses entries and agrees.
     again = allocate_chain(job, chain, pool, calendars, 25,
-                           fit_cache=fit_cache,
-                           transfer_cache=transfer_cache)
+                           context=context)
     assert again.placements == plain.placements
     assert again.cost == plain.cost
 
 
 def test_stale_fit_cache_keys_are_ignored_after_mutation():
     """Calendar mutations bump versions, so entries from the old state
-    can never be read back — the cached run must track the fresh state."""
+    can never be read back — the warm context must track fresh state."""
+    from repro.core.context import SchedulingContext
+
     job = chain_job()
     pool = make_pool(1.0, 0.5)
     chain = ["A", "B", "C"]
     calendars = empty_calendars(pool)
-    fit_cache: dict = {}
-    allocate_chain(job, chain, pool, calendars, 25, fit_cache=fit_cache)
+    context = SchedulingContext()
+    allocate_chain(job, chain, pool, calendars, 25, context=context)
 
     calendars[1].reserve(0, 4, tag="bg")
     fresh = allocate_chain(job, chain, pool, calendars, 25,
-                           fit_cache=fit_cache)
+                           context=context)
     uncached = allocate_chain(job, chain, pool, calendars, 25)
     assert (fresh is None) == (uncached is None)
     if uncached is not None:

@@ -94,9 +94,9 @@ def test_committed_baseline_is_comparable():
     assert len(rows) == 5
     assert not any(row["regressed"] for row in rows)
     assert baseline["geometric_mean_speedup_vs_reference"] > 1.0
-    # The acceptance scenarios of the vectorized placement kernel must
+    # The acceptance scenarios of the shared SchedulingContext must
     # stay recorded at a >= 1.3x geometric-mean speedup over the
-    # pre-optimization reference (commit 7ff9584, same machine).
+    # pre-refactor reference (commit 64886cf, same machine).
     reference = baseline["reference"]["workloads"]
     product = 1.0
     for name in ("strategy_generation", "online_sim"):
@@ -104,6 +104,13 @@ def test_committed_baseline_is_comparable():
                     / baseline["workloads"][name]["seconds"])
     assert product ** 0.5 >= 1.3
     assert baseline["caches"]["dp.fit_cache"]["hits"] > 0
+    # The unified context stats ride along in the committed report:
+    # every context cache, with policy/entries/eviction structure.
+    assert set(baseline["context"]) == {
+        "critical_works_fig2", "strategy_generation", "online_sim"}
+    online = baseline["context"]["online_sim"]
+    assert online["flow.plan_cache"]["policy"] == "lru"
+    assert online["flow.plan_cache"]["hits"] >= 32  # PR 4 warm baseline
     # The batch placement kernel ran and the plan cache is alive in the
     # recorded online scenario.
     assert baseline["counters"]["placement.batch_queries"] > 0

@@ -1,0 +1,138 @@
+"""Property: mutating a calendar mid-run never serves stale cache state.
+
+The SchedulingContext keys placement state on calendar *content
+versions* and whole-domain plans on epoch slices, so invalidation is
+structural — a mutated calendar simply stops matching its old keys.
+These hypothesis tests warm a context, mutate a randomly chosen node's
+calendar (a new background reservation), then schedule again through
+the *same warm context* and through a *cold* one: any stale fit
+witness, gap table, stacked array, or plan served by the warm path
+would break the differential equality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import ReservationCalendar, ReservationConflict
+from repro.core.context import SchedulingContext
+from repro.core.critical_works import CriticalWorksScheduler
+from repro.core.strategy import StrategyType
+from repro.flow.metascheduler import Metascheduler
+from repro.grid.environment import GridEnvironment
+from repro.workload.paper_example import fig2_job, fig2_pool
+
+
+def outcomes_equal(warm, cold):
+    assert warm.admissible == cold.admissible
+    assert warm.cost == cold.cost
+    assert warm.makespan == cold.makespan
+    assert warm.collisions == cold.collisions
+    if cold.distribution is None:
+        assert warm.distribution is None
+    else:
+        assert list(warm.distribution) == list(cold.distribution)
+
+
+def empty_calendars(pool):
+    return {node.node_id: ReservationCalendar() for node in pool}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    node_index=st.integers(0, 8),
+    start=st.integers(0, 12),
+    duration=st.integers(1, 8),
+    level=st.sampled_from([0.0, 0.5, 1.0]),
+)
+def test_mid_run_mutation_never_serves_stale_placement(
+        node_index, start, duration, level):
+    pool, job = fig2_pool(), fig2_job()
+    calendars = empty_calendars(pool)
+    warm_context = SchedulingContext()
+    scheduler = CriticalWorksScheduler(pool, context=warm_context)
+
+    # Warm every cache: fit witnesses, gap tables, stacks, rankings.
+    scheduler.build_schedule(job, calendars, level=level)
+
+    # Mutate one node's calendar mid-run.
+    node = list(pool)[node_index % len(pool)]
+    try:
+        calendars[node.node_id].reserve(start, start + duration, "mutation")
+    except ReservationConflict:  # empty calendar: cannot happen
+        raise
+
+    # Same warm context vs. a cold scheduler on the mutated state.
+    warm = scheduler.build_schedule(job, calendars, level=level)
+    cold = CriticalWorksScheduler(pool).build_schedule(
+        job, calendars, level=level)
+    outcomes_equal(warm, cold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    node_index=st.integers(0, 8),
+    windows=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(1, 5)),
+        min_size=1, max_size=3),
+)
+def test_repeated_mutations_keep_fit_and_gap_caches_exact(
+        node_index, windows):
+    """Several successive mutations of one calendar, re-scheduling
+    through the same context after each; every round must match cold."""
+    pool, job = fig2_pool(), fig2_job()
+    calendars = empty_calendars(pool)
+    warm_context = SchedulingContext()
+    scheduler = CriticalWorksScheduler(pool, context=warm_context)
+    node = list(pool)[node_index % len(pool)]
+    calendar = calendars[node.node_id]
+
+    scheduler.build_schedule(job, calendars)
+    for start, duration in windows:
+        try:
+            calendar.reserve(start, start + duration, "mutation")
+        except ReservationConflict:
+            continue  # overlapping window: no version bump, still valid
+        warm = scheduler.build_schedule(job, calendars)
+        cold = CriticalWorksScheduler(pool).build_schedule(job, calendars)
+        outcomes_equal(warm, cold)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    node_index=st.integers(0, 8),
+    start=st.integers(0, 10),
+    duration=st.integers(1, 6),
+    stype=st.sampled_from(list(StrategyType)),
+)
+def test_grid_mutation_invalidates_cached_plans(
+        node_index, start, duration, stype):
+    """Flow layer: booking directly on a grid calendar after planning
+    must invalidate the epoch-keyed plan (differential vs. a cold
+    metascheduler on an identical grid)."""
+    def fresh_grid():
+        grid = GridEnvironment(fig2_pool())
+        return grid
+
+    job = fig2_job()
+    warm_grid = fresh_grid()
+    metascheduler = Metascheduler(warm_grid)
+    metascheduler.plan_job(job, stype, 0)  # warm the plan cache
+
+    cold_grid = fresh_grid()
+    node = list(warm_grid.pool)[node_index % len(warm_grid.pool)]
+    for grid in (warm_grid, cold_grid):
+        grid.calendars[node.node_id].reserve(
+            start, start + duration, "mutation")
+
+    warm_plan = metascheduler.plan_job(job, stype, 0)
+    cold_plan = Metascheduler(cold_grid).plan_job(job, stype, 0)
+    assert (warm_plan.strategy is None) == (cold_plan.strategy is None)
+    if warm_plan.strategy is not None:
+        warm_best = warm_plan.strategy.best_schedule()
+        cold_best = cold_plan.strategy.best_schedule()
+        assert (warm_best is None) == (cold_best is None)
+        if warm_best is not None:
+            assert warm_best.outcome.cost == cold_best.outcome.cost
+            assert warm_best.outcome.makespan == cold_best.outcome.makespan
+            assert list(warm_best.distribution) == \
+                list(cold_best.distribution)

@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.calendar import ReservationCalendar
-from repro.core.placement import gap_table, table_earliest_fit
+from repro.core.placement import table_earliest_fit
 
 # Interval layouts biased toward adjacency and overlap-free stacking:
 # sorting random endpoints yields runs of touching reservations (and
@@ -48,7 +48,7 @@ def test_table_earliest_fit_matches_scalar(layout, duration, probe,
     calendar = build_calendar(layout)
     expected = calendar.earliest_fit(duration, earliest=probe,
                                      deadline=deadline)
-    actual = table_earliest_fit(gap_table(calendar), duration,
+    actual = table_earliest_fit(calendar.gap_table(), duration,
                                 earliest=probe, deadline=deadline)
     assert actual == expected
 
@@ -62,7 +62,7 @@ def test_probe_past_horizon_matches_scalar(layout, duration):
                   default=0)
     for probe in (horizon, horizon + 1, horizon + 1000):
         expected = calendar.earliest_fit(duration, earliest=probe)
-        actual = table_earliest_fit(gap_table(calendar), duration,
+        actual = table_earliest_fit(calendar.gap_table(), duration,
                                     earliest=probe)
         assert actual == expected
 
@@ -75,7 +75,7 @@ def test_adjacent_reservations_leave_no_phantom_gap(start, duration):
     calendar.reserve(start, start + 5, tag="a")
     calendar.reserve(start + 5, start + 10, tag="b")
     expected = calendar.earliest_fit(duration, earliest=0)
-    actual = table_earliest_fit(gap_table(calendar), duration)
+    actual = table_earliest_fit(calendar.gap_table(), duration)
     assert actual == expected
     if duration <= start:
         assert actual == 0
