@@ -11,10 +11,16 @@ Two pillars:
   precedence, deadline, capacity, ``CF`` mismatches); exposed on the
   command line as ``repro analyze`` and auto-applied to every schedule
   built in the test suite via ``tests/conftest.py``;
-* the **simulator lint** (:mod:`repro.analysis.lint`) — AST rules for
-  reproducibility hazards (unseeded randomness, float ``==`` on time
-  quantities, wall-clock reads in the DES, mutable default args), run
-  as ``python -m repro.analysis.lint src/``.
+* the **determinism & shareability lint** (:mod:`repro.analysis.lint`)
+  — a multi-pass static-analysis engine (symbol table with import/
+  alias resolution, rule registry, text/JSON/SARIF output) running the
+  REP001–REP012 rule set over the source tree: reproducibility hazards
+  (unseeded randomness, float ``==``, wall-clock reads, mutable
+  defaults), kernel-efficiency rules (scalar fits, stray caches), and
+  the sharding/async-readiness rules (shared mutable state, unguarded
+  cache reads, nondeterministic iteration, blocking calls in ``async
+  def``, counter discipline).  Run as ``repro lint src/ --strict`` or
+  ``python -m repro.analysis.lint``; see the catalog in ``DESIGN.md``.
 """
 
 from typing import Any

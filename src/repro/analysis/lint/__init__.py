@@ -1,0 +1,35 @@
+"""Determinism & shareability lint for the repro scheduling kernel.
+
+A multi-pass static-analysis engine: per-module symbol table with
+import/alias resolution and scope tracking (:mod:`.symbols`), a shared
+module model (:mod:`.model`), a rule registry with codes, severities,
+docs anchors, and suppression markers (:mod:`.registry`), the REP001–
+REP012 rule set (:mod:`.rules`), and structured output in text, JSON,
+and SARIF 2.1.0 (:mod:`.output`).
+
+The rule catalog lives in ``DESIGN.md`` (and ``repro lint
+--list-rules``); sanction a deliberate exception with ``# lint:
+<marker>`` plus a one-line justification on the finding's line or the
+line above.  REP012 flags markers that no longer suppress anything.
+
+Public API (compatible with the single-file lint this replaced)::
+
+    from repro.analysis.lint import lint_source, lint_paths, main
+"""
+
+from .baseline import (apply_baseline, finding_fingerprint,
+                       load_baseline, write_baseline)
+from .cli import main
+from .engine import (iter_python_files, lint_path, lint_paths,
+                     lint_source, select_codes)
+from .output import render_json, render_sarif, render_text
+from .registry import RULES, LintViolation, Rule, Severity, rules_in_order
+
+__all__ = [
+    "LintViolation", "Rule", "RULES", "Severity", "rules_in_order",
+    "lint_source", "lint_path", "lint_paths", "iter_python_files",
+    "select_codes", "main",
+    "render_text", "render_json", "render_sarif",
+    "finding_fingerprint", "write_baseline", "load_baseline",
+    "apply_baseline",
+]

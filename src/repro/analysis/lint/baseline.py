@@ -1,0 +1,81 @@
+"""Baseline support: adopt-now, ratchet-later workflows.
+
+A baseline file records content-based fingerprints of accepted
+findings so a new rule can land with existing debt frozen: ``repro
+lint --write-baseline lint-baseline.json`` snapshots today's findings,
+``repro lint --baseline lint-baseline.json`` reports only *new* ones.
+
+Fingerprints hash path + rule code + message (not line numbers), so
+unrelated edits that shift a finding up or down do not resurface it;
+the same finding appearing more times than the baseline recorded does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .registry import LintViolation
+
+__all__ = ["finding_fingerprint", "write_baseline", "load_baseline",
+           "apply_baseline", "BaselineError"]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing or malformed."""
+
+
+def finding_fingerprint(violation: LintViolation) -> str:
+    """Line-independent identity of a finding."""
+    identity = "|".join((
+        violation.path.replace("\\", "/"),
+        violation.code,
+        violation.message,
+    ))
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()[:20]
+
+
+def write_baseline(path: Path,
+                   violations: Sequence[LintViolation]) -> None:
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        fingerprint = finding_fingerprint(violation)
+        counts[fingerprint] = counts.get(fingerprint, 0) + 1
+    payload = {"version": _BASELINE_VERSION, "fingerprints": counts}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("version") != _BASELINE_VERSION or \
+            not isinstance(payload.get("fingerprints"), dict):
+        raise BaselineError(
+            f"baseline {path} has an unsupported layout (expected "
+            f'{{"version": {_BASELINE_VERSION}, "fingerprints": ...}})')
+    return dict(payload["fingerprints"])
+
+
+def apply_baseline(violations: Sequence[LintViolation],
+                   baseline: Dict[str, int]) -> List[LintViolation]:
+    """Findings not accounted for by the baseline, order preserved."""
+    remaining = dict(baseline)
+    kept: List[LintViolation] = []
+    for violation in violations:
+        fingerprint = finding_fingerprint(violation)
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+        else:
+            kept.append(violation)
+    return kept

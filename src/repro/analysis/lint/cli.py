@@ -1,0 +1,129 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.analysis.lint``.
+
+Exit codes: 0 clean (or error-free without ``--strict``), 1 findings
+failed the gate or files failed to parse, 2 usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import baseline as baseline_mod
+from . import engine, output
+from .registry import RULES, Severity, rules_in_order
+
+__all__ = ["add_arguments", "run", "main"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options (shared by ``repro lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (directories recurse *.py)")
+    parser.add_argument(
+        "--format", choices=output.FORMATS, default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not only errors")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file")
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="snapshot current findings to FILE and exit 0")
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="run only these rule codes (repeatable, e.g. "
+             "--select REP001)")
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="CODE",
+        help="skip these rule codes (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+
+
+def _list_rules() -> str:
+    lines = []
+    for registered in rules_in_order():
+        marker = (f"# lint: {registered.marker}"
+                  if registered.marker else "(not suppressible)")
+        lines.append(f"{registered.code} {registered.name} "
+                     f"[{registered.severity}] — {registered.summary}")
+        lines.append(f"    scope: {registered.scope}")
+        lines.append(f"    suppress: {marker}")
+        lines.append(f"    docs: {registered.docs_url}")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace,
+        parser: Optional[argparse.ArgumentParser] = None) -> int:
+    def usage_error(message: str) -> int:
+        if parser is not None:
+            parser.error(message)  # raises SystemExit(2)
+        print(f"repro lint: error: {message}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        return usage_error("no paths given (or use --list-rules)")
+    try:
+        codes = engine.select_codes(args.select, args.ignore)
+    except ValueError as exc:
+        return usage_error(str(exc))
+
+    violations, errors = engine.lint_paths(args.paths, codes=codes)
+
+    if args.write_baseline is not None:
+        baseline_mod.write_baseline(args.write_baseline, violations)
+        print(f"repro lint: wrote baseline for {len(violations)} "
+              f"finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            known = baseline_mod.load_baseline(args.baseline)
+        except baseline_mod.BaselineError as exc:
+            return usage_error(str(exc))
+        violations = baseline_mod.apply_baseline(violations, known)
+
+    renderers = {"text": output.render_text, "json": output.render_json,
+                 "sarif": output.render_sarif}
+    report = renderers[args.format](violations, errors)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+        if args.format != "text":
+            # Keep the human-readable verdict on stdout for CI logs.
+            print(output.render_text(violations, errors))
+    else:
+        print(report)
+
+    if errors:
+        return 1
+    if args.strict:
+        return 1 if violations else 0
+    has_errors = any(v.severity is Severity.ERROR for v in violations)
+    return 1 if has_errors else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & shareability lint for the "
+                    "repro scheduling kernel")
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args, parser)
+
+
+# Referenced by docs/tests to keep the catalog and CLI in sync.
+ALL_CODES: List[str] = sorted(RULES)

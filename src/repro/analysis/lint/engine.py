@@ -1,0 +1,150 @@
+"""The lint driver: parse -> model -> rules -> suppression -> REP012.
+
+``lint_source``/``lint_path``/``lint_paths`` keep the signatures of the
+single-file lint this package replaced, so ``repro analyze`` and the
+existing tests keep working unchanged.  New capabilities (rule
+selection, baselines, structured output) layer on top without touching
+those entry points.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple)
+
+from .model import ModuleModel
+from .registry import RULES, LintViolation, Severity, markers_by_name
+from . import rules as _rules  # noqa: F401  (registers REP001-REP012)
+
+__all__ = ["lint_source", "lint_path", "lint_paths", "iter_python_files",
+           "select_codes"]
+
+
+def select_codes(select: Optional[Sequence[str]] = None,
+                 ignore: Optional[Sequence[str]] = None) -> Set[str]:
+    """The enabled rule codes after ``--select`` / ``--ignore``."""
+    codes: Set[str] = set(RULES)
+    if select:
+        unknown = set(select) - codes
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes = set(select)
+    if ignore:
+        unknown = set(ignore) - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        codes -= set(ignore)
+    return codes
+
+
+def _suppressed_lines(marker: Optional[str],
+                      model: ModuleModel) -> Set[int]:
+    """Lines a rule's marker sanctions: the marker's own line and the
+    line below (marker-above-the-statement style)."""
+    lines: Set[int] = set()
+    if marker is None:
+        return lines
+    for occurrence in model.markers:
+        if occurrence.name == marker:
+            lines.add(occurrence.line)
+            lines.add(occurrence.line + 1)
+    return lines
+
+
+def _stale_marker_findings(model: ModuleModel,
+                           raw_by_code: Dict[str, List[LintViolation]],
+                           codes: Set[str]) -> List[LintViolation]:
+    """REP012: markers that name no rule or suppress no finding.
+
+    Staleness is judged against *raw* findings (pre-suppression) of the
+    marker's own rules, and only for rules that actually ran — a
+    ``--select REP001`` run must not call every other marker stale.
+    """
+    findings: List[LintViolation] = []
+    marker_table = markers_by_name()
+    for occurrence in model.markers:
+        rules_for_marker = marker_table.get(occurrence.name)
+        if rules_for_marker is None:
+            findings.append(LintViolation(
+                path=model.display_path, line=occurrence.line, col=0,
+                code="REP012", message=(
+                    f"unknown suppression marker `lint: "
+                    f"{occurrence.name}`; known markers: "
+                    f"{', '.join(sorted(marker_table))}"),
+                severity=Severity.WARNING, rule_name="stale-suppression"))
+            continue
+        ran = [r for r in rules_for_marker if r.code in codes]
+        if not ran:
+            continue  # the sanctioned rule was not enabled this run
+        covered_lines = {occurrence.line, occurrence.line + 1}
+        suppresses = any(
+            finding.line in covered_lines
+            for registered in ran
+            for finding in raw_by_code.get(registered.code, ()))
+        if not suppresses:
+            findings.append(LintViolation(
+                path=model.display_path, line=occurrence.line, col=0,
+                code="REP012", message=(
+                    f"stale suppression `lint: {occurrence.name}`: no "
+                    f"{'/'.join(r.code for r in ran)} finding on this "
+                    f"line or the next — delete the marker (sanction "
+                    f"debt hides real findings)"),
+                severity=Severity.WARNING, rule_name="stale-suppression"))
+    return findings
+
+
+def lint_source(source: str, path: str = "<string>",
+                codes: Optional[Set[str]] = None) -> List[LintViolation]:
+    """Lint one module's source; raises SyntaxError on unparsable input."""
+    if codes is None:
+        codes = set(RULES)
+    model = ModuleModel(source, path)
+    raw_by_code: Dict[str, List[LintViolation]] = {}
+    kept: List[LintViolation] = []
+    for code in sorted(codes):
+        registered = RULES[code]
+        if registered.check is None:
+            continue  # meta rules run below
+        raw = list(registered.check(model))
+        raw_by_code[code] = raw
+        if not raw:
+            continue
+        suppressed = _suppressed_lines(registered.marker, model)
+        kept.extend(f for f in raw if f.line not in suppressed)
+    if "REP012" in codes:
+        kept.extend(_stale_marker_findings(model, raw_by_code, codes))
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def lint_path(path: Path,
+              codes: Optional[Set[str]] = None) -> List[LintViolation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), codes=codes)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[Path],
+               codes: Optional[Set[str]] = None
+               ) -> Tuple[List[LintViolation], List[str]]:
+    """Lint files/directories; returns (findings, parse-error messages)."""
+    violations: List[LintViolation] = []
+    errors: List[str] = []
+    for file_path in iter_python_files(paths):
+        try:
+            violations.extend(lint_path(file_path, codes=codes))
+        except (SyntaxError, ValueError) as exc:
+            errors.append(f"{file_path}: {exc}")
+        except OSError as exc:
+            errors.append(f"{file_path}: {exc}")
+    return violations, errors

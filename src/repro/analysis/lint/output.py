@@ -1,0 +1,122 @@
+"""Finding serialization: text, JSON, and SARIF 2.1.0.
+
+SARIF is the CI artifact format (uploadable to code-scanning UIs); the
+emitted subset is deliberately small — one run, one tool, physical
+locations only — and is validated against a 2.1.0 subset schema in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .baseline import finding_fingerprint
+from .registry import LintViolation, Severity, rules_in_order
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_TOOL_NAME = "repro-lint"
+_TOOL_VERSION = "2.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_SARIF_VERSION = "2.1.0"
+
+
+def render_text(violations: Sequence[LintViolation],
+                errors: Sequence[str]) -> str:
+    lines = [str(v) for v in violations]
+    lines.extend(f"error: {message}" for message in errors)
+    if not lines:
+        return "repro lint: clean"
+    counts = {
+        "error": sum(1 for v in violations
+                     if v.severity is Severity.ERROR),
+        "warning": sum(1 for v in violations
+                       if v.severity is Severity.WARNING),
+    }
+    lines.append(
+        f"repro lint: {counts['error']} error(s), "
+        f"{counts['warning']} warning(s)"
+        + (f", {len(errors)} unparsable file(s)" if errors else ""))
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[LintViolation],
+                errors: Sequence[str]) -> str:
+    payload = {
+        "tool": _TOOL_NAME,
+        "version": _TOOL_VERSION,
+        "findings": [v.as_dict() for v in violations],
+        "errors": list(errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules() -> List[Dict[str, object]]:
+    descriptors: List[Dict[str, object]] = []
+    for registered in rules_in_order():
+        descriptor: Dict[str, object] = {
+            "id": registered.code,
+            "name": registered.name,
+            "shortDescription": {"text": registered.summary},
+            "helpUri": registered.docs_url,
+            "defaultConfiguration": {
+                "level": registered.severity.value},
+        }
+        if registered.marker is not None:
+            descriptor["properties"] = {
+                "suppressionMarker": f"# lint: {registered.marker}"}
+        descriptors.append(descriptor)
+    return descriptors
+
+
+def render_sarif(violations: Sequence[LintViolation],
+                 errors: Sequence[str]) -> str:
+    rule_index = {registered.code: index for index, registered
+                  in enumerate(rules_in_order())}
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        results.append({
+            "ruleId": violation.code,
+            "ruleIndex": rule_index[violation.code],
+            "level": violation.severity.value,
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": finding_fingerprint(violation)},
+        })
+    invocation: Dict[str, object] = {
+        "executionSuccessful": not errors,
+    }
+    if errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": message}}
+            for message in errors]
+    sarif = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "version": _TOOL_VERSION,
+                "informationUri":
+                    "https://github.com/paper-repro/"
+                    "conf-pact-toporkov09",
+                "rules": _sarif_rules(),
+            }},
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)

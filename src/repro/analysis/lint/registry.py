@@ -1,0 +1,129 @@
+"""Rule registry: codes, severities, docs anchors, suppression markers.
+
+Every rule is registered once with the :func:`rule` decorator; the
+registry is what the CLI's ``--list-rules``, the SARIF ``tool.driver.
+rules`` array, and the documentation catalog are generated from, so a
+rule cannot exist without a code, a severity, a one-line summary, and
+(unless it is a meta rule like REP012) a suppression marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List,
+                    Optional, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .model import ModuleModel
+
+__all__ = ["Severity", "LintViolation", "Rule", "RULES", "rule",
+           "rules_in_order", "DOCS_URL"]
+
+#: Rule catalog anchor base (DESIGN.md carries the authoritative table).
+DOCS_URL = "https://github.com/paper-repro/conf-pact-toporkov09/blob/main/DESIGN.md"
+
+
+class Severity(str, enum.Enum):
+    """SARIF-compatible severity levels."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding of the simulator lint.
+
+    The name predates the engine (kept for API compatibility with the
+    single-file lint this package replaced); ``str()`` renders the
+    stable ``path:line:col: CODE message`` form the CI log greps.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    rule_name: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+            "rule": self.rule_name,
+        }
+
+
+Checker = Callable[["ModuleModel"], Iterable[LintViolation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule and its metadata."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    #: ``# lint: <marker>`` sanctions a finding on the marker's line or
+    #: the line below; None means the rule is not suppressible.
+    marker: Optional[str]
+    #: What the rule scans (prose; surfaced by ``--list-rules``).
+    scope: str
+    check: Optional[Checker] = field(default=None, compare=False)
+
+    @property
+    def docs_url(self) -> str:
+        return f"{DOCS_URL}#{self.code.lower()}-{self.name}"
+
+
+#: Registered rules by code, in registration (= catalog) order.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, severity: Severity, summary: str,
+         marker: Optional[str], scope: str) -> Callable[[Checker], Checker]:
+    """Class-body decorator registering a checker function as a rule."""
+
+    def decorate(check: Checker) -> Checker:
+        if code in RULES:  # pragma: no cover - programming error
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, severity=severity,
+                           summary=summary, marker=marker, scope=scope,
+                           check=check)
+        return check
+
+    return decorate
+
+
+def register_meta_rule(code: str, name: str, severity: Severity,
+                       summary: str, scope: str) -> None:
+    """Register a rule the engine implements itself (no checker)."""
+    RULES[code] = Rule(code=code, name=name, severity=severity,
+                       summary=summary, marker=None, scope=scope)
+
+
+def rules_in_order() -> List[Rule]:
+    """Rules sorted by code (REP001, REP002, ...)."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def markers_by_name() -> Dict[str, Tuple[Rule, ...]]:
+    """Suppression marker name -> the rules it sanctions."""
+    table: Dict[str, List[Rule]] = {}
+    for registered in RULES.values():
+        if registered.marker is not None:
+            table.setdefault(registered.marker, []).append(registered)
+    return {name: tuple(rules) for name, rules in table.items()}

@@ -1,0 +1,339 @@
+"""Scope-aware symbol table for the lint engine (pass 2 of 3).
+
+Builds, for one parsed module, a tree of lexical scopes (module,
+function, lambda, class, comprehension) with per-scope name bindings:
+
+* **imports** — ``import numpy.random as npr`` binds ``npr ->
+  numpy.random``; plain ``import numpy.random`` binds only the root
+  ``numpy -> numpy`` (the pre-engine lint bound ``numpy ->
+  numpy.random``, which mis-resolved every other ``numpy.*`` access);
+  ``from random import shuffle as sh`` binds ``sh -> random.shuffle``;
+* **assignment aliases** — ``rng = numpy.random`` binds ``rng`` to the
+  resolved dotted name of its right-hand side, transitively (``r =
+  rng`` resolves through ``rng``) with a depth guard;
+* **shadowing** — parameters, loop/with/except targets, comprehension
+  targets, and any non-alias assignment bind the name :data:`LOCAL`,
+  which *blocks* resolution: a local variable named ``random`` stops
+  ``random.choice`` from resolving to the stdlib module.
+
+Name lookup follows Python's rules closely enough for linting: scopes
+chain lexically, and class scopes are invisible to functions nested
+inside them (only code directly in the class body sees class-level
+names).  A name bound nowhere resolves to itself — the module-global /
+builtin fallback that lets ``random.shuffle`` match without an import
+statement in scope.
+
+The table also records, per scope, every expression assigned to each
+plain name and every annotation — the local dataflow facts the
+container rules (REP007/REP009) and the staleness rule (REP008) read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["LOCAL", "Alias", "Scope", "SymbolTable"]
+
+
+class _Local:
+    """Sentinel binding: locally bound, blocks dotted resolution."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<LOCAL>"
+
+
+#: The shadowing sentinel (see module docstring).
+LOCAL = _Local()
+
+
+@dataclass(frozen=True)
+class Alias:
+    """A name bound to another name/attribute chain (``rng = np.random``).
+
+    Resolution is deferred until lookup so aliases may point at names
+    bound later in the scope or in enclosing scopes.
+    """
+
+    parts: Tuple[str, ...]
+    scope: "Scope"
+
+
+Binding = Union[_Local, str, Alias]
+
+
+@dataclass
+class Scope:
+    """One lexical scope and the facts the rules need about it."""
+
+    node: ast.AST
+    parent: Optional["Scope"]
+    is_class: bool = False
+    bindings: Dict[str, Binding] = field(default_factory=dict)
+    #: Every expression assigned to each plain ``Name`` target here.
+    assignments: Dict[str, List[ast.expr]] = field(default_factory=dict)
+    #: Annotation expression per annotated plain name (params included).
+    annotations: Dict[str, ast.expr] = field(default_factory=dict)
+    #: Names declared ``global`` in this scope.
+    globals: frozenset = frozenset()
+
+    def bind(self, name: str, binding: Binding) -> None:
+        """Record a binding; conflicting rebinds degrade to LOCAL.
+
+        A name bound twice to different targets can no longer be
+        resolved soundly, so the table turns conservative rather than
+        guessing (guessing is how false positives are born).
+        """
+        existing = self.bindings.get(name)
+        if existing is None:
+            self.bindings[name] = binding
+        elif existing is not binding and existing != binding:
+            self.bindings[name] = LOCAL
+
+
+class SymbolTable:
+    """Per-module scopes plus dotted-name resolution."""
+
+    #: Transitive alias hops tolerated before giving up (cycle guard).
+    MAX_ALIAS_DEPTH = 8
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.scopes: Dict[ast.AST, Scope] = {}
+        self.module_scope = Scope(tree, None)
+        self.scopes[tree] = self.module_scope
+        _Builder(self).build(tree)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def binding_scope(self, name: str, scope: Scope) -> Optional[Scope]:
+        """The scope whose binding a ``name`` read would see, or None."""
+        current: Optional[Scope] = scope
+        immediate = True
+        while current is not None:
+            if current.is_class and not immediate:
+                current = current.parent
+                continue
+            if name in current.bindings:
+                return current
+            immediate = False
+            current = current.parent
+        return None
+
+    def resolve_name(self, name: str, scope: Scope,
+                     _depth: int = 0) -> Optional[str]:
+        """The dotted target ``name`` stands for in ``scope``.
+
+        Returns None when the name is locally bound (shadowed) or an
+        alias chain cannot be followed; returns ``name`` itself when no
+        binding exists anywhere (the global/builtin fallback).
+        """
+        owner = self.binding_scope(name, scope)
+        if owner is None:
+            return name
+        binding = owner.bindings[name]
+        if binding is LOCAL:
+            return None
+        if isinstance(binding, str):
+            return binding
+        if isinstance(binding, Alias):
+            if _depth >= self.MAX_ALIAS_DEPTH:
+                return None
+            base = self.resolve_name(binding.parts[0], binding.scope,
+                                     _depth + 1)
+            if base is None:
+                return None
+            return ".".join((base,) + binding.parts[1:])
+        return None  # pragma: no cover - binding types are closed
+
+    def resolve(self, node: ast.expr, scope: Scope) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted string."""
+        parts = _chain_parts(node)
+        if parts is None:
+            return None
+        base = self.resolve_name(parts[0], scope)
+        if base is None:
+            return None
+        return ".".join((base,) + parts[1:])
+
+
+def _chain_parts(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-chain expressions."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return tuple(parts)
+
+
+class _Builder(ast.NodeVisitor):
+    """Single walk that creates scopes and collects bindings."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.scope = table.module_scope
+
+    def build(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            self.visit(stmt)
+
+    # -- scope management ----------------------------------------------
+
+    def _push(self, node: ast.AST, is_class: bool = False) -> Scope:
+        scope = Scope(node, self.scope, is_class=is_class)
+        self.table.scopes[node] = scope
+        self.scope = scope
+        return scope
+
+    def _pop(self) -> None:
+        assert self.scope.parent is not None
+        self.scope = self.scope.parent
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for name in node.names:
+            if name.asname is not None:
+                self.scope.bind(name.asname, name.name)
+            else:
+                # ``import a.b`` binds only ``a`` (to the root module);
+                # ``a.b.c`` accesses then resolve naturally.
+                root = name.name.split(".")[0]
+                self.scope.bind(root, root)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        prefix = "." * node.level + (node.module or "")
+        for name in node.names:
+            if name.name == "*":
+                continue
+            local = name.asname or name.name
+            self.scope.bind(local, f"{prefix}.{name.name}"
+                            if prefix else name.name)
+
+    # -- functions / classes / comprehensions --------------------------
+
+    def _visit_function(
+            self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.scope.bind(node.name, LOCAL)
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            self.visit(default)
+        scope = self._push(node)
+        for argument in (list(node.args.posonlyargs) + list(node.args.args)
+                         + list(node.args.kwonlyargs)
+                         + [a for a in (node.args.vararg, node.args.kwarg)
+                            if a is not None]):
+            scope.bind(argument.arg, LOCAL)
+            if argument.annotation is not None:
+                scope.annotations[argument.arg] = argument.annotation
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        scope = self._push(node)
+        for argument in (list(node.args.posonlyargs) + list(node.args.args)
+                         + list(node.args.kwonlyargs)):
+            scope.bind(argument.arg, LOCAL)
+        self.visit(node.body)
+        self._pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.bind(node.name, LOCAL)
+        for expr in node.bases + node.keywords + node.decorator_list:
+            self.visit(expr.value if isinstance(expr, ast.keyword) else expr)
+        self._push(node, is_class=True)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        scope = self._push(node)
+        for comp in node.generators:  # type: ignore[attr-defined]
+            self._bind_target(comp.target)
+        self.generic_visit(node)
+        del scope
+        self._pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- bindings from statements --------------------------------------
+
+    def _bind_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.scope.bind(target.id, LOCAL)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                parts = _chain_parts(node.value)
+                if parts is not None:
+                    self.scope.bind(target.id,
+                                    Alias(parts, self.scope))
+                else:
+                    self.scope.bind(target.id, LOCAL)
+                self.scope.assignments.setdefault(
+                    target.id, []).append(node.value)
+            else:
+                self._bind_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.scope.bind(node.target.id, LOCAL)
+            self.scope.annotations[node.target.id] = node.annotation
+            if node.value is not None:
+                self.scope.assignments.setdefault(
+                    node.target.id, []).append(node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.scope.bind(node.target.id, LOCAL)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_target(node.target)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars)
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name is not None:
+            self.scope.bind(node.name, LOCAL)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.scope.globals = self.scope.globals | frozenset(node.names)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self._bind_target(node.target)
+        self.generic_visit(node)

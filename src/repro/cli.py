@@ -100,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "the critical works outcome")
     analyze.add_argument("--lint", metavar="PATH", nargs="+", default=None,
                          help="also run the simulator lint over PATH(s)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="determinism & shareability lint (REP001-REP012; "
+             "text/JSON/SARIF output, --strict, --baseline)")
+    from .analysis.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -263,6 +271,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "analyze":
         return _run_analyze(skip_strategies=args.skip_strategies,
                             lint_paths=args.lint)
+    if args.command == "lint":
+        from .analysis.lint.cli import run as run_lint
+
+        return run_lint(args, parser)
     parser.print_help()
     return 1
 

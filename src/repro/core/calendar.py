@@ -115,6 +115,7 @@ class ReservationCalendar:
         self._reservations: list[Reservation] = []
         self._starts: list[int] = []
         self._shared = False
+        # lint: shared-state — process-local identity tokens, never shared
         self._version = next(_VERSION_CLOCK)
         for reservation in sorted(reservations, key=lambda r: r.start):
             self.reserve(reservation.start, reservation.end, reservation.tag)
@@ -314,6 +315,7 @@ class ReservationCalendar:
         index = bisect.bisect_left(self._starts, start)
         self._reservations.insert(index, reservation)
         self._starts.insert(index, start)
+        # lint: shared-state — process-local version source (see __init__)
         self._version = next(_VERSION_CLOCK)
         return reservation
 
@@ -326,6 +328,7 @@ class ReservationCalendar:
         self._materialize()
         del self._reservations[index]
         del self._starts[index]
+        # lint: shared-state — process-local version source (see __init__)
         self._version = next(_VERSION_CLOCK)
 
     def release_tag(self, tag: str) -> int:
@@ -336,6 +339,7 @@ class ReservationCalendar:
             self._reservations = keep
             self._starts = [r.start for r in keep]
             self._shared = False
+            # lint: shared-state — process-local version source (see __init__)
             self._version = next(_VERSION_CLOCK)
         return removed
 

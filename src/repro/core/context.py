@@ -129,6 +129,7 @@ class LruCache(Generic[K, V]):
             data.popitem(last=False)
             self.evictions += 1
             if PERF.enabled:
+                # lint: counter-ok — fixed per-cache name, pairs registered
                 PERF.incr(f"{self.name}_evictions")
 
     def __len__(self) -> int:

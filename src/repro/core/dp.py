@@ -268,7 +268,8 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             if fit_cache is None:
                 return row[2].earliest_fit(row[4], earliest=earliest,
                                            deadline=row[6])
-            fit_key = (row[1], row[3], row[4], row[6])
+            calendar_version = row[3]
+            fit_key = (row[1], calendar_version, row[4], row[6])
             fits = fit_cache.get(fit_key)
             if fits is None:
                 fits = ([], [])

@@ -61,9 +61,9 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
     """Minimum wall seconds over ``repeats`` runs (noise floor)."""
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: perf-timer — measures the host
         fn()
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # lint: perf-timer
         if elapsed < best:
             best = elapsed
     return best

@@ -40,6 +40,9 @@ Counter names reported by the kernel
     incumbent machinery is not a cache, and the pair suffix is
     reserved for caches owned by the
     :class:`~repro.core.context.SchedulingContext`.
+``dp.greedy_incumbents``
+    Cold-hint recoveries: the warm-start hint no longer re-fit, but a
+    greedy descent still produced a feasible incumbent to prune with.
 ``dp.transfer_cache_hits`` / ``dp.transfer_cache_misses``
     Per-``(transfer, src, dst)`` transfer-time memoization — the
     context's per-(job, transfer model) lag memo.
@@ -194,11 +197,11 @@ class PerfRegistry:
         if not self.enabled:
             yield
             return
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: perf-timer — real elapsed time
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started  # lint: perf-timer
             self.timers[name] = self.timers.get(name, 0.0) + elapsed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,169 @@
+"""Output formats: text summary, JSON payload, and SARIF 2.1.0
+validated against a hand-written subset of the official schema."""
+
+import json
+
+import jsonschema
+
+from repro.analysis.lint import (lint_source, render_json, render_sarif,
+                                 render_text, rules_in_order)
+
+CORE = "src/repro/core/x.py"
+BAD = "bad = x == 4.0\nworse = y == 2.5\n"
+
+#: The slice of the SARIF 2.1.0 schema our emitter must satisfy —
+#: structural requirements transcribed from the OASIS spec (§3) so the
+#: test runs offline.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "pattern": "sarif-2.1.0"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "helpUri": {
+                                                    "type": "string",
+                                                    "format": "uri"},
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {"enum": [
+                                                            "none", "note",
+                                                            "warning",
+                                                            "error"]}}},
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer",
+                                              "minimum": 0},
+                                "level": {"enum": ["none", "note",
+                                                   "warning", "error"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type":
+                                                                    "string"}},
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1},
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1},
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def findings():
+    return lint_source(BAD, path=CORE)
+
+
+def test_text_output_lists_findings_and_summary():
+    report = render_text(findings(), [])
+    assert f"{CORE}:1:" in report and "REP002" in report
+    assert "2 error(s)" in report
+    assert render_text([], []) == "repro lint: clean"
+    with_errors = render_text([], ["x.py: bad syntax"])
+    assert "error: x.py: bad syntax" in with_errors
+
+
+def test_json_output_roundtrips():
+    payload = json.loads(render_json(findings(), ["x.py: bad syntax"]))
+    assert payload["tool"] == "repro-lint"
+    assert len(payload["findings"]) == 2
+    first = payload["findings"][0]
+    assert first["code"] == "REP002" and first["path"] == CORE
+    assert first["severity"] == "error"
+    assert payload["errors"] == ["x.py: bad syntax"]
+
+
+def test_sarif_validates_against_schema_subset():
+    document = json.loads(render_sarif(findings(), []))
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_rules_and_results_are_consistent():
+    document = json.loads(render_sarif(findings(), []))
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    rule_ids = [descriptor["id"] for descriptor in driver["rules"]]
+    assert rule_ids == [r.code for r in rules_in_order()]
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert result["partialFingerprints"]["reproLint/v1"]
+    assert run["invocations"][0]["executionSuccessful"] is True
+
+
+def test_sarif_reports_parse_failures_as_notifications():
+    document = json.loads(render_sarif([], ["broken.py: syntax error"]))
+    invocation = document["runs"][0]["invocations"][0]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert notes[0]["message"]["text"] == "broken.py: syntax error"
