@@ -86,6 +86,21 @@ _VERSIONED_CACHES = frozenset({"fit_cache", "plans", "_gap_tables",
 #: Identifier substrings that count as a version/epoch guard (REP008).
 _GUARD_TOKENS = ("version", "epoch")
 
+#: Caches of the two-tier plan cache kind: keys lead with a semantic
+#: job-shape hash and end in an epoch slice, so reads must visibly
+#: involve BOTH a shape/structure token and a version/epoch token
+#: (REP008).  A read guarded on epochs alone can still alias plans of
+#: structurally different jobs; a read guarded on shape alone serves
+#: plans across calendar drift.
+_SHAPE_KEYED_CACHES = frozenset({"plans"})
+
+#: Identifier substrings that count as a shape/structure guard (REP008).
+_SHAPE_TOKENS = ("shape", "struct")
+
+#: Method names that read an entry out of a cache (REP008); plain
+#: mapping caches expose ``get``, the two-tier plan cache ``lookup``.
+_CACHE_READ_METHODS = frozenset({"get", "lookup"})
+
 #: Order-free consumers: passing a set to these is not an ordered
 #: iteration (REP009).
 _ORDER_FREE_CONSUMERS = frozenset({
@@ -559,16 +574,17 @@ def check_unguarded_cache_read(model: ModuleModel
 
     guarded_functions: dict = {}
 
-    def guarded(node: ast.AST) -> bool:
+    def guarded(node: ast.AST, tokens: tuple) -> bool:
         function = model.enclosing_function(node)
         root = function if function is not None else model.tree
-        cached = guarded_functions.get(root)
+        key = (root, tokens)
+        cached = guarded_functions.get(key)
         if cached is None:
             cached = any(
                 guard_token in identifier.lower()
                 for identifier in model.identifier_tokens(root)
-                for guard_token in _GUARD_TOKENS)
-            guarded_functions[root] = cached
+                for guard_token in tokens)
+            guarded_functions[key] = cached
         return cached
 
     for node in ast.walk(model.tree):
@@ -576,7 +592,7 @@ def check_unguarded_cache_read(model: ModuleModel
         site: Optional[ast.AST] = None
         if isinstance(node, ast.Call) and \
                 isinstance(node.func, ast.Attribute) and \
-                node.func.attr == "get":
+                node.func.attr in _CACHE_READ_METHODS:
             cache_name = is_versioned_cache(node.func.value)
             site = node
         elif isinstance(node, ast.Subscript) and \
@@ -585,15 +601,27 @@ def check_unguarded_cache_read(model: ModuleModel
             site = node
         if cache_name is None or site is None:
             continue
-        if guarded(site):
+        if not guarded(site, _GUARD_TOKENS):
+            yield _finding(
+                model, site, "REP008", "unguarded-cache-read",
+                Severity.ERROR,
+                f"read of version-keyed cache `{cache_name}` in a "
+                f"function that never references a calendar version or "
+                f"epoch — a stale entry would be served silently; key "
+                f"the lookup on the content version / epoch slice (or "
+                f"mark `# lint: epoch-keyed` with the guard's location)")
             continue
-        yield _finding(
-            model, site, "REP008", "unguarded-cache-read", Severity.ERROR,
-            f"read of version-keyed cache `{cache_name}` in a function "
-            f"that never references a calendar version or epoch — a "
-            f"stale entry would be served silently; key the lookup on "
-            f"the content version / epoch slice (or mark "
-            f"`# lint: epoch-keyed` with the guard's location)")
+        if cache_name in _SHAPE_KEYED_CACHES and \
+                not guarded(site, _SHAPE_TOKENS):
+            yield _finding(
+                model, site, "REP008", "unguarded-cache-read",
+                Severity.ERROR,
+                f"read of shape-keyed plan cache `{cache_name}` in a "
+                f"function that references an epoch/version but never a "
+                f"shape or structural hash — the lookup could alias "
+                f"plans of structurally different jobs; key it on the "
+                f"job's shape/structural hash as well (or mark "
+                f"`# lint: epoch-keyed` with the guard's location)")
 
 
 # ---------------------------------------------------------------------------

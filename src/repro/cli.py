@@ -192,7 +192,7 @@ def _run_perf(args: argparse.Namespace) -> int:
     import json
 
     from .perf import (compare_reports, format_comparison, run_kernel_bench)
-    from .perf.bench import DEFAULT_THRESHOLD
+    from .perf.bench import DEFAULT_THRESHOLD, check_plan_floors
 
     if args.profile is not None:
         return _profile_workload(args)
@@ -208,8 +208,15 @@ def _run_perf(args: argparse.Namespace) -> int:
 
         dump_json(report, args.json)
 
+    # The reuse-rate floors need no baseline: they gate an absolute
+    # property of the run (the plan cache actually serving the online
+    # scenarios), so --strict enforces them even without --compare.
+    floor_failures = check_plan_floors(report) if args.strict else []
+    for failure in floor_failures:
+        print(f"plan-cache floor violated: {failure}")
+
     if args.compare is None:
-        return 0
+        return 1 if floor_failures else 0
     with open(args.compare, encoding="utf-8") as handle:
         baseline = json.load(handle)
     threshold = (args.threshold if args.threshold is not None
@@ -218,7 +225,7 @@ def _run_perf(args: argparse.Namespace) -> int:
     print()
     print(format_comparison(rows, threshold=threshold))
     regressed = any(row["regressed"] for row in rows)
-    return 1 if (regressed and args.strict) else 0
+    return 1 if ((regressed and args.strict) or floor_failures) else 0
 
 
 def _profile_workload(args: argparse.Namespace) -> int:

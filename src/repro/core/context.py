@@ -19,11 +19,22 @@ limit).  :class:`SchedulingContext` owns all of them behind one object:
 * bounded caches evict **per entry, least-recently-used** instead of
   clearing wholesale (the plan-cache thrash fix: a hot key survives a
   flood of unrelated keys);
-* per-*job* caches are weakly keyed on the job object and scoped by
-  the identity of the transfer model (lags differ across strategy
-  families) and the pool (matrices and rankings are pool-indexed), so
-  one context is safe to share across families, domains, and a whole
-  online run;
+* per-*job* caches are keyed on the job's **structural hash** (its
+  labelled task/transfer/deadline content, excluding the job id and
+  owner; see :attr:`~repro.core.job.Job.structural_hash`) and scoped
+  by the identity of the transfer model (lags differ across strategy
+  families) and the pool (matrices and rankings are pool-indexed) —
+  template-derived jobs that share a structure share durations, lags,
+  rankings, and path enumerations, and one context stays safe to
+  share across families, domains, and a whole online run;
+* the flow layer's plan cache is **two-tier** (:class:`PlanCache`):
+  an outer LRU of *plan skeletons* keyed on the job's order- and
+  label-independent :attr:`~repro.core.job.Job.shape_hash` plus the
+  strategy family and domain, each holding a handful of concrete
+  strategies keyed on (structural hash, release, domain epoch slice).
+  An exact variant hit is a free plan; a same-structure sibling with
+  drifted epochs seeds an incremental *repair* (warm-started
+  regeneration, bit-identical to a cold replan);
 * one :meth:`stats` surface reports every cache's hit rate, size, and
   eviction count for ``repro perf --json``.
 
@@ -47,7 +58,7 @@ import weakref
 from collections import OrderedDict
 from typing import (TYPE_CHECKING, Any, Dict, Generic, Iterator, List,
                     Mapping, Optional, Protocol, Sequence, Tuple, TypeVar,
-                    runtime_checkable)
+                    ValuesView, runtime_checkable)
 
 from ..perf import PERF
 from .calendar import GapTable, ReservationCalendar
@@ -60,7 +71,7 @@ if TYPE_CHECKING:  # imports that would be circular at runtime
     from .resources import ResourcePool
     from .strategy import Strategy, StrategyType
 
-__all__ = ["LruCache", "SchedulingContext", "Scheduler",
+__all__ = ["LruCache", "PlanCache", "SchedulingContext", "Scheduler",
            "CONTEXT_CACHE_NAMES"]
 
 K = TypeVar("K")
@@ -74,8 +85,12 @@ DEFAULT_FIT_CAPACITY = 1 << 16
 DEFAULT_GAP_TABLE_CAPACITY = 8192
 #: Stacked gap-table array sets retained (one per version sequence).
 DEFAULT_STACK_CAPACITY = 1024
-#: Epoch-tagged strategies retained by the flow layer.
+#: Plan skeletons (shape × family × domain) retained by the flow layer.
 DEFAULT_PLAN_CAPACITY = 4096
+#: Concrete strategy variants retained per plan skeleton.
+DEFAULT_PLAN_VARIANTS = 8
+#: Distinct job structures whose per-job caches are retained.
+DEFAULT_STRUCT_CAPACITY = 4096
 
 #: Every cache (or counter pair) the context owns, as reported by
 #: :meth:`SchedulingContext.stats`.  The orphan audit in
@@ -138,6 +153,10 @@ class LruCache(Generic[K, V]):
     def __contains__(self, key: object) -> bool:
         return key in self._data
 
+    def values(self) -> "ValuesView[V]":
+        """The live values, oldest first (recency is not refreshed)."""
+        return self._data.values()
+
     def clear(self) -> None:
         """Drop every entry (evictions are not counted as LRU churn)."""
         self._data.clear()
@@ -152,10 +171,140 @@ class LruCache(Generic[K, V]):
 _FitBucket = Tuple[List[int], List[Optional[int]]]
 #: Fit-cache key: (node id, calendar version, duration, deadline).
 _FitKey = Tuple[int, int, int, int]
-#: Plan-cache key: (job id, strategy family, domain).
-_PlanKey = Tuple[str, "StrategyType", str]
-#: Plan-cache entry: (release, domain epoch slice, strategy).
-_PlanEntry = Tuple[int, Tuple[int, ...], "Strategy"]
+#: Plan-skeleton key: (job shape hash, strategy family, domain).
+_SkeletonKey = Tuple[str, "StrategyType", str]
+#: Concrete-variant key: (structural hash, release, domain epoch slice).
+_VariantKey = Tuple[str, int, Tuple[int, ...]]
+
+
+class PlanCache:
+    """The flow layer's two-tier semantic plan cache.
+
+    The outer tier is an LRU of *plan skeletons* keyed on the job's
+    shape hash (order- and label-independent DAG isomorphism class;
+    :attr:`~repro.core.job.Job.shape_hash`), the strategy family, and
+    the domain — all template-derived siblings of one job shape land in
+    one skeleton.  Each skeleton holds a small recency-ordered set of
+    *concrete variants* keyed on (structural hash, release, domain
+    epoch slice).
+
+    Reuse has two grades, both driven by the same skeleton:
+
+    * :meth:`lookup` — an **exact** variant: same labelled structure,
+      same release, unchanged epoch slice over the domain's nodes.
+      Generation inputs are then byte-identical and the strategy is
+      served outright (rebound to the requesting job's id).
+    * :meth:`repair_seed` — a **stale sibling**: same labelled
+      structure but drifted release/epochs.  Its per-level node
+      assignments seed a warm-started regeneration
+      (:meth:`~repro.core.strategy.StrategyGenerator.generate` with
+      ``seed_hints``), which patches only the tasks whose placements no
+      longer fit; exact branch-and-bound pruning keeps the repaired
+      plan bit-identical to a cold replan.
+
+    The shape tier exists so structurally distinct labelings of one
+    shape share skeleton residency (and eviction fate) without ever
+    sharing concrete placements — label-sensitive tie-breaks in
+    generation make cross-label reuse unsound, so exact reuse and
+    repair seeds are always gated on the structural hash.
+    """
+
+    __slots__ = ("variant_capacity", "variant_evictions", "_skeletons")
+
+    def __init__(self, name: str, capacity: int,
+                 variant_capacity: int = DEFAULT_PLAN_VARIANTS) -> None:
+        if variant_capacity < 1:
+            raise ValueError(
+                f"variant_capacity must be positive, got {variant_capacity}")
+        self.variant_capacity = variant_capacity
+        self.variant_evictions = 0
+        self._skeletons: LruCache[
+            _SkeletonKey, "OrderedDict[_VariantKey, Strategy]"] = LruCache(
+                name, capacity)
+
+    @property
+    def name(self) -> str:
+        return self._skeletons.name
+
+    @property
+    def capacity(self) -> int:
+        """Skeleton capacity of the outer LRU tier."""
+        return self._skeletons.capacity
+
+    @property
+    def evictions(self) -> int:
+        """Evicted skeletons plus variants displaced within skeletons."""
+        return self._skeletons.evictions + self.variant_evictions
+
+    def lookup(self, shape_hash: str, structural_hash: str,
+               stype: "StrategyType", domain: str, release: int,
+               epochs: Tuple[int, ...]) -> Optional["Strategy"]:
+        """The exact cached strategy for these inputs, or None.
+
+        A hit requires the same labelled structure, the same release,
+        and an unchanged epoch slice over the domain's nodes — the
+        generation inputs are then byte-identical, so reuse is exact.
+        Callers count hits/repairs/misses; the cache itself does not.
+        """
+        variants = self._skeletons.get((shape_hash, stype, domain))
+        if variants is None:
+            return None
+        key = (structural_hash, release, epochs)
+        strategy = variants.get(key)
+        if strategy is not None:
+            variants.move_to_end(key)
+        return strategy
+
+    def repair_seed(self, shape_hash: str, structural_hash: str,
+                    stype: "StrategyType", domain: str
+                    ) -> Optional["Strategy"]:
+        """The freshest same-structure variant, release/epochs ignored.
+
+        The returned strategy is (presumed) stale — its epochs drifted
+        or its release differs — and is only fit to *seed* a repair,
+        never to be served as a plan.
+        """
+        variants = self._skeletons.get((shape_hash, stype, domain))
+        if variants:
+            for key in reversed(variants):
+                if key[0] == structural_hash:
+                    return variants[key]
+        return None
+
+    def store(self, shape_hash: str, structural_hash: str,
+              stype: "StrategyType", domain: str, release: int,
+              epochs: Tuple[int, ...], strategy: "Strategy") -> None:
+        """Retain a freshly generated strategy under its semantic key."""
+        skeleton_key = (shape_hash, stype, domain)
+        variants = self._skeletons.get(skeleton_key)
+        if variants is None:
+            variants = OrderedDict()
+            self._skeletons[skeleton_key] = variants
+        variants[(structural_hash, release, epochs)] = strategy
+        variants.move_to_end((structural_hash, release, epochs))
+        if len(variants) > self.variant_capacity:
+            variants.popitem(last=False)
+            self.variant_evictions += 1
+            if PERF.enabled:
+                # lint: counter-ok — fixed per-cache name, pairs registered
+                PERF.incr(f"{self.name}_evictions")
+
+    def __len__(self) -> int:
+        """Concrete variants retained across every skeleton."""
+        return sum(len(variants) for variants in self._skeletons.values())
+
+    def skeleton_count(self) -> int:
+        """Plan skeletons currently resident in the outer tier."""
+        return len(self._skeletons)
+
+    def clear(self) -> None:
+        """Drop every skeleton and variant (not counted as churn)."""
+        self._skeletons.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<PlanCache {self.name}: {len(self)} variants in "
+                f"{len(self._skeletons)}/{self.capacity} skeletons, "
+                f"{self.evictions} evicted>")
 
 
 class SchedulingContext:
@@ -171,24 +320,39 @@ class SchedulingContext:
     def __init__(self, fit_capacity: int = DEFAULT_FIT_CAPACITY,
                  gap_table_capacity: int = DEFAULT_GAP_TABLE_CAPACITY,
                  stack_capacity: int = DEFAULT_STACK_CAPACITY,
-                 plan_capacity: int = DEFAULT_PLAN_CAPACITY) -> None:
+                 plan_capacity: int = DEFAULT_PLAN_CAPACITY,
+                 struct_capacity: int = DEFAULT_STRUCT_CAPACITY) -> None:
         #: Interval-witness ``earliest_fit`` memo, bucketed on (node,
         #: calendar version, duration, deadline); consumed directly by
         #: the DP inner loop (:func:`repro.core.dp.allocate_chain`).
         self.fit_cache: LruCache[_FitKey, _FitBucket] = LruCache(
             "dp.fit_cache", fit_capacity)
-        #: Epoch-tagged strategies of the flow layer, consumed by
-        #: :class:`~repro.flow.metascheduler.Metascheduler`.
-        self.plans: LruCache[_PlanKey, _PlanEntry] = LruCache(
-            "flow.plan_cache", plan_capacity)
+        #: The flow layer's two-tier semantic plan cache (shape-keyed
+        #: skeletons holding epoch-keyed concrete strategies), consumed
+        #: by :class:`~repro.flow.metascheduler.Metascheduler`.
+        self.plans: PlanCache = PlanCache("flow.plan_cache", plan_capacity)
         self._gap_tables: LruCache[int, GapTable] = LruCache(
             "placement.gap_table", gap_table_capacity)
         self._stacks: LruCache[Tuple[int, ...], StackedGaps] = LruCache(
             "placement.stack", stack_capacity)
-        #: Per-job caches, weakly keyed so retired jobs free their
-        #: state; the inner mapping is keyed on (kind, *scope tokens).
-        self._job_caches: "weakref.WeakKeyDictionary[Job, Dict[Tuple[object, ...], Dict[Any, Any]]]" \
-            = weakref.WeakKeyDictionary()
+        #: Per-structure caches, LRU-keyed on the job's structural hash
+        #: so template-derived siblings share durations, lags, rankings
+        #: and path enumerations; the inner mapping is keyed on
+        #: (kind, *scope tokens).
+        self._struct_caches: LruCache[
+            str, Dict[Tuple[object, ...], Dict[Any, Any]]] = LruCache(
+                "job.struct_cache", struct_capacity)
+        #: Cross-call row-price memo for cost models declaring a
+        #: ``price_key`` (see :class:`~repro.core.costs.CostModel`):
+        #: ``(price_key, task volume, duration, node id) -> cost``.
+        #: Keys fully determine the value by the models' declaration,
+        #: so entries never go stale; the key space is the workload's
+        #: (volume, duration, node) diversity, which bounds the memo
+        #: naturally.
+        self.price_memo: Dict[Tuple[object, ...], float] = {}
+        #: Per-pool node-performance vectors, by pool identity token
+        #: (see :meth:`pool_performances`).
+        self._pool_arrays: Dict[int, Any] = {}
         #: Identity tokens for scope objects (transfer models, pools):
         #: id -> (token, weak ref).  Tokens are monotonic and never
         #: reused, so an address recycled by the allocator can never
@@ -227,25 +391,55 @@ class SchedulingContext:
 
     def job_cache(self, job: "Job", kind: str,
                   *scope: object) -> Dict[Any, Any]:
-        """The per-job cache dict of one kind, scoped by identities.
+        """The per-structure cache dict of one kind, scoped by identities.
 
-        ``scope`` objects (transfer models, pools) are resolved to
-        identity tokens: lags depend on the transfer model, matrices
-        and rankings additionally on the pool's node order, so caches
-        of different scopes must never alias.  The dict lives exactly
-        as long as the job object does.
+        Caches are keyed on the job's structural hash — the labelled
+        task/transfer/deadline content, excluding the job id and owner
+        (:attr:`~repro.core.job.Job.structural_hash`) — so every
+        template-derived sibling of one structure shares durations,
+        lags, matrices, rankings, and paths.  All of these memos are
+        functions of exactly that content (plus the scoped models), so
+        sharing is exact.  ``scope`` objects (transfer models, pools)
+        are resolved to identity tokens: lags depend on the transfer
+        model, matrices and rankings additionally on the pool's node
+        order, so caches of different scopes must never alias.
         """
-        per_job = self._job_caches.get(job)
-        if per_job is None:
-            per_job = {}
-            self._job_caches[job] = per_job
-        key: Tuple[object, ...] = (kind,) + tuple(
-            self.token(item) for item in scope)
-        cache = per_job.get(key)
+        per_struct = self._struct_caches.get(job.structural_hash)
+        if per_struct is None:
+            per_struct = {}
+            self._struct_caches[job.structural_hash] = per_struct
+        # Key shapes are specialized by arity: this accessor sits on the
+        # DP's per-call path (three lookups per chain allocation), and
+        # the generic tuple-of-tokens build dominated its cost.
+        if not scope:
+            key: Tuple[object, ...] = (kind,)
+        elif len(scope) == 1:
+            key = (kind, self.token(scope[0]))
+        else:
+            key = (kind,) + tuple(self.token(item) for item in scope)
+        cache = per_struct.get(key)
         if cache is None:
             cache = {}
-            per_job[key] = cache
+            per_struct[key] = cache
         return cache
+
+    def pool_performances(self, pool: "ResourcePool") -> Any:
+        """The pool's node-performance vector (float64, pool order).
+
+        Cached by pool identity token: node performances are immutable
+        and a pool's node order is fixed, so the vector is a constant of
+        the pool — yet the DP was rebuilding it on every chain
+        allocation.
+        """
+        token = self.token(pool)
+        array = self._pool_arrays.get(token)
+        if array is None:
+            import numpy as np
+
+            array = np.fromiter((node.performance for node in pool),
+                                dtype=np.float64, count=len(pool))
+            self._pool_arrays[token] = array
+        return array
 
     # ------------------------------------------------------------------
     # Per-job caches consumed by the DP and the critical-works method
@@ -383,31 +577,49 @@ class SchedulingContext:
             return entry
 
         out: Dict[str, Dict[str, object]] = {}
-        for lru in (self.fit_cache, self._gap_tables, self._stacks,
-                    self.plans):
+        for lru in (self.fit_cache, self._gap_tables, self._stacks):
             out[lru.name] = pair(lru.name, policy="lru",
                                  entries=len(lru), capacity=lru.capacity,
                                  evictions=lru.evictions)
+        plan_stats = pair(
+            self.plans.name, policy="two-tier-lru",
+            entries=len(self.plans),
+            skeletons=self.plans.skeleton_count(),
+            capacity=self.plans.capacity,
+            evictions=self.plans.evictions,
+            repairs=int(counters.get("flow.plan_repairs", 0)),
+            rebinds=int(counters.get("flow.plan_rebinds", 0)))
+        # Reads split three ways: exact hits, warm repairs (a stale
+        # sibling seeded regeneration), cold misses.  The reuse rate —
+        # reads the cache served exactly or seeded — is what the strict
+        # perf gate floors on the online scenarios.
+        reads = (int(plan_stats["hits"]) + int(plan_stats["repairs"])
+                 + int(plan_stats["misses"]))
+        plan_stats["reuse_rate"] = (
+            round((int(plan_stats["hits"]) + int(plan_stats["repairs"]))
+                  / reads, 4)
+            if reads else 0.0)
+        out[self.plans.name] = plan_stats
 
         sizes = {"transfer": 0, "duration": 0, "matrix": 0, "rank": 0,
                  "paths": 0}
-        jobs = 0
-        for per_job in self._job_caches.values():
-            jobs += 1
-            for key, cache in per_job.items():
+        structs = 0
+        for per_struct in self._struct_caches.values():
+            structs += 1
+            for key, cache in per_struct.items():
                 kind = key[0]
                 if isinstance(kind, str) and kind in sizes:
                     sizes[kind] += len(cache)
-        weak = {"dp.transfer_cache": "transfer",
-                "dp.duration_cache": "duration",
-                "critical_works.rank_cache": "rank",
-                "job.paths_cache": "paths"}
-        for name, kind in weak.items():
-            out[name] = pair(name, policy="weak-per-job",
-                             entries=sizes[kind], jobs=jobs)
+        shared = {"dp.transfer_cache": "transfer",
+                  "dp.duration_cache": "duration",
+                  "critical_works.rank_cache": "rank",
+                  "job.paths_cache": "paths"}
+        for name, kind in shared.items():
+            out[name] = pair(name, policy="struct-lru",
+                             entries=sizes[kind], structs=structs)
         out["dp.transfer_matrices"] = {
-            "policy": "weak-per-job", "entries": sizes["matrix"],
-            "jobs": jobs,
+            "policy": "struct-lru", "entries": sizes["matrix"],
+            "structs": structs,
             "builds": int(counters.get("dp.transfer_matrix_builds", 0)),
         }
         return out
@@ -415,7 +627,8 @@ class SchedulingContext:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<SchedulingContext fit={len(self.fit_cache)} "
                 f"gaps={len(self._gap_tables)} stacks={len(self._stacks)} "
-                f"plans={len(self.plans)} jobs={len(self._job_caches)}>")
+                f"plans={len(self.plans)} "
+                f"structs={len(self._struct_caches)}>")
 
 
 @runtime_checkable

@@ -52,6 +52,15 @@ class CostModel(Protocol):
     must be **bit-identical** to elementwise ``task_cost`` (same float
     operations in the same order), because warm-started pruning mixes
     the two.  Models without it are priced through the scalar method.
+
+    Finally, a model may expose ``price_key`` — a hashable value that,
+    together with ``(task.volume, reservation duration, node id)``,
+    fully determines :meth:`task_cost`.  Declaring it lets the DP memo
+    row prices *across* calls in the session context (template-derived
+    siblings re-price the same (volume, duration, node) triples on
+    every replan); the key must change whenever a pricing parameter
+    does, so stateful models expose it as a property over their state.
+    Models without the attribute are priced per call.
     """
 
     def task_cost(self, task: Task, placement: Placement,
@@ -65,6 +74,8 @@ class VolumeOverTimeCost:
 
     #: ``ceil(V_i / T_i)`` reads only the reservation length.
     time_invariant = True
+    #: Stateless: the cost is a pure function of (volume, duration).
+    price_key = ("cf",)
 
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:
@@ -98,6 +109,11 @@ class BalancedTimeCost:
                 f"cf_weight must be non-negative, got {cf_weight}")
         self.cf_weight = cf_weight
 
+    @property
+    def price_key(self) -> tuple:
+        """Cross-call price-memo scope: tracks the live weight."""
+        return ("balanced", self.cf_weight)
+
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:
         """Reserved wall time plus the weighted CF term."""
@@ -126,6 +142,11 @@ class PricedTimeCost:
             raise ValueError(f"surge must be positive, got {surge}")
         #: Multiplier applied on top of node price rates (dynamic pricing).
         self.surge = surge
+
+    @property
+    def price_key(self) -> tuple:
+        """Cross-call price-memo scope: tracks the live surge factor."""
+        return ("priced", self.surge)
 
     def task_cost(self, task: Task, placement: Placement,
                   node: ProcessorNode) -> float:

@@ -315,8 +315,14 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
     #             once instead of in every lookup.
     node_info = [(node, calendars[node.node_id]) for node in nodes]
     uniform_lag_fn = getattr(transfer_model, "uniform_lag", None)
-    performances = np.fromiter((node.performance for node in nodes),
-                               dtype=np.float64, count=len(nodes))
+    if context is not None and allowed_nodes is None:
+        # ``nodes`` is the whole pool in pool order — the performance
+        # vector is then a constant of the pool, served from the
+        # session context instead of rebuilt per chain.
+        performances = context.pool_performances(pool)
+    else:
+        performances = np.fromiter((node.performance for node in nodes),
+                                   dtype=np.float64, count=len(nodes))
     candidates: dict[str, list[tuple]] = {}
     for task_id in chain:
         job_task = job.task(task_id)
@@ -439,11 +445,32 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
         # explores — and counts — exactly the states it always did.
         candidates[task_id] = rows
 
+    # Models declaring a ``price_key`` are pure functions of
+    # (volume, duration, node), so their row prices memo across calls
+    # in the session context — template siblings re-price the same
+    # triples on every replan otherwise.
+    price_key = getattr(cost_model, "price_key", None)
+    price_memo = (context.price_memo
+                  if context is not None and price_key is not None
+                  else None)
+
     def price_row(task_id: str, row: list) -> float:
         """The row's (start-invariant) cost, cached on the row."""
-        row_cost = cost_model.task_cost(
-            job.task(task_id),
-            Placement(task_id, row[1], row[5], row[5] + row[4]), row[0])
+        if price_memo is not None:
+            memo_key = (price_key, job.task(task_id).volume, row[4],
+                        row[1])
+            row_cost = price_memo.get(memo_key)
+            if row_cost is None:
+                row_cost = cost_model.task_cost(
+                    job.task(task_id),
+                    Placement(task_id, row[1], row[5], row[5] + row[4]),
+                    row[0])
+                price_memo[memo_key] = row_cost
+        else:
+            row_cost = cost_model.task_cost(
+                job.task(task_id),
+                Placement(task_id, row[1], row[5], row[5] + row[4]),
+                row[0])
         row[7] = row_cost
         return row_cost
 
@@ -492,14 +519,26 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             prev_node = node
         return total_cost if cost_mode else float(finish)
 
-    def greedy_incumbent() -> Optional[float]:
-        """Primary value of a greedy first-feasible descent.
+    def greedy_incumbent(by_finish: bool = False) -> Optional[float]:
+        """Primary value of a hint-preferring greedy descent.
 
         A fallback incumbent for hinted runs whose hint no longer
-        re-fits (drifted calendars, a collision on the hinted node):
-        each step takes the cheapest (cost mode) or earliest-finishing
-        (time mode) feasible row.  No backtracking — a dead end returns
-        None and the run is simply cold.
+        re-fits *as a whole*: each step first re-tries the task's own
+        hinted row — tasks whose nodes kept their slots keep their
+        assignment, so only the drifted remainder is re-chosen — and
+        otherwise takes the cheapest (cost mode) or earliest-finishing
+        (time mode) feasible row.  This is what makes plan repair
+        incremental: a stale plan with one stolen slot re-derives an
+        incumbent that differs from the hint in exactly the patched
+        tasks.  ``by_finish`` forces the earliest-finish choice even in
+        cost mode — a second descent for deadline-tight chains where
+        cheapest-first painted itself past the ceiling; the returned
+        value is still that chain's exact cost, so it remains a sound
+        upper bound.  No backtracking — a dead end returns None and the
+        run is simply cold.  Incumbents only prune (exact bounds), so
+        the returned allocation is bit-identical to a cold run's; only
+        ``evaluations`` (the pruned state count, and with it the
+        study's ``generation_expense``) shrinks.
         """
         prev_node: Optional[ProcessorNode] = None
         ready = release
@@ -509,7 +548,33 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             rows = candidates[task_id]
             incoming = (job.transfer_between(chain[index - 1], task_id)
                         if index > 0 else None)
-            if cost_mode:
+            hinted = hint.get(task_id) if hint is not None else None
+            if hinted is not None:
+                hinted_row = next((r for r in rows if r[1] == hinted),
+                                  None)
+                if hinted_row is not None:
+                    node = hinted_row[0]
+                    duration, floor, ceiling = hinted_row[4:7]
+                    if incoming is None or prev_node is None:
+                        start_bound = ready
+                    else:
+                        start_bound = ready + transfer_time(
+                            incoming, prev_node, node)
+                    if floor > start_bound:
+                        start_bound = floor
+                    if start_bound + duration <= ceiling:
+                        start = find_fit(hinted_row, start_bound)
+                        if start is not None:
+                            if cost_mode:
+                                row_cost = hinted_row[7]
+                                total_cost += (
+                                    row_cost if row_cost is not None
+                                    else price_row(task_id, hinted_row))
+                            prev_node = node
+                            ready = start + duration
+                            finish = ready
+                            continue
+            if cost_mode and not by_finish:
                 # Start-invariant prices: cheapest-first order, first
                 # feasible row wins the step.
                 rows = sorted(rows, key=lambda row: (
@@ -533,7 +598,7 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
                 if start is None:
                     continue
                 end = start + duration
-                if cost_mode:
+                if cost_mode and not by_finish:
                     chosen_row, chosen_end = row, end
                     break
                 if chosen_row is None or end < chosen_end:
@@ -541,7 +606,9 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             if chosen_row is None:
                 return None
             if cost_mode:
-                total_cost += chosen_row[7]
+                row_cost = chosen_row[7]
+                total_cost += (row_cost if row_cost is not None
+                               else price_row(task_id, chosen_row))
             prev_node = chosen_row[0]
             ready = chosen_end
             finish = chosen_end
@@ -588,6 +655,11 @@ def allocate_chain(job: Job, chain: Sequence[str], pool: ResourcePool,
             # on a hinted node) — a greedy descent still recovers an
             # incumbent most of the time.
             incumbent = greedy_incumbent()
+            if incumbent is None and cost_mode:
+                # Cheapest-first can paint itself past a tight ceiling;
+                # an earliest-finish descent maximizes slack and often
+                # still completes the chain.
+                incumbent = greedy_incumbent(by_finish=True)
             if incumbent is not None and PERF.enabled:
                 PERF.incr("dp.greedy_incumbents")
         if incumbent is not None:

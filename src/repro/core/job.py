@@ -13,6 +13,7 @@ relative performance (see :meth:`Task.duration_on`).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -21,6 +22,12 @@ import numpy as np
 from .units import EPSILON, ceil_units, interpolate, scale_duration
 
 __all__ = ["Task", "DataTransfer", "Job", "JobValidationError"]
+
+
+def _sha(payload: str) -> str:
+    """Process-independent digest of a canonical string (not ``hash()``,
+    whose salt changes per interpreter run)."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
 class JobValidationError(ValueError):
@@ -190,6 +197,86 @@ class Job:
             self._pred[transfer.dst].append(transfer.src)
 
         self._topo_order = self._compute_topo_order()
+        # Semantic keys, computed on first use: pure functions of the
+        # job structure, which is immutable once construction succeeds.
+        self._structural_hash: Optional[str] = None
+        self._shape_hash: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Semantic keys (plan-cache identity)
+    # ------------------------------------------------------------------
+
+    @property
+    def structural_hash(self) -> str:
+        """Labelled-structure digest: everything generation reads.
+
+        Covers the tasks in insertion order with all user estimations,
+        the transfers in insertion order with their endpoints and
+        timings, and the deadline — but **not** ``job_id`` or ``owner``
+        (generation never consults either; they only tag the finished
+        distributions and the economic charge).  Two jobs with equal
+        structural hashes are identical up to renaming the job, so a
+        deterministic generator produces placement-identical strategies
+        for them: the exact-reuse key of the plan cache's concrete tier.
+        """
+        value = self._structural_hash
+        if value is None:
+            value = _sha(repr((
+                [(task.task_id, task.volume, task.best_time,
+                  task.worst_time) for task in self.tasks.values()],
+                [(t.transfer_id, t.src, t.dst, t.volume, t.base_time)
+                 for t in self.transfers],
+                self.deadline)))
+            self._structural_hash = value
+        return value
+
+    @property
+    def shape_hash(self) -> str:
+        """Canonical job-shape digest: the DAG's isomorphism class.
+
+        Order-independent and label-free — relabelling tasks and
+        transfers or permuting sibling insertion order leaves it
+        unchanged, while any change to the DAG shape, a task's
+        estimations, a transfer's timing, or the deadline changes it.
+        Computed by Weisfeiler–Leman color refinement: each task starts
+        from its estimation signature and iteratively absorbs the
+        sorted multisets of its (edge label, neighbor color) pairs,
+        predecessors and successors kept apart so orientation counts.
+        Jobs sharing a shape but not a structural hash cannot reuse
+        concrete plans bit-identically (tie-breaks in chain ranking and
+        topological order read the labels), so the shape keys the plan
+        cache's *skeleton* tier, grouping template-derived variants.
+        """
+        value = self._shape_hash
+        if value is None:
+            colors = {
+                task.task_id: _sha(repr((task.volume, task.best_time,
+                                         task.worst_time)))
+                for task in self.tasks.values()
+            }
+
+            def edge_label(src: str, dst: str) -> tuple[float, int]:
+                transfer = self._transfer_by_edge[(src, dst)]
+                return (transfer.volume, transfer.base_time)
+
+            partition = len(set(colors.values()))
+            for _ in range(len(self.tasks)):
+                colors = {
+                    tid: _sha(repr((
+                        colors[tid],
+                        sorted((edge_label(pred, tid), colors[pred])
+                               for pred in self._pred[tid]),
+                        sorted((edge_label(tid, succ), colors[succ])
+                               for succ in self._succ[tid]))))
+                    for tid in self.tasks
+                }
+                refined = len(set(colors.values()))
+                if refined == partition:
+                    break  # the partition is stable; more rounds only
+                partition = refined  # relabel within the same classes
+            value = _sha(repr((sorted(colors.values()), self.deadline)))
+            self._shape_hash = value
+        return value
 
     # ------------------------------------------------------------------
     # Structure queries

@@ -21,7 +21,7 @@ The paper's strategy families:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from ..perf import PERF
@@ -237,6 +237,75 @@ class Strategy:
             collected.extend(schedule.outcome.collisions)
         return collected
 
+    def level_hints(self) -> dict[float, dict[str, int]]:
+        """Per-level task→node assignments, as warm-start seed hints.
+
+        The repair path feeds these to :meth:`StrategyGenerator.
+        generate` so a regeneration against drifted calendars starts
+        from this (stale) strategy's placements: tasks whose nodes kept
+        their slots re-fit as the branch-and-bound incumbent and only
+        the drifted remainder is re-searched.  Hints never change
+        results (exact pruning) — a hint that no longer fits merely
+        costs the search it would have saved.
+        """
+        return {s.level: {p.task_id: p.node_id
+                          for p in s.outcome.distribution}
+                for s in self.schedules
+                if s.outcome.distribution is not None}
+
+    def rebind(self, job: Job) -> "Strategy":
+        """This strategy re-addressed to a structurally identical job.
+
+        Serving a cached plan across template-derived siblings must
+        rewrite the job identity everywhere it is recorded — the
+        distributions, outcomes, and collision records — while the
+        frozen placements themselves are shared.  Only sound for jobs
+        with equal :attr:`~repro.core.job.Job.structural_hash`:
+        generation is deterministic in the labelled structure, so the
+        rebound strategy is exactly what generating for ``job`` against
+        the same calendars would have produced.
+        """
+        if job is self.job:
+            return self
+        if self.scheduled_job is self.job:
+            scheduled_job = job
+        else:
+            # Coarse families (S3) schedule an aggregated job; rebuild
+            # it under the new identity from the shared task objects.
+            scheduled_job = Job(job.job_id,
+                                self.scheduled_job.tasks.values(),
+                                self.scheduled_job.transfers,
+                                deadline=self.scheduled_job.deadline,
+                                owner=job.owner)
+        schedules = [
+            SupportingSchedule(level=s.level,
+                               outcome=_rebind_outcome(s.outcome,
+                                                       job.job_id))
+            for s in self.schedules
+        ]
+        return Strategy(job=job, scheduled_job=scheduled_job,
+                        stype=self.stype, schedules=schedules,
+                        generation_expense=self.generation_expense)
+
+
+def _rebind_outcome(outcome: SchedulingOutcome,
+                    job_id: str) -> SchedulingOutcome:
+    """An outcome's copy under a new job id (placements shared)."""
+    distribution = outcome.distribution
+    if distribution is not None:
+        distribution = Distribution(job_id, distribution,
+                                    scenario=distribution.scenario)
+    return SchedulingOutcome(
+        job_id=job_id,
+        distribution=distribution,
+        admissible=outcome.admissible,
+        collisions=[replace(collision, job_id=job_id)
+                    for collision in outcome.collisions],
+        evaluations=outcome.evaluations,
+        level=outcome.level,
+        cost=outcome.cost,
+        makespan=outcome.makespan)
+
 
 class StrategyGenerator:
     """Generates strategies of every family for compound jobs.
@@ -315,12 +384,21 @@ class StrategyGenerator:
 
     def generate(self, job: Job,
                  calendars: Mapping[int, ReservationCalendar],
-                 stype: StrategyType, release: int = 0) -> Strategy:
+                 stype: StrategyType, release: int = 0,
+                 seed_hints: Optional[Mapping[float, Mapping[str, int]]]
+                 = None) -> Strategy:
         """Build the strategy of family ``stype`` for ``job``.
 
         ``calendars`` snapshot the environment load; they are not
         mutated.  One supporting schedule is produced per estimation
         level of the family.
+
+        ``seed_hints`` (per-level task→node maps, typically a stale
+        sibling strategy's :meth:`Strategy.level_hints`) warm-start the
+        *repair* path: a level with no fresh previous-level hint seeds
+        its DP from the stale assignment instead of starting cold.
+        Hints only prune — exact branch-and-bound bounds keep the
+        result bit-identical to a cold generation.
         """
         spec = STRATEGY_SPECS[stype]
         if not spec.coarse:
@@ -346,12 +424,19 @@ class StrategyGenerator:
         # the previous level's node assignment — adjacent levels mostly
         # agree on nodes, so the incumbent prunes hard while leaving the
         # outcomes bit-identical.
-        warm_hint: Optional[dict[str, int]] = None
+        warm_hint: Optional[Mapping[str, int]] = None
         with PERF.timer("strategy.generate"):
             for level in spec.levels:
+                hint = warm_hint
+                if hint is None and seed_hints is not None and self.warm_start:
+                    # Repair seed: the stale sibling's assignment for
+                    # this same level (adjacent-level hints from *this*
+                    # run always take precedence — they saw the current
+                    # calendars).
+                    hint = seed_hints.get(level)
                 outcome = scheduler.build_schedule(
                     scheduled_job, calendars, level=level, release=release,
-                    warm_hint=warm_hint)
+                    warm_hint=hint)
                 expense += outcome.evaluations
                 schedules.append(
                     SupportingSchedule(level=level, outcome=outcome))

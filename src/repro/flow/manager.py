@@ -58,16 +58,23 @@ class JobManager:
 
     def plan(self, job: Job,
              calendars: Mapping[int, ReservationCalendar],
-             stype: StrategyType, release: int = 0) -> Strategy:
+             stype: StrategyType, release: int = 0,
+             seed_hints: Optional[Mapping[float,
+                                          Mapping[str, int]]] = None
+             ) -> Strategy:
         """Build (and retain) a strategy for a job on this domain.
 
         ``calendars`` may cover the whole VO; only this domain's node
-        calendars are consulted.
+        calendars are consulted.  ``seed_hints`` (a stale sibling
+        strategy's per-level assignments) warm-start an incremental
+        repair; see :meth:`~repro.core.strategy.StrategyGenerator.
+        generate`.
         """
         local = {node.node_id: calendars[node.node_id]
                  for node in self.pool}
         strategy = self.generator.generate(job, local, stype,
-                                           release=release)
+                                           release=release,
+                                           seed_hints=seed_hints)
         self.strategies[job.job_id] = strategy
         return strategy
 

@@ -86,12 +86,13 @@ class Metascheduler:
                 f"conflict_retries must be >= 0, got {conflict_retries}")
         self.conflict_retries = conflict_retries
         #: Session cache layer shared by every domain manager's strategy
-        #: generator and by the plan cache below (``context.plans``):
-        #: epoch-tagged strategies keyed (job id, family, domain) ->
-        #: (release, domain epoch slice, strategy).  A hit requires the
-        #: same release and an unchanged epoch slice over the domain's
-        #: nodes, which guarantees byte-identical calendar contents —
-        #: strategy generation is deterministic, so reuse is exact.
+        #: generator and by the plan cache below (``context.plans``): a
+        #: two-tier semantic cache — skeletons keyed (job shape hash,
+        #: family, domain), concrete variants keyed (structural hash,
+        #: release, domain epoch slice).  An exact variant hit
+        #: guarantees byte-identical generation inputs (strategy
+        #: generation is deterministic, so reuse is exact); a stale
+        #: same-structure variant instead seeds an incremental repair.
         #: Bounded by per-entry LRU eviction, so a flood of one-shot
         #: keys can no longer wipe hot entries wholesale.
         self.context = context if context is not None else SchedulingContext()
@@ -170,31 +171,62 @@ class Metascheduler:
 
     def _plan_for(self, manager: JobManager, job: Job, stype: StrategyType,
                   release: int, calendars) -> Strategy:
-        """Plan through the epoch-keyed cache (exact reuse).
+        """Plan through the two-tier semantic plan cache.
 
-        The cached strategy is reused only when the release matches and
-        no calendar of the manager's domain changed version since it
-        was generated — the generation inputs are then byte-identical.
-        A stale entry (drifted epochs or release) misses and is simply
-        overwritten; the LRU in ``context.plans`` evicts the coldest
-        key when the cache is full.
+        Reads resolve in three grades, counted separately:
+
+        * **exact hit** (``flow.plan_cache_hits``) — a variant with the
+          same structural hash, the same release, and an unchanged
+          epoch slice over the domain's nodes exists; generation inputs
+          are byte-identical, so the strategy is served outright
+          (rebound to this job's id when it was generated for a
+          template sibling — ``flow.plan_rebinds``);
+        * **warm repair** (``flow.plan_repairs``) — a same-structure
+          variant exists but its release/epochs drifted; its per-level
+          assignments seed a warm-started regeneration that re-searches
+          only what no longer fits, bit-identical to a cold replan;
+        * **cold miss** (``flow.plan_cache_misses``) — no same-structure
+          variant; generate from scratch.
+
+        Freshly generated strategies are stored under their
+        (shape, structure, release, epoch-slice) key; the skeleton LRU
+        evicts the coldest shape/family/domain when full.
         """
-        key = (job.job_id, stype, manager.domain)
+        shape_hash = job.shape_hash
+        structural_hash = job.structural_hash
         epochs = self.grid.epoch_slice(manager.pool.node_ids())
-        cached = self.context.plans.get(key)
-        if (cached is not None and cached[0] == release
-                and cached[1] == epochs):
+        plans = self.context.plans
+        cached = plans.lookup(shape_hash, structural_hash, stype,
+                              manager.domain, release, epochs)
+        if cached is not None:
             if PERF.enabled:
                 PERF.incr("flow.plan_cache_hits")
-            strategy = cached[2]
+            strategy = cached.rebind(job)
+            if strategy is not cached:
+                # Served across template siblings: same structure, same
+                # epochs — only the recorded job identity differs.
+                if PERF.enabled:
+                    PERF.incr("flow.plan_rebinds")
+                plans.store(shape_hash, structural_hash, stype,
+                            manager.domain, release, epochs, strategy)
             # Keep the manager's retention behaviour identical to a
             # fresh plan() call.
             manager.strategies[job.job_id] = strategy
             return strategy
-        if PERF.enabled:
-            PERF.incr("flow.plan_cache_misses")
-        strategy = manager.plan(job, calendars, stype, release=release)
-        self.context.plans[key] = (release, epochs, strategy)
+        seed = plans.repair_seed(shape_hash, structural_hash, stype,
+                                 manager.domain)
+        if seed is not None:
+            if PERF.enabled:
+                PERF.incr("flow.plan_repairs")
+            seed_hints = seed.level_hints()
+        else:
+            if PERF.enabled:
+                PERF.incr("flow.plan_cache_misses")
+            seed_hints = None
+        strategy = manager.plan(job, calendars, stype, release=release,
+                                seed_hints=seed_hints)
+        plans.store(shape_hash, structural_hash, stype, manager.domain,
+                    release, epochs, strategy)
         return strategy
 
     def plan_job(self, job: Job, stype: StrategyType,
@@ -247,7 +279,10 @@ class Metascheduler:
         while record.reason == "conflict" and retries < self.conflict_retries:
             # Every variant was stolen between planning and commitment;
             # re-plan against the drifted calendars.  Managers whose
-            # domains are untouched hit the plan cache and only re-offer.
+            # domains are untouched hit the plan cache exactly and only
+            # re-offer; the drifted domain repairs its own stale plan —
+            # the entry stored when this job was first planned seeds a
+            # warm regeneration instead of a cold replan.
             retries += 1
             replanned = self.plan_job(job, stype, planned.release)
             if replanned.manager is None:

@@ -32,15 +32,19 @@ def invalidates(event: BackgroundEvent, distribution: Distribution,
     immunity to placements that already completed by then — a placement
     with ``end <= executed_before`` has already run to completion and
     cannot be stolen — the committed-and-running interpretation.
+
+    Resolution is O(log placements-on-node) per event through a
+    :class:`_NodeIntervalIndex` attached to the distribution on first
+    query (placements are append-once at construction, so the index
+    never goes stale); the old per-event linear scan over every
+    placement dominated drift replays once speculation raised event
+    counts.
     """
-    for placement in distribution:
-        if placement.node_id != event.node_id:
-            continue
-        if executed_before is not None and placement.end <= executed_before:
-            continue  # already executed
-        if placement.start < event.end and event.start < placement.end:
-            return True
-    return False
+    index = getattr(distribution, "_invalidation_index", None)
+    if index is None:
+        index = _NodeIntervalIndex(distribution)
+        distribution._invalidation_index = index  # type: ignore[attr-defined]
+    return index.clashes(event, executed_before)
 
 
 class _NodeIntervalIndex:

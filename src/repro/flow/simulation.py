@@ -22,9 +22,10 @@ from ..core.strategy import StrategyType
 from ..grid.data import default_policy_models
 from ..grid.environment import GridEnvironment
 from ..grid.node import NodeAgent
+from ..perf import PERF
 from ..sim import Environment, RandomStreams, TimeWeightedStat
 from .economics import VOEconomics
-from .metascheduler import FlowRecord, Metascheduler
+from .metascheduler import FlowRecord, Metascheduler, PlannedDispatch
 
 __all__ = ["OnlineConfig", "JobOutcome", "OnlineSimulation"]
 
@@ -64,6 +65,20 @@ class OnlineConfig:
     #: at the commit instant, so schedules never start before they are
     #: booked.
     plan_latency: int = 0
+    #: Speculative pre-planning: after every commitment that drifts the
+    #: environment, jobs sitting in the plan-latency window are
+    #: re-planned against the new epochs in zero simulated time (the
+    #: decision lag models metascheduler think-time, so pre-computing
+    #: during it is free).  Their own commit then finds warm plan-cache
+    #: entries instead of paying a cold replan on conflict.  A
+    #: speculation is invalidated only by further epoch drift — nothing
+    #: is thrown away wholesale; ``flow.speculative_fresh`` counts
+    #: speculations still fresh at commit time, ``flow.
+    #: speculative_wasted`` those overtaken by later drift (not a
+    #: ``*_hits``/``*_misses`` pair — the suffix is reserved for
+    #: context caches).  Strictly a cache-warming policy: outcomes are
+    #: bit-identical either way.
+    speculate: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -131,6 +146,11 @@ class OnlineSimulation:
         #: Jobs planned-and-committed but not yet finished, over time.
         self.in_system = TimeWeightedStat()
         self.outcomes: list[JobOutcome] = []
+        #: Jobs planned but still in their plan-latency window, by id.
+        self._pending: dict[str, PlannedDispatch] = {}
+        #: Pool-wide epoch slice each pending job was last speculatively
+        #: re-planned against, by job id.
+        self._speculation_epochs: dict[str, tuple[int, ...]] = {}
         self._policy_models = default_policy_models()
         if job_factory is None:
             from ..workload.generator import generate_job
@@ -172,6 +192,7 @@ class OnlineSimulation:
         planned = self.metascheduler.plan_job(job, stype,
                                               release=now + latency)
         if latency:
+            self._pending[job.job_id] = planned
             self.sim.process(self._deferred_commit(planned, now, latency))
         else:
             self._commit_admitted(planned, now)
@@ -186,6 +207,16 @@ class OnlineSimulation:
         self._commit_admitted(planned, submitted)
 
     def _commit_admitted(self, planned, submitted: int) -> None:
+        self._pending.pop(planned.job.job_id, None)
+        speculated = self._speculation_epochs.pop(planned.job.job_id, None)
+        if speculated is not None and PERF.enabled:
+            # Fresh means no further commitment drifted the environment
+            # since the last speculative re-plan: a conflict replan now
+            # hits the warmed cache exactly.
+            if speculated == self._pool_epochs():
+                PERF.incr("flow.speculative_fresh")
+            else:
+                PERF.incr("flow.speculative_wasted")
         record = self.metascheduler.commit_planned(planned)
         outcome = JobOutcome(job_id=planned.job.job_id, stype=planned.stype,
                              submitted=submitted, committed=record.committed,
@@ -195,6 +226,32 @@ class OnlineSimulation:
             outcome.planned_makespan = record.chosen.outcome.makespan
             self.in_system.increment(self.sim.now)
             self.sim.process(self._execute(record, outcome))
+        if self.config.speculate and self._pending:
+            self._speculate_pending()
+
+    def _pool_epochs(self) -> tuple[int, ...]:
+        return self.grid.epoch_slice(self.pool.node_ids())
+
+    def _speculate_pending(self) -> None:
+        """Pre-plan the jobs waiting out their decision lag.
+
+        Runs in zero simulated time right after a commitment (the only
+        event that drifts epochs).  Jobs whose last speculation already
+        targeted the current epochs are skipped — epoch drift, not the
+        passage of events, is what invalidates a speculation.  The
+        returned plans are deliberately dropped: this only warms the
+        semantic plan cache (exact reuse/repair), so each job's real
+        commit decision — and every outcome — is bit-identical with
+        speculation on or off.
+        """
+        epochs = self._pool_epochs()
+        for planned in list(self._pending.values()):
+            job_id = planned.job.job_id
+            if self._speculation_epochs.get(job_id) == epochs:
+                continue
+            self.metascheduler.plan_job(planned.job, planned.stype,
+                                        planned.release)
+            self._speculation_epochs[job_id] = epochs
 
     # ------------------------------------------------------------------
 

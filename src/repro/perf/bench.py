@@ -1,6 +1,6 @@
 """Pinned kernel benchmark: fixed workloads, JSON reports, comparison.
 
-``run_kernel_bench`` times five seeded, deterministic workloads that
+``run_kernel_bench`` times six seeded, deterministic workloads that
 together cover the scheduling kernel's hot paths:
 
 ``study_fig3a``
@@ -19,6 +19,12 @@ together cover the scheduling kernel's hot paths:
 ``online_sim``
     A pinned :class:`~repro.flow.simulation.OnlineSimulation` run —
     plan, epoch-aware commit, and discrete-event execution end to end.
+``online_large``
+    The plan-reuse scenario: >10³ template-skewed arrivals (two job
+    classes at 70/30) through a dense flash-crowd window, where the
+    flow layer's semantic plan keys turn most commits into exact cache
+    hits or warm repairs.  The strict perf gate floors this workload's
+    ``flow.plan_cache`` reuse rate (``PLAN_CACHE_FLOORS``).
 
 The report also embeds a merged :class:`~repro.perf.registry.
 PerfRegistry` snapshot of one instrumented pass over every selected
@@ -44,8 +50,9 @@ from typing import Any, Callable, Iterable, Optional
 
 from .registry import PERF, derive_cache_stats
 
-__all__ = ["BENCH_SCHEMA_VERSION", "BENCH_WORKLOADS", "run_kernel_bench",
-           "compare_reports", "format_comparison"]
+__all__ = ["BENCH_SCHEMA_VERSION", "BENCH_WORKLOADS", "PLAN_CACHE_FLOORS",
+           "run_kernel_bench", "compare_reports", "format_comparison",
+           "check_plan_floors"]
 
 #: Bump when the pinned workloads change incompatibly; comparisons
 #: across schema versions are refused.
@@ -71,7 +78,36 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
 
 #: Names of the pinned workloads, in report order.
 BENCH_WORKLOADS = ("study_fig3a", "critical_works_fig2", "calendar_ops",
-                   "strategy_generation", "online_sim")
+                   "strategy_generation", "online_sim", "online_large")
+
+#: Minimum ``flow.plan_cache`` reuse rate (exact hits + warm repairs
+#: over reads) per online workload, enforced by ``repro perf --strict``.
+#: ``online_large`` is the scenario semantic plan keys were built for —
+#: most commits must be served from the cache; ``online_sim`` draws
+#: unique jobs, so only conflict replans can reuse and the floor is a
+#: canary against the cache being disabled outright.
+PLAN_CACHE_FLOORS = {"online_large": 0.50, "online_sim": 0.05}
+
+
+def check_plan_floors(report: dict[str, Any]) -> list[str]:
+    """Plan-cache reuse-rate floor violations in a bench ``report``.
+
+    Checks every :data:`PLAN_CACHE_FLOORS` workload that ran in this
+    report (others are skipped, so CI can gate subsets) and returns one
+    human-readable line per violated floor — empty means the gate
+    passes.
+    """
+    failures: list[str] = []
+    for name, floor in sorted(PLAN_CACHE_FLOORS.items()):
+        context = report.get("context", {}).get(name)
+        if context is None:
+            continue
+        rate = float(context["flow.plan_cache"]["reuse_rate"])
+        if rate < floor:
+            failures.append(
+                f"{name}: flow.plan_cache reuse rate {rate:.1%} is below "
+                f"the {floor:.0%} floor")
+    return failures
 
 
 def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
@@ -93,7 +129,8 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
     from ..flow.simulation import OnlineConfig, OnlineSimulation
     from ..grid.environment import GridEnvironment
     from ..sim.rng import RandomStreams
-    from ..workload.generator import generate_job, generate_pool
+    from ..workload.generator import (generate_job, generate_pool,
+                                      template_workload_factory)
     from ..workload.paper_example import fig2_job, fig2_pool
 
     if workloads is None:
@@ -171,6 +208,26 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         last_online_context[0] = simulation.context
         simulation.run()
 
+    # The plan-reuse scenario: a dense flash crowd (~8 arrivals per
+    # slot) of two dominant job templates with a long decision lag, so
+    # thousands of commits land against a mostly-frozen environment and
+    # same-template arrivals resolve to exact plan-cache hits; the
+    # drifted remainder exercises warm repair.
+    large_weights = (0.7, 0.3)
+    large_config = OnlineConfig(horizon=150, mean_interarrival=0.12,
+                                busy_fraction=0.25, conflict_retries=2,
+                                plan_latency=10,
+                                stypes=(StrategyType.S1, StrategyType.S2))
+    large_pool = generate_pool(streams.stream("bench.online_large_pool"))
+    last_large_context: list[Any] = [None]
+
+    def online_large() -> None:
+        simulation = OnlineSimulation(
+            large_pool, seed=seed, config=large_config,
+            job_factory=template_workload_factory(large_weights))
+        last_large_context[0] = simulation.context
+        simulation.run()
+
     runners: dict[str, tuple[Callable[[], Any], dict[str, Any]]] = {
         "study_fig3a": (study, {"jobs": jobs, "seed": seed,
                                 "workers": workers}),
@@ -186,6 +243,14 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
             "busy_fraction": online_config.busy_fraction,
             "conflict_retries": online_config.conflict_retries,
             "plan_latency": online_config.plan_latency,
+            "seed": seed}),
+        "online_large": (online_large, {
+            "horizon": large_config.horizon,
+            "mean_interarrival": large_config.mean_interarrival,
+            "busy_fraction": large_config.busy_fraction,
+            "conflict_retries": large_config.conflict_retries,
+            "plan_latency": large_config.plan_latency,
+            "template_weights": list(large_weights),
             "seed": seed}),
     }
 
@@ -219,6 +284,7 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         "critical_works_fig2": lambda: scheduler.context,
         "strategy_generation": lambda: last_sgen_context[0],
         "online_sim": lambda: last_online_context[0],
+        "online_large": lambda: last_large_context[0],
     }
     merged_counters: dict[str, int] = {}
     merged_timers: dict[str, float] = {}

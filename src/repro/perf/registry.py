@@ -73,10 +73,32 @@ Counter names reported by the kernel
     concatenates — the former ``placement.stack_builds``);
     ``placement.stack_evictions`` counts LRU drops.
 ``flow.plan_cache_hits`` / ``flow.plan_cache_misses``
-    Metascheduler strategy reuse keyed on (job, family, domain) and the
-    domain's calendar epoch slice — the context's plan LRU;
-    ``flow.plan_cache_evictions`` counts single-entry LRU drops (the
-    pre-context cache cleared wholesale instead).
+    Metascheduler strategy reuse through the context's two-tier plan
+    cache, keyed semantically: skeletons by (job shape, family, domain)
+    and concrete variants by (structural hash, release, epoch slice).
+    A hit serves an identically structured plan against provably
+    unchanged calendars; a miss generates cold.
+    ``flow.plan_cache_evictions`` counts LRU drops on either tier.
+``flow.plan_rebinds``
+    Exact plan-cache hits whose cached strategy was generated for a
+    *different* job id (a template sibling with the same structural
+    hash); the strategy is re-tagged to the requesting job without any
+    regeneration.  Always a subset of ``flow.plan_cache_hits``.
+``flow.plan_repairs``
+    Warm repairs — the middle outcome between a hit and a miss: a
+    same-structure variant exists but its release or epochs drifted,
+    so its per-level assignments seed a warm-started regeneration that
+    re-searches only what no longer fits (bit-identical to a cold
+    replan).  The plan-cache *reuse rate* the strict perf gate floors
+    is (hits + repairs) / (hits + repairs + misses).
+``flow.speculative_fresh`` / ``flow.speculative_wasted``
+    Speculative pre-planning outcomes in the online flow: pending jobs
+    re-planned during their decision lag whose warmed epochs were
+    still current at commit time vs. overtaken by later drift.
+    Deliberately *not* a ``*_hits``/``*_misses`` pair — speculation is
+    a cache-warming policy, not a cache, and the pair suffix is
+    reserved for :class:`~repro.core.context.SchedulingContext`
+    caches.
 ``critical_works.rank_cache_hits`` / ``..._misses``
     Reuse of the context's per-(job, model, pool, level) critical-works
     ranking.

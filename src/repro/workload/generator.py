@@ -27,7 +27,7 @@ from ..core.units import ceil_units
 from ..sim.rng import RandomStreams
 
 __all__ = ["WorkloadConfig", "generate_job", "generate_pool",
-           "generate_workload"]
+           "generate_workload", "template_workload_factory"]
 
 
 @dataclass(frozen=True)
@@ -170,6 +170,50 @@ def generate_pool(rng: np.random.Generator,
         for i in range(len(performances))
     ]
     return ResourcePool(nodes)
+
+
+def template_workload_factory(weights: tuple[float, ...],
+                              template_seed: int = 7,
+                              config: Optional[WorkloadConfig] = None,
+                              owner: str = "user"):
+    """A skewed template workload: few job classes, many arrivals.
+
+    Builds one random template per entry of ``weights`` (template *t*
+    draws from the deterministic fork ``("template", t)`` of
+    ``template_seed``) and returns a ``job_factory(rng, index) -> Job``
+    for :class:`~repro.flow.simulation.OnlineSimulation`.  Each arrival
+    picks a template with probability proportional to its weight and is
+    cloned under its own ``job_id`` — so arrivals of the same template
+    share a structural hash (and all templates of one DAG shape share a
+    shape hash), the identity the flow layer's plan cache reuses plans
+    across.  This is the flash-crowd profile of a production job flow:
+    a handful of dominant pipelines submitted over and over.
+    """
+    if not weights:
+        raise ValueError("at least one template weight is required")
+    if any(weight <= 0 for weight in weights):
+        raise ValueError(f"weights must be positive, got {weights}")
+    streams = RandomStreams(template_seed)
+    templates = [generate_job(streams.fork("template", t), t, config, owner)
+                 for t in range(len(weights))]
+    total = sum(weights)
+    cumulative: list[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def factory(rng: np.random.Generator, index: int) -> Job:
+        draw = float(rng.random())
+        chosen = templates[-1]
+        for position, edge in enumerate(cumulative):
+            if draw <= edge:
+                chosen = templates[position]
+                break
+        return Job(f"job{index}", chosen.tasks.values(), chosen.transfers,
+                   deadline=chosen.deadline, owner=owner)
+
+    return factory
 
 
 def generate_workload(seed: int, n_jobs: int,

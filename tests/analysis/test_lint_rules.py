@@ -337,11 +337,36 @@ def test_rep008_version_or_epoch_guard_passes():
                "    version = node.calendar_version\n"
                "    return context.fit_cache.get((key, version))\n")
     assert run(guarded, only="REP008") == []
-    epoch = ("def lookup(context, grid, key):\n"
+    epoch = ("def lookup(context, grid, job, key):\n"
              "    epochs = grid.epoch_slice(key)\n"
-             "    cached = context.plans.get(key)\n"
-             "    return cached if cached and cached[1] == epochs else None\n")
+             "    shape = job.shape_hash\n"
+             "    cached = context.plans.get((shape, key, epochs))\n"
+             "    return cached\n")
     assert run(epoch, only="REP008") == []
+
+
+def test_rep008_shape_keyed_plan_reads_need_both_tokens():
+    """`plans` reads must reference a shape/struct token AND an
+    epoch/version token; either alone is an error."""
+    epoch_only = ("def lookup(context, grid, key):\n"
+                  "    epochs = grid.epoch_slice(key)\n"
+                  "    return context.plans.lookup(key, epochs)\n")
+    found = run(epoch_only, only="REP008")
+    assert len(found) == 1 and "shape" in found[0].message
+    shape_only = ("def lookup(context, job, key):\n"
+                  "    shape = job.shape_hash\n"
+                  "    return context.plans.lookup(shape, key)\n")
+    found = run(shape_only, only="REP008")
+    assert len(found) == 1 and "epoch" in found[0].message
+    both = ("def lookup(context, grid, job, key):\n"
+            "    epochs = grid.epoch_slice(key)\n"
+            "    return context.plans.lookup(job.shape_hash, key, epochs)\n")
+    assert run(both, only="REP008") == []
+    # Plain mapping caches are unaffected by the shape requirement.
+    fit = ("def lookup(context, node, key):\n"
+           "    version = node.calendar_version\n"
+           "    return context.fit_cache.lookup((key, version))\n")
+    assert run(fit, only="REP008") == []
 
 
 def test_rep008_scope_writes_and_marker():

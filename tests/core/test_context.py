@@ -110,8 +110,11 @@ def _single_domain_grid():
 
 
 def _simple_job(job_id):
+    # Volume varies with the name so differently named jobs are
+    # structurally unrelated — the plan cache keys on content, not ids.
+    extra = sum(job_id.encode()) % 97
     return Job(job_id,
-               [Task("A", volume=20, best_time=2),
+               [Task("A", volume=20 + extra, best_time=2),
                 Task("B", volume=10, best_time=1)],
                [], deadline=40)
 
@@ -203,14 +206,28 @@ def test_job_caches_are_scoped_by_pool_identity():
         context.rankings(job, model, pool_b)
 
 
-def test_job_caches_die_with_the_job():
+def test_job_caches_shared_across_structural_siblings():
+    """Per-structure caches key on content, so a template sibling
+    (same tasks/transfers/deadline, different id) shares them."""
     context = SchedulingContext()
     job = fig2_job()
     context.durations(job)[("T", 1, 0.0)] = 7
-    assert len(context._job_caches) == 1
-    del job
-    gc.collect()
-    assert len(context._job_caches) == 0
+    sibling = Job("sibling", job.tasks.values(), job.transfers,
+                  deadline=job.deadline)
+    assert context.durations(sibling)[("T", 1, 0.0)] == 7
+    assert len(context._struct_caches) == 1
+
+
+def test_job_caches_evict_least_recent_structure():
+    """The per-structure tier is LRU-bounded, not tied to object
+    lifetime: flooding with fresh structures retires the oldest."""
+    context = SchedulingContext(struct_capacity=2)
+    stale = _simple_job("stale")
+    context.durations(stale)[("A", 1, 0.0)] = 3
+    for name in ("x", "y"):
+        context.durations(_simple_job(name))
+    assert context._struct_caches.get(stale.structural_hash) is None
+    assert context.durations(stale).get(("A", 1, 0.0)) is None
 
 
 def test_job_paths_memoized_per_limit():
@@ -274,11 +291,14 @@ def test_stats_reports_every_context_cache():
     for name in CONTEXT_CACHE_NAMES:
         assert name in stats, name
     for name in ("dp.fit_cache", "placement.gap_table",
-                 "placement.stack", "flow.plan_cache"):
+                 "placement.stack"):
         assert stats[name]["policy"] == "lru"
         assert stats[name]["entries"] == 0
         assert stats[name]["capacity"] >= 1
-    assert stats["dp.duration_cache"]["policy"] == "weak-per-job"
+    assert stats["flow.plan_cache"]["policy"] == "two-tier-lru"
+    assert stats["flow.plan_cache"]["skeletons"] == 0
+    assert stats["flow.plan_cache"]["reuse_rate"] == 0.0
+    assert stats["dp.duration_cache"]["policy"] == "struct-lru"
 
 
 def test_stats_derives_hit_rates_from_counters():

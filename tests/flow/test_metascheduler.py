@@ -237,9 +237,12 @@ def test_plan_cache_reuses_untouched_domains():
         scheduler.submit(job, StrategyType.S1)
         second = scheduler.dispatch()[0]
         counters = dict(registry.counters)
-    # The committed domain's calendars moved (miss); the other did not.
+    # The committed domain's calendars moved, but its own stale plan
+    # (same structure) now seeds a warm repair instead of a cold miss;
+    # the other domain is served exactly.
     assert counters.get("flow.plan_cache_hits") == 1
-    assert counters.get("flow.plan_cache_misses") == 1
+    assert counters.get("flow.plan_repairs") == 1
+    assert counters.get("flow.plan_cache_misses") is None
     assert untouched.strategies[job.job_id] is cached_strategy
     assert second.job_id == job.job_id
 
@@ -319,6 +322,60 @@ def conflict_once_grid():
     grid.epoch_slice = counting_epoch_slice
     grid.can_commit = gated_can_commit
     return grid
+
+
+def strategy_snapshot(strategy):
+    """Every supporting schedule flattened to comparable placements."""
+    return [
+        (schedule.level, schedule.admissible,
+         None if schedule.distribution is None else sorted(
+             (p.task_id, p.node_id, p.start, p.end)
+             for p in schedule.distribution))
+        for schedule in strategy.schedules
+    ]
+
+
+@pytest.mark.parametrize("deadline", [25, 30, 45])
+@pytest.mark.parametrize("stype", [StrategyType.S1, StrategyType.S2])
+def test_repaired_plan_is_bit_identical_to_cold_replan(deadline, stype):
+    """A warm repair (stale same-structure sibling seeding regeneration
+    after epoch drift) must equal the cold replan it replaces on every
+    domain, level by level and placement by placement."""
+    from repro.perf import PERF
+
+    def drifted_grid():
+        """A grid whose epochs moved after a first job was planned and
+        committed — built twice, identically, for both sides."""
+        grid = GridEnvironment(two_domain_pool())
+        scheduler = Metascheduler(grid)
+        scheduler.submit(simple_job("seed-job", deadline=deadline), stype)
+        assert scheduler.dispatch()[0].committed
+        return grid, scheduler
+
+    sibling = simple_job("sibling", deadline=deadline)
+
+    warm_grid, warm_scheduler = drifted_grid()
+    with PERF.collecting() as registry:
+        warm_scheduler.plan_job(sibling, stype, release=0)
+        counters = dict(registry.counters)
+    # The committed domain drifted (repair); the other is exact.
+    assert counters.get("flow.plan_repairs") == 1
+    assert counters.get("flow.plan_cache_hits") == 1
+    assert counters.get("flow.plan_rebinds") == 1
+
+    cold_grid, _ = drifted_grid()
+    cold_scheduler = Metascheduler(cold_grid)  # fresh, empty plan cache
+    with PERF.collecting() as registry:
+        cold_scheduler.plan_job(sibling, stype, release=0)
+        counters = dict(registry.counters)
+    assert counters.get("flow.plan_cache_misses") == 2
+
+    for warm_manager, cold_manager in zip(warm_scheduler.managers,
+                                          cold_scheduler.managers):
+        assert warm_manager.domain == cold_manager.domain
+        assert strategy_snapshot(
+            warm_manager.strategies["sibling"]) == strategy_snapshot(
+            cold_manager.strategies["sibling"])
 
 
 def test_commit_conflict_rejects_without_retries():

@@ -13,6 +13,7 @@ from repro.perf import (
     measure_speedup,
     run_kernel_bench,
 )
+from repro.perf.bench import PLAN_CACHE_FLOORS, check_plan_floors
 
 
 def make_report(**seconds):
@@ -29,7 +30,7 @@ def test_run_kernel_bench_report_shape():
     assert report["schema"] == BENCH_SCHEMA_VERSION
     assert set(report["workloads"]) == {
         "study_fig3a", "critical_works_fig2", "calendar_ops",
-        "strategy_generation", "online_sim"}
+        "strategy_generation", "online_sim", "online_large"}
     for entry in report["workloads"].values():
         assert entry["seconds"] > 0
     assert report["counters"]["dp.expansions"] > 0
@@ -38,6 +39,10 @@ def test_run_kernel_bench_report_shape():
     assert report["caches"]["dp.fit_cache"]["hits"] > 0
     assert 0.0 <= report["caches"]["dp.fit_cache"]["hit_rate"] <= 1.0
     assert "flow.plan_cache" in report["caches"]
+    # The plan-reuse scenario must clear its own strict floor in-tree.
+    large = report["context"]["online_large"]["flow.plan_cache"]
+    assert large["reuse_rate"] >= PLAN_CACHE_FLOORS["online_large"]
+    assert check_plan_floors(report) == []
     json.dumps(report)  # must be JSON-serializable as-is
 
 
@@ -85,32 +90,70 @@ def test_measure_speedup_geometric_mean():
     assert measure_speedup(make_report(), make_report()) is None
 
 
+def floor_report(rate, workload="online_large"):
+    return {"context": {workload: {"flow.plan_cache": {"reuse_rate": rate}}}}
+
+
+def test_check_plan_floors_flags_low_reuse():
+    floor = PLAN_CACHE_FLOORS["online_large"]
+    assert check_plan_floors(floor_report(floor)) == []
+    failures = check_plan_floors(floor_report(floor - 0.01))
+    assert len(failures) == 1
+    assert "online_large" in failures[0] and "floor" in failures[0]
+
+
+def test_check_plan_floors_skips_workloads_that_did_not_run():
+    assert check_plan_floors({"context": {}}) == []
+    assert check_plan_floors({}) == []
+    # A non-floored workload's context never trips the gate.
+    assert check_plan_floors(floor_report(0.0, workload="calendar_ops")) == []
+
+
+def test_cli_strict_skips_floors_for_micro_workloads(capsys):
+    """--strict on workloads without a plan cache exits clean: the
+    floors gate only workloads that actually ran."""
+    assert main(["perf", "--repeats", "1", "--strict",
+                 "--workloads", "calendar_ops"]) == 0
+    capsys.readouterr()
+
+
 def test_committed_baseline_is_comparable():
     """The committed BENCH_kernel.json stays loadable and schema-current."""
     path = Path(__file__).parents[2] / "benchmarks" / "BENCH_kernel.json"
     baseline = json.loads(path.read_text(encoding="utf-8"))
     assert baseline["schema"] == BENCH_SCHEMA_VERSION
     rows = compare_reports(baseline, baseline)
-    assert len(rows) == 5
+    assert len(rows) == 6
     assert not any(row["regressed"] for row in rows)
     assert baseline["geometric_mean_speedup_vs_reference"] > 1.0
-    # The acceptance scenarios of the shared SchedulingContext must
-    # stay recorded at a >= 1.3x geometric-mean speedup over the
-    # pre-refactor reference (commit 64886cf, same machine).
+    # The online flow scenarios must stay recorded at a >= 1.5x
+    # geometric-mean speedup over the pre-plan-reuse reference (commit
+    # 012a1a3, same machine, paired alternating runs): the semantic
+    # plan keys turn the template-skewed flash crowd from per-arrival
+    # replanning into cache service.
     reference = baseline["reference"]["workloads"]
     product = 1.0
-    for name in ("strategy_generation", "online_sim"):
+    for name in ("online_sim", "online_large"):
         product *= (reference[name]["seconds"]
                     / baseline["workloads"][name]["seconds"])
-    assert product ** 0.5 >= 1.3
+    assert product ** 0.5 >= 1.5
     assert baseline["caches"]["dp.fit_cache"]["hits"] > 0
     # The unified context stats ride along in the committed report:
     # every context cache, with policy/entries/eviction structure.
     assert set(baseline["context"]) == {
-        "critical_works_fig2", "strategy_generation", "online_sim"}
+        "critical_works_fig2", "strategy_generation", "online_sim",
+        "online_large"}
     online = baseline["context"]["online_sim"]
-    assert online["flow.plan_cache"]["policy"] == "lru"
+    assert online["flow.plan_cache"]["policy"] == "two-tier-lru"
     assert online["flow.plan_cache"]["hits"] >= 32  # PR 4 warm baseline
+    # The plan-reuse scenario clears its strict floor in the committed
+    # report, with most reads served as exact hits.
+    large = baseline["context"]["online_large"]["flow.plan_cache"]
+    assert large["reuse_rate"] >= PLAN_CACHE_FLOORS["online_large"]
+    reads = large["hits"] + large["repairs"] + large["misses"]
+    assert large["hits"] > 0.5 * reads
+    assert large["rebinds"] > 0  # template siblings rebind exact hits
+    assert check_plan_floors(baseline) == []
     # The batch placement kernel ran and the plan cache is alive in the
     # recorded online scenario.
     assert baseline["counters"]["placement.batch_queries"] > 0

@@ -1,0 +1,133 @@
+"""Property-based tests for the job's semantic plan keys.
+
+``shape_hash`` must be an isomorphism invariant (stable under task and
+transfer relabelling and sibling reordering, sensitive to anything
+generation reads); ``structural_hash`` must pin the labelled structure
+exactly while ignoring the job's name and owner.  These invariants are
+what make the flow layer's plan cache sound: the skeleton tier groups
+by shape, the concrete tier reuses bit-identically by structure.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import DataTransfer, Job, Task
+from repro.workload.generator import generate_job
+
+seeds = st.integers(0, 10**6)
+
+
+def random_job(seed):
+    return generate_job(np.random.default_rng(seed), seed)
+
+
+def relabeled(job, seed, rename=True):
+    """An isomorphic copy: renamed ids, permuted insertion order."""
+    rng = np.random.default_rng(seed)
+    task_ids = list(job.tasks)
+    mapping = {tid: (f"X{position}" if rename else tid)
+               for position, tid in enumerate(task_ids)}
+    task_order = [task_ids[i] for i in rng.permutation(len(task_ids))]
+    tasks = [Task(mapping[tid], volume=job.task(tid).volume,
+                  best_time=job.task(tid).best_time,
+                  worst_time=job.task(tid).worst_time)
+             for tid in task_order]
+    edge_order = [job.transfers[i]
+                  for i in rng.permutation(len(job.transfers))]
+    transfers = [DataTransfer(f"Y{position}" if rename else t.transfer_id,
+                              mapping[t.src], mapping[t.dst],
+                              volume=t.volume, base_time=t.base_time)
+                 for position, t in enumerate(edge_order)]
+    return Job("renamed", tasks, transfers, deadline=job.deadline,
+               owner="someone-else")
+
+
+@given(seeds, seeds)
+@settings(max_examples=50)
+def test_shape_hash_is_isomorphism_invariant(seed, shuffle):
+    job = random_job(seed)
+    assert relabeled(job, shuffle).shape_hash == job.shape_hash
+
+
+@given(seeds, seeds)
+@settings(max_examples=50)
+def test_structural_hash_ignores_only_name_and_owner(seed, shuffle):
+    job = random_job(seed)
+    twin = Job("other-name", list(job.tasks.values()), job.transfers,
+               deadline=job.deadline, owner="other-owner")
+    assert twin.structural_hash == job.structural_hash
+    # Renaming tasks is visible to generation (tie-breaks read labels),
+    # so it must change the structural key even though the shape holds.
+    renamed = relabeled(job, shuffle)
+    assert renamed.structural_hash != job.structural_hash
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_structural_equality_implies_shape_equality(seed):
+    job = random_job(seed)
+    twin = Job("sibling", list(job.tasks.values()), job.transfers,
+               deadline=job.deadline, owner="someone-else")
+    assert twin.structural_hash == job.structural_hash
+    assert twin.shape_hash == job.shape_hash
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_shape_hash_tracks_estimations_and_deadline(seed):
+    job = random_job(seed)
+    tasks = list(job.tasks.values())
+    bumped = [Task(t.task_id, volume=t.volume + 1.0, best_time=t.best_time,
+                   worst_time=t.worst_time) if position == 0 else t
+              for position, t in enumerate(tasks)]
+    assert Job(job.job_id, bumped, job.transfers, deadline=job.deadline,
+               owner=job.owner).shape_hash != job.shape_hash
+    assert Job(job.job_id, tasks, job.transfers, deadline=job.deadline + 1,
+               owner=job.owner).shape_hash != job.shape_hash
+
+
+def test_shape_hash_separates_chain_from_fork():
+    """Same task multiset, same edge labels, different wiring: the WL
+    refinement must tell a chain from a fork."""
+
+    def uniform_tasks():
+        return [Task(tid, volume=10.0, best_time=2, worst_time=3)
+                for tid in ("A", "B", "C")]
+
+    def edge(eid, src, dst):
+        return DataTransfer(eid, src, dst, volume=1.0, base_time=1)
+
+    chain = Job("chain", uniform_tasks(),
+                [edge("D1", "A", "B"), edge("D2", "B", "C")], deadline=20)
+    fork = Job("fork", uniform_tasks(),
+               [edge("D1", "A", "B"), edge("D2", "A", "C")], deadline=20)
+    assert chain.shape_hash != fork.shape_hash
+
+
+def test_shape_hash_separates_edge_orientation():
+    """Reversing an edge changes the isomorphism class even though the
+    underlying undirected graph is unchanged."""
+    tasks = [Task(tid, volume=10.0, best_time=2, worst_time=3)
+             for tid in ("A", "B")]
+    forward = Job("f", tasks,
+                  [DataTransfer("D1", "A", "B", volume=2.0, base_time=1)],
+                  deadline=20)
+    tasks_swapped = [Task(tid, volume=10.0, best_time=2, worst_time=3)
+                     for tid in ("A", "B")]
+    backward = Job("b", tasks_swapped,
+                   [DataTransfer("D1", "B", "A", volume=2.0, base_time=1)],
+                   deadline=20)
+    assert forward.shape_hash == backward.shape_hash  # isomorphic swap
+    wider = [Task(tid, volume=10.0, best_time=2, worst_time=3)
+             for tid in ("A", "B", "C")]
+    vee = Job("v", wider,
+              [DataTransfer("D1", "A", "B", volume=2.0, base_time=1),
+               DataTransfer("D2", "C", "B", volume=2.0, base_time=1)],
+              deadline=20)
+    wedge = Job("w", [Task(tid, volume=10.0, best_time=2, worst_time=3)
+                      for tid in ("A", "B", "C")],
+                [DataTransfer("D1", "B", "A", volume=2.0, base_time=1),
+                 DataTransfer("D2", "B", "C", volume=2.0, base_time=1)],
+                deadline=20)
+    assert vee.shape_hash != wedge.shape_hash

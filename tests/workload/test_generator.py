@@ -9,6 +9,7 @@ from repro.workload.generator import (
     generate_job,
     generate_pool,
     generate_workload,
+    template_workload_factory,
 )
 
 
@@ -94,6 +95,38 @@ def test_generate_pool_type_ranks_follow_performance():
     ranked = sorted(pool, key=lambda n: n.type_index)
     performances = [n.performance for n in ranked]
     assert performances == sorted(performances, reverse=True)
+
+
+def test_template_factory_validates_weights():
+    with pytest.raises(ValueError):
+        template_workload_factory(())
+    with pytest.raises(ValueError):
+        template_workload_factory((0.5, 0.0))
+
+
+def test_template_factory_clones_share_semantic_keys():
+    """Arrivals drawn from one template are structural siblings under
+    fresh job ids — exactly the identity the plan cache reuses across."""
+    factory = template_workload_factory((1.0,))
+    a = factory(np.random.default_rng(0), 0)
+    b = factory(np.random.default_rng(1), 1)
+    assert (a.job_id, b.job_id) == ("job0", "job1")
+    assert a.structural_hash == b.structural_hash
+    assert a.shape_hash == b.shape_hash
+
+
+def test_template_factory_is_deterministic_and_skewed():
+    weights = (0.7, 0.3)
+    factory = template_workload_factory(weights)
+    again = template_workload_factory(weights)
+    draws = {}
+    for index in range(200):
+        job = factory(np.random.default_rng(index), index)
+        twin = again(np.random.default_rng(index), index)
+        assert job.structural_hash == twin.structural_hash
+        draws[job.structural_hash] = draws.get(job.structural_hash, 0) + 1
+    assert len(draws) == 2  # both templates appear ...
+    assert max(draws.values()) > 0.5 * sum(draws.values())  # ... skewed
 
 
 def test_jobs_have_positive_volumes_and_times():
