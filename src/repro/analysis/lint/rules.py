@@ -127,6 +127,29 @@ _BLOCKING_PREFIXES = ("subprocess.", "requests.", "shutil.")
 #: Counter-name suffixes reserved for context-owned caches (REP011).
 _PAIRED_SUFFIXES = ("_hits", "_misses", "_evictions")
 
+#: Attribute names holding per-shard collections (REP007/REP008): a
+#: subscript into one of these selects ONE shard's private state
+#: (its planner, context, replica calendars).  Mutating or cache-reading
+#: through such a subscript outside the merge/arbitration seam is how
+#: shard isolation silently breaks.
+_SHARD_COLLECTIONS = frozenset({
+    "shards", "planners", "shard_planners", "replicas",
+    "shard_contexts",
+})
+
+#: Mutating method names for the shard-crossing check (REP007): the
+#: container mutators plus the domain mutators of calendars, plan
+#: caches, and perf registries.
+_SHARD_MUTATOR_METHODS = _MUTATOR_METHODS | frozenset({
+    "reserve", "release", "release_tag", "release_prefix",
+    "store", "store_coarse", "incr", "adopt", "merge",
+})
+
+#: Function-name substrings that mark the sanctioned seam (REP007/
+#: REP008): commit/merge/arbitration/sync functions own cross-shard
+#: state by design.
+_SHARD_SEAM_TOKENS = ("commit", "merge", "arbitrat", "sync", "seam")
+
 
 # ---------------------------------------------------------------------------
 # Small helpers
@@ -395,15 +418,84 @@ def check_stray_cache(model: ModuleModel) -> Iterator[LintViolation]:
 # REP007 shared-mutable-state
 # ---------------------------------------------------------------------------
 
+def _shard_subscript_base(expr: ast.expr) -> Optional[str]:
+    """Shard-collection name a receiver chain subscripts, if any.
+
+    ``self.planners[i].context.plans`` → ``"planners"``; chains that
+    never index a :data:`_SHARD_COLLECTIONS` attribute return None.
+    """
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        if isinstance(expr, ast.Subscript):
+            base = expr.value
+            if isinstance(base, ast.Attribute) and \
+                    base.attr in _SHARD_COLLECTIONS:
+                return base.attr
+            if isinstance(base, ast.Name) and \
+                    base.id in _SHARD_COLLECTIONS:
+                return base.id
+            expr = base
+        else:
+            expr = expr.value
+    return None
+
+
+def _in_shard_seam(model: ModuleModel, node: ast.AST) -> bool:
+    """True inside a function whose name marks the sanctioned seam."""
+    function = model.enclosing_function(node)
+    if function is None:
+        return False
+    # Lambdas are anonymous: never a seam by name.
+    name = getattr(function, "name", "").lower()
+    return any(token in name for token in _SHARD_SEAM_TOKENS)
+
+
 @rule("REP007", "shared-mutable-state", Severity.ERROR,
       "module/class-level mutable state mutated from function scope "
-      "breaks process-pool shareability",
+      "breaks process-pool shareability; shard-owned state mutated "
+      "outside the merge/arbitration seam breaks shard isolation",
       marker="shared-state", scope="repro/core/ and repro/flow/ packages")
 def check_shared_mutable_state(model: ModuleModel
                                ) -> Iterator[LintViolation]:
     if not model.in_packages(("core", "flow"), require_repro=True):
         return
     module_scope = model.symbols.module_scope
+
+    # Shard-isolation pass: state selected through a per-shard
+    # collection subscript (``planners[i].context...``, ``replicas[s]
+    # ...``) is one shard's private world; mutating it from a function
+    # outside the commit/merge/arbitration/sync seam means two shards
+    # can observe each other mid-window — the exact coupling the
+    # sharded engine's bit-identity depends on never happening.
+    def crossing(node: ast.AST, collection: str, how: str
+                 ) -> LintViolation:
+        return _finding(
+            model, node, "REP007", "shared-mutable-state", Severity.ERROR,
+            f"{how} shard-owned state through `{collection}[...]` "
+            f"outside the merge/arbitration seam; shards must stay "
+            f"isolated between merges — move this into a function "
+            f"named for the seam ({', '.join(_SHARD_SEAM_TOKENS)}) or "
+            f"mark `# lint: shared-state` with a justification")
+
+    for node in ast.walk(model.tree):
+        if model.enclosing_function(node) is None \
+                or _in_shard_seam(model, node):
+            continue
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _SHARD_MUTATOR_METHODS:
+            collection = _shard_subscript_base(node.func.value)
+            if collection is not None:
+                yield crossing(node, collection,
+                               f"mutating call `.{node.func.attr}(...)` on")
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            shard_targets = (node.targets if not isinstance(
+                node, ast.AugAssign) else [node.target])
+            for target in shard_targets:
+                if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                    continue
+                collection = _shard_subscript_base(target)
+                if collection is not None:
+                    yield crossing(node, collection, "write to")
 
     # Pass A: module-level mutable declarations (containers + cursors).
     containers: dict = {}
@@ -557,7 +649,8 @@ def check_shared_mutable_state(model: ModuleModel
 
 @rule("REP008", "unguarded-cache-read", Severity.ERROR,
       "read of a version-keyed context cache in a function that never "
-      "touches a calendar version or epoch",
+      "touches a calendar version or epoch; cache reads crossing into "
+      "another shard's context outside the merge/arbitration seam",
       marker="epoch-keyed", scope="repro/core/ and repro/flow/ packages")
 def check_unguarded_cache_read(model: ModuleModel
                                ) -> Iterator[LintViolation]:
@@ -595,6 +688,24 @@ def check_unguarded_cache_read(model: ModuleModel
                 node.func.attr in _CACHE_READ_METHODS:
             cache_name = is_versioned_cache(node.func.value)
             site = node
+            # Shard-isolation extension: a cache read whose receiver
+            # chain subscripts a per-shard collection reaches into one
+            # shard's private caches; outside the merge/arbitration
+            # seam that lets one shard's planning observe another's
+            # session state mid-window.
+            crossed = _shard_subscript_base(node.func.value)
+            if crossed is not None and not _in_shard_seam(model, node):
+                yield _finding(
+                    model, node, "REP008", "unguarded-cache-read",
+                    Severity.ERROR,
+                    f"cross-shard cache read `.{node.func.attr}(...)` "
+                    f"through `{crossed}[...]` outside the "
+                    f"merge/arbitration seam; a shard may only consult "
+                    f"its own context between merges — route this "
+                    f"through a seam function "
+                    f"({', '.join(_SHARD_SEAM_TOKENS)}) or mark "
+                    f"`# lint: epoch-keyed` with a justification")
+                continue
         elif isinstance(node, ast.Subscript) and \
                 isinstance(node.ctx, ast.Load):
             cache_name = is_versioned_cache(node.value)

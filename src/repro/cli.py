@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="timing repetitions per workload (best-of)")
     perf.add_argument("--workers", type=int, default=1, metavar="N",
                       help="worker processes for the study workload")
+    perf.add_argument("--shards", type=int, default=4, metavar="N",
+                      help="shard count for the online_sharded workload "
+                           "(its shards=1 baseline and the resulting "
+                           "speedup are measured in the same report)")
     perf.add_argument("--json", metavar="PATH", default=None,
                       help="write the benchmark report as JSON to PATH")
     perf.add_argument("--compare", metavar="BASELINE", default=None,
@@ -200,7 +204,8 @@ def _run_perf(args: argparse.Namespace) -> int:
     report = run_kernel_bench(jobs=args.jobs, seed=args.seed,
                               repeats=args.repeats,
                               workers=args.workers or None,
-                              workloads=args.workloads)
+                              workloads=args.workloads,
+                              shards=args.shards)
     print(json.dumps(report, indent=2))
 
     if args.json is not None:
@@ -248,7 +253,8 @@ def _profile_workload(args: argparse.Namespace) -> int:
     profiler = cProfile.Profile()
     profiler.enable()
     run_kernel_bench(jobs=args.jobs, seed=args.seed, repeats=1,
-                     workers=args.workers or None, workloads=[name])
+                     workers=args.workers or None, workloads=[name],
+                     shards=args.shards)
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(25)

@@ -72,7 +72,7 @@ if TYPE_CHECKING:  # imports that would be circular at runtime
     from .strategy import Strategy, StrategyType
 
 __all__ = ["LruCache", "PlanCache", "SchedulingContext", "Scheduler",
-           "CONTEXT_CACHE_NAMES"]
+           "CONTEXT_CACHE_NAMES", "merged_context_stats"]
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -91,6 +91,10 @@ DEFAULT_PLAN_CAPACITY = 4096
 DEFAULT_PLAN_VARIANTS = 8
 #: Distinct job structures whose per-job caches are retained.
 DEFAULT_STRUCT_CAPACITY = 4096
+#: Coarse warm-start seeds retained by the plan cache — one freshest
+#: strategy per (family, domain, pool signature), so the footprint is
+#: tiny even with generous headroom.
+DEFAULT_COARSE_CAPACITY = 512
 
 #: Every cache (or counter pair) the context owns, as reported by
 #: :meth:`SchedulingContext.stats`.  The orphan audit in
@@ -106,6 +110,7 @@ CONTEXT_CACHE_NAMES: Tuple[str, ...] = (
     "critical_works.rank_cache",
     "job.paths_cache",
     "flow.plan_cache",
+    "flow.plan_coarse",
 )
 
 
@@ -175,6 +180,9 @@ _FitKey = Tuple[int, int, int, int]
 _SkeletonKey = Tuple[str, "StrategyType", str]
 #: Concrete-variant key: (structural hash, release, domain epoch slice).
 _VariantKey = Tuple[str, int, Tuple[int, ...]]
+#: Coarse-seed key: (strategy family, domain, pool signature) — no job
+#: content at all, so unique-shape arrivals still find a warm start.
+_CoarseKey = Tuple["StrategyType", str, Tuple[int, ...]]
 
 
 class PlanCache:
@@ -207,20 +215,38 @@ class PlanCache:
     sharing concrete placements — label-sensitive tie-breaks in
     generation make cross-label reuse unsound, so exact reuse and
     repair seeds are always gated on the structural hash.
+
+    Below both graded tiers sits a *coarse* seed tier
+    (:meth:`coarse_seed` / :meth:`store_coarse`): the freshest
+    strategy generated per (family, domain, pool-signature) key,
+    regardless of job shape.  When even the shape hash misses — the
+    all-unique-jobs regime, where every arrival is its own shape —
+    the coarse seed's per-level node assignments still warm-start the
+    DP.  Seeds only ever *hint* the warm start (hints that no longer
+    fit are ignored by exact pruning), so coarse-seeded generation is
+    bit-identical to a cold one; only the work saved differs.
     """
 
-    __slots__ = ("variant_capacity", "variant_evictions", "_skeletons")
+    __slots__ = ("variant_capacity", "variant_evictions", "_skeletons",
+                 "coarse_capacity", "coarse_evictions", "_coarse")
 
     def __init__(self, name: str, capacity: int,
-                 variant_capacity: int = DEFAULT_PLAN_VARIANTS) -> None:
+                 variant_capacity: int = DEFAULT_PLAN_VARIANTS,
+                 coarse_capacity: int = DEFAULT_COARSE_CAPACITY) -> None:
         if variant_capacity < 1:
             raise ValueError(
                 f"variant_capacity must be positive, got {variant_capacity}")
+        if coarse_capacity < 1:
+            raise ValueError(
+                f"coarse_capacity must be positive, got {coarse_capacity}")
         self.variant_capacity = variant_capacity
         self.variant_evictions = 0
+        self.coarse_capacity = coarse_capacity
+        self.coarse_evictions = 0
         self._skeletons: LruCache[
             _SkeletonKey, "OrderedDict[_VariantKey, Strategy]"] = LruCache(
                 name, capacity)
+        self._coarse: "OrderedDict[_CoarseKey, Strategy]" = OrderedDict()
 
     @property
     def name(self) -> str:
@@ -289,6 +315,38 @@ class PlanCache:
                 # lint: counter-ok — fixed per-cache name, pairs registered
                 PERF.incr(f"{self.name}_evictions")
 
+    def coarse_seed(self, stype: "StrategyType", domain: str,
+                    pool_signature: Tuple[int, ...]
+                    ) -> Optional["Strategy"]:
+        """The freshest strategy seen for this (family, domain, pool).
+
+        The fallback seed when the shape hash itself misses: any prior
+        strategy over the same nodes carries per-level node assignments
+        worth hinting the warm-started DP with.  Like
+        :meth:`repair_seed` output, the strategy is only fit to seed —
+        never to be served.  Callers count hits/misses.
+        """
+        key = (stype, domain, pool_signature)
+        strategy = self._coarse.get(key)
+        if strategy is not None:
+            self._coarse.move_to_end(key)
+        return strategy
+
+    def store_coarse(self, stype: "StrategyType", domain: str,
+                     pool_signature: Tuple[int, ...],
+                     strategy: "Strategy") -> None:
+        """Retain the freshest strategy for this (family, domain, pool)."""
+        key = (stype, domain, pool_signature)
+        self._coarse[key] = strategy
+        self._coarse.move_to_end(key)
+        if len(self._coarse) > self.coarse_capacity:
+            self._coarse.popitem(last=False)
+            self.coarse_evictions += 1
+
+    def coarse_count(self) -> int:
+        """Coarse warm-start seeds currently retained."""
+        return len(self._coarse)
+
     def __len__(self) -> int:
         """Concrete variants retained across every skeleton."""
         return sum(len(variants) for variants in self._skeletons.values())
@@ -298,8 +356,9 @@ class PlanCache:
         return len(self._skeletons)
 
     def clear(self) -> None:
-        """Drop every skeleton and variant (not counted as churn)."""
+        """Drop every skeleton, variant, and coarse seed (not churn)."""
         self._skeletons.clear()
+        self._coarse.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<PlanCache {self.name}: {len(self)} variants in "
@@ -600,6 +659,14 @@ class SchedulingContext:
                   / reads, 4)
             if reads else 0.0)
         out[self.plans.name] = plan_stats
+        # The coarse seed tier below the plan cache: consulted only on
+        # cold misses (no exact variant, no same-structure repair seed),
+        # so hits + misses here equals the plan cache's miss count.
+        out["flow.plan_coarse"] = pair(
+            "flow.plan_coarse", policy="coarse-seed",
+            entries=self.plans.coarse_count(),
+            capacity=self.plans.coarse_capacity,
+            evictions=self.plans.coarse_evictions)
 
         sizes = {"transfer": 0, "duration": 0, "matrix": 0, "rank": 0,
                  "paths": 0}
@@ -651,6 +718,40 @@ class Scheduler(Protocol):
         ``calendars`` (not mutated), optionally through a shared
         ``context``."""
         ...  # pragma: no cover - protocol
+
+
+#: ``stats()`` keys that describe a context's own storage — summed
+#: across shards by :func:`merged_context_stats`.  Everything else in a
+#: stats entry derives from the (process-global) perf counters and must
+#: be read once, not once per shard.
+_STRUCTURAL_STAT_KEYS = ("entries", "capacity", "evictions", "skeletons",
+                         "structs")
+
+
+def merged_context_stats(
+        contexts: Sequence[SchedulingContext],
+        counters: Optional[Mapping[str, int]] = None
+        ) -> Dict[str, Dict[str, object]]:
+    """One ``stats()`` view over the per-shard contexts of a sharded run.
+
+    Hit/miss/repair numbers come from the perf counter snapshot, which
+    already aggregates every shard (workers fold their deltas into the
+    parent registry), so they are taken from a single :meth:`~
+    SchedulingContext.stats` call — reading them per shard would
+    multiply-count.  Structural numbers (entries, capacities,
+    evictions, skeleton and struct counts) are per-context storage and
+    are summed across shards.
+    """
+    if not contexts:
+        raise ValueError("merged_context_stats needs at least one context")
+    merged = contexts[0].stats(counters)
+    for context in contexts[1:]:
+        for name, entry in context.stats({}).items():
+            base = merged.setdefault(name, {})
+            for key in _STRUCTURAL_STAT_KEYS:
+                if key in entry:
+                    base[key] = int(base.get(key, 0)) + int(entry[key])
+    return merged
 
 
 def _iter_caches(context: SchedulingContext) -> Iterator[str]:

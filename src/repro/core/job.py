@@ -278,6 +278,32 @@ class Job:
             self._shape_hash = value
         return value
 
+    def clone(self, job_id: str, owner: Optional[str] = None) -> "Job":
+        """An O(1) copy of this job under a new identity.
+
+        The task set, transfer list, dependency maps, topological order
+        and cached semantic keys are all immutable once construction
+        succeeded, so the clone *shares* them instead of re-validating
+        the DAG — the template-workload path clones one job per arrival
+        and must not pay O(tasks + edges) each time.  Only ``job_id``
+        and (optionally) ``owner`` differ; neither is covered by the
+        structural or shape hash, so sharing the cached hashes is
+        sound.
+        """
+        other = object.__new__(type(self))
+        other.job_id = job_id
+        other.tasks = self.tasks
+        other.transfers = self.transfers
+        other.deadline = self.deadline
+        other.owner = self.owner if owner is None else owner
+        other._succ = self._succ
+        other._pred = self._pred
+        other._transfer_by_edge = self._transfer_by_edge
+        other._topo_order = self._topo_order
+        other._structural_hash = self._structural_hash
+        other._shape_hash = self._shape_hash
+        return other
+
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------

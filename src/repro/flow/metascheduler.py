@@ -11,7 +11,7 @@ schedules (the dynamic reallocation mechanism) before re-planning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.context import SchedulingContext
 from ..core.job import Job
@@ -19,9 +19,9 @@ from ..core.strategy import Strategy, StrategyType, SupportingSchedule
 from ..grid.environment import GridEnvironment
 from ..local.manager import LocalResourceManager, RequestRefused
 from ..local.request import ResourceRequest
-from ..perf import PERF
 from .economics import InsufficientBudget, VOEconomics
 from .manager import JobManager
+from .sharding import plan_with_cache
 
 __all__ = ["FlowRecord", "PlannedDispatch", "Metascheduler"]
 
@@ -60,6 +60,11 @@ class PlannedDispatch:
     release: int
     manager: Optional["JobManager"]
     strategy: Optional[Strategy]
+    #: The manager subset the job was planned against (None = the whole
+    #: VO).  Sharded lanes route each job to its shard's managers;
+    #: conflict replans must compete over the same subset, or a retry
+    #: could silently widen a job's shard.
+    candidates: Optional[tuple["JobManager", ...]] = None
 
 
 class Metascheduler:
@@ -171,77 +176,37 @@ class Metascheduler:
 
     def _plan_for(self, manager: JobManager, job: Job, stype: StrategyType,
                   release: int, calendars) -> Strategy:
-        """Plan through the two-tier semantic plan cache.
+        """Plan through the graded semantic plan cache.
 
-        Reads resolve in three grades, counted separately:
-
-        * **exact hit** (``flow.plan_cache_hits``) — a variant with the
-          same structural hash, the same release, and an unchanged
-          epoch slice over the domain's nodes exists; generation inputs
-          are byte-identical, so the strategy is served outright
-          (rebound to this job's id when it was generated for a
-          template sibling — ``flow.plan_rebinds``);
-        * **warm repair** (``flow.plan_repairs``) — a same-structure
-          variant exists but its release/epochs drifted; its per-level
-          assignments seed a warm-started regeneration that re-searches
-          only what no longer fits, bit-identical to a cold replan;
-        * **cold miss** (``flow.plan_cache_misses``) — no same-structure
-          variant; generate from scratch.
-
-        Freshly generated strategies are stored under their
-        (shape, structure, release, epoch-slice) key; the skeleton LRU
-        evicts the coldest shape/family/domain when full.
+        Delegates to :func:`repro.flow.sharding.plan_with_cache` — the
+        one implementation of the exact-hit → warm-repair →
+        coarse-seed → cold-miss ladder shared with the shard planners.
+        The grid stays the epoch authority here (snapshot calendars
+        share the same content versions, so either source is exact).
         """
-        shape_hash = job.shape_hash
-        structural_hash = job.structural_hash
         epochs = self.grid.epoch_slice(manager.pool.node_ids())
-        plans = self.context.plans
-        cached = plans.lookup(shape_hash, structural_hash, stype,
-                              manager.domain, release, epochs)
-        if cached is not None:
-            if PERF.enabled:
-                PERF.incr("flow.plan_cache_hits")
-            strategy = cached.rebind(job)
-            if strategy is not cached:
-                # Served across template siblings: same structure, same
-                # epochs — only the recorded job identity differs.
-                if PERF.enabled:
-                    PERF.incr("flow.plan_rebinds")
-                plans.store(shape_hash, structural_hash, stype,
-                            manager.domain, release, epochs, strategy)
-            # Keep the manager's retention behaviour identical to a
-            # fresh plan() call.
-            manager.strategies[job.job_id] = strategy
-            return strategy
-        seed = plans.repair_seed(shape_hash, structural_hash, stype,
-                                 manager.domain)
-        if seed is not None:
-            if PERF.enabled:
-                PERF.incr("flow.plan_repairs")
-            seed_hints = seed.level_hints()
-        else:
-            if PERF.enabled:
-                PERF.incr("flow.plan_cache_misses")
-            seed_hints = None
-        strategy = manager.plan(job, calendars, stype, release=release,
-                                seed_hints=seed_hints)
-        plans.store(shape_hash, structural_hash, stype, manager.domain,
-                    release, epochs, strategy)
-        return strategy
+        return plan_with_cache(manager, job, stype, release, calendars,
+                               self.context.plans, epochs=epochs)
 
-    def plan_job(self, job: Job, stype: StrategyType,
-                 release: int) -> PlannedDispatch:
+    def plan_job(self, job: Job, stype: StrategyType, release: int,
+                 managers: Optional[Sequence[JobManager]] = None
+                 ) -> PlannedDispatch:
         """Phase one of dispatch: plan on every domain, pick the cheapest.
 
         Nothing is booked; the returned :class:`PlannedDispatch` can be
         committed later with :meth:`commit_planned`.  Plans go through
         the epoch-keyed cache, so re-planning the same job against
-        unchanged domain calendars is free.
+        unchanged domain calendars is free.  ``managers`` restricts the
+        offer competition to a subset (a shard's managers — the DES
+        lane's in-process sharding); the default competes over the
+        whole VO, and the restriction is remembered on the dispatch so
+        conflict replans stay inside the same shard.
         """
         calendars = self.grid.snapshot()
+        candidates = self.managers if managers is None else list(managers)
         best: Optional[tuple[JobManager, Strategy]] = None
         best_cost = float("inf")
-        for manager in self.managers:
+        for manager in candidates:
             strategy = self._plan_for(manager, job, stype, release,
                                       calendars)
             chosen = strategy.best_schedule()
@@ -250,9 +215,12 @@ class Metascheduler:
             if chosen.outcome.cost < best_cost:
                 best = (manager, strategy)
                 best_cost = chosen.outcome.cost
+        restriction = None if managers is None else tuple(managers)
         if best is None:
-            return PlannedDispatch(job, stype, release, None, None)
-        return PlannedDispatch(job, stype, release, best[0], best[1])
+            return PlannedDispatch(job, stype, release, None, None,
+                                   candidates=restriction)
+        return PlannedDispatch(job, stype, release, best[0], best[1],
+                               candidates=restriction)
 
     def commit_planned(self, planned: PlannedDispatch) -> FlowRecord:
         """Phase two of dispatch: commit a previously planned job.
@@ -284,7 +252,8 @@ class Metascheduler:
             # the entry stored when this job was first planned seeds a
             # warm regeneration instead of a cold replan.
             retries += 1
-            replanned = self.plan_job(job, stype, planned.release)
+            replanned = self.plan_job(job, stype, planned.release,
+                                      managers=planned.candidates)
             if replanned.manager is None:
                 return FlowRecord(job_id=job.job_id, stype=stype,
                                   domain=None, strategy=None, chosen=None,

@@ -77,6 +77,10 @@ class _NodeIntervalIndex:
             self._starts[node_id] = [start for start, _ in spans]
             self._max_ends[node_id] = max_ends
 
+    def nodes(self) -> Sequence[int]:
+        """Node ids this distribution places work on."""
+        return tuple(self._starts)
+
     def clashes(self, event: BackgroundEvent,
                 executed_before: Optional[int] = None) -> bool:
         """Equivalent of ``invalidates(event, distribution, ...)``."""
@@ -120,11 +124,13 @@ def strategy_time_to_live(strategy: Strategy,
     The cheapest admissible variant covering ``min_level`` (the
     environment's forecast estimation level — a variant planned below it
     reserves too little to be usable) is activated first.  The replay
-    maintains the *alive* set incrementally: each arriving event is
-    checked against every still-alive variant through its per-node
-    interval index, so the set always equals the variants consistent
-    with the full history and a fallback switch never rescans past
-    events.  A switch is counted only when the *active* schedule dies.
+    maintains the *alive* set incrementally: variants are bucketed by
+    the nodes they place work on, so each arriving event only consults
+    the variants that actually touch its node (each in O(log
+    placements-on-node) through the per-node interval index), the set
+    always equals the variants consistent with the full history, and a
+    fallback switch never rescans past events.  A switch is counted
+    only when the *active* schedule dies.
 
     Events replay in deterministic order ``(arrival, node_id, start)``
     — simultaneous arrivals do not reorder across runs or platforms.
@@ -145,28 +151,40 @@ def strategy_time_to_live(strategy: Strategy,
                for schedule in alive}
     active = min(alive, key=lambda s: (s.outcome.cost, s.outcome.makespan))
 
+    # Bucket variants by the nodes they touch: an event can only kill
+    # the variants placing work on its node, so the replay visits those
+    # instead of the whole alive set (dead variants are tombstoned, and
+    # the rare fallback switch filters the original order-preserving
+    # list — min() then keeps the historical first-of-equals choice).
+    by_node: dict[int, list[SupportingSchedule]] = {}
+    for schedule in alive:
+        for node_id in indexes[id(schedule)].nodes():
+            by_node.setdefault(node_id, []).append(schedule)
+    dead: set[int] = set()
+    remaining = len(alive)
+
     switches = 0
     for event in sorted(events,
                         key=lambda e: (e.arrival, e.node_id, e.start)):
         if event.arrival >= horizon:
             break
         active_died = False
-        survivors = []
-        for candidate in alive:
+        for candidate in by_node.get(event.node_id, ()):
+            if id(candidate) in dead:
+                continue
             if indexes[id(candidate)].clashes(event):
+                dead.add(id(candidate))
+                remaining -= 1
                 if candidate is active:
                     active_died = True
-            else:
-                survivors.append(candidate)
-        alive = survivors
         if not active_died:
             continue
-        if not alive:
+        if not remaining:
             return TimeToLiveResult(ttl=event.arrival, survived=False,
                                     switches=switches, final=None)
         # Prefer the cheapest surviving variant, like the initial choice.
-        active = min(alive, key=lambda s: (s.outcome.cost,
-                                           s.outcome.makespan))
+        active = min((s for s in alive if id(s) not in dead),
+                     key=lambda s: (s.outcome.cost, s.outcome.makespan))
         switches += 1
 
     return TimeToLiveResult(ttl=horizon, survived=True, switches=switches,

@@ -79,6 +79,17 @@ class OnlineConfig:
     #: context caches).  Strictly a cache-warming policy: outcomes are
     #: bit-identical either way.
     speculate: bool = False
+    #: Domain shards for the in-process concurrent lane.  With the
+    #: default 1, every arrival competes over the whole VO (the
+    #: historical behaviour, bit for bit).  With ``shards > 1`` the
+    #: VO's domains are partitioned (:func:`repro.flow.sharding.
+    #: partition_domains`) and arrival ``index`` is routed to shard
+    #: ``index % shards``: its offer competition — and any conflict
+    #: replans — stay inside that shard's managers, so per-arrival
+    #: planning cost scales down with the shard's domain count.  For
+    #: the process-parallel batch lane see
+    #: :class:`repro.flow.sharded.ShardedSimulation`.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -93,6 +104,8 @@ class OnlineConfig:
         if self.plan_latency < 0:
             raise ValueError(
                 f"plan_latency must be >= 0, got {self.plan_latency}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {self.shards}")
 
 
 @dataclass
@@ -157,6 +170,20 @@ class OnlineSimulation:
 
             job_factory = generate_job
         self._job_factory = job_factory
+        #: Per-shard manager groups for the in-process concurrent lane
+        #: (None when unsharded).  Managers are shared with the
+        #: metascheduler — routing only restricts each arrival's offer
+        #: competition; commits still serialize on the one grid.
+        self._shard_managers = None
+        if self.config.shards > 1:
+            from .sharding import partition_domains
+
+            partition = partition_domains(pool.domains(), self.config.shards)
+            by_domain = {manager.domain: manager
+                         for manager in self.metascheduler.managers}
+            self._shard_managers = [
+                tuple(by_domain[domain] for domain in group)
+                for group in partition]
 
     # ------------------------------------------------------------------
 
@@ -183,14 +210,18 @@ class OnlineSimulation:
                 return
             job = self._job_factory(self.streams.fork("jobs", index), index)
             stype = self.config.stypes[index % len(self.config.stypes)]
-            self._admit(job, stype)
+            self._admit(job, stype, index)
             index += 1
 
-    def _admit(self, job: Job, stype: StrategyType) -> None:
+    def _admit(self, job: Job, stype: StrategyType, index: int = 0) -> None:
         now = int(self.sim.now)
         latency = self.config.plan_latency
+        managers = None
+        if self._shard_managers is not None:
+            managers = self._shard_managers[index % len(self._shard_managers)]
         planned = self.metascheduler.plan_job(job, stype,
-                                              release=now + latency)
+                                              release=now + latency,
+                                              managers=managers)
         if latency:
             self._pending[job.job_id] = planned
             self.sim.process(self._deferred_commit(planned, now, latency))
@@ -250,7 +281,8 @@ class OnlineSimulation:
             if self._speculation_epochs.get(job_id) == epochs:
                 continue
             self.metascheduler.plan_job(planned.job, planned.stype,
-                                        planned.release)
+                                        planned.release,
+                                        managers=planned.candidates)
             self._speculation_epochs[job_id] = epochs
 
     # ------------------------------------------------------------------

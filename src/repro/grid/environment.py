@@ -97,15 +97,15 @@ class GridEnvironment:
             for p in distribution)
 
     def release_job(self, job_id: str) -> int:
-        """Drop every reservation of one job; returns the count."""
-        removed = 0
+        """Drop every reservation of one job; returns the count.
+
+        One :meth:`~repro.core.calendar.ReservationCalendar.
+        release_prefix` pass per calendar — releasing a k-task job from
+        an n-reservation calendar costs O(n), not O(k * n).
+        """
         prefix = f"{job_id}:"
-        for calendar in self.calendars.values():
-            for reservation in calendar.reservations:
-                if reservation.tag.startswith(prefix):
-                    calendar.release(reservation)
-                    removed += 1
-        return removed
+        return sum(calendar.release_prefix(prefix)
+                   for calendar in self.calendars.values())
 
     # ------------------------------------------------------------------
     # Background load

@@ -1,6 +1,6 @@
 """Pinned kernel benchmark: fixed workloads, JSON reports, comparison.
 
-``run_kernel_bench`` times six seeded, deterministic workloads that
+``run_kernel_bench`` times seven seeded, deterministic workloads that
 together cover the scheduling kernel's hot paths:
 
 ``study_fig3a``
@@ -25,6 +25,15 @@ together cover the scheduling kernel's hot paths:
     flow layer's semantic plan keys turn most commits into exact cache
     hits or warm repairs.  The strict perf gate floors this workload's
     ``flow.plan_cache`` reuse rate (``PLAN_CACHE_FLOORS``).
+``online_sharded``
+    The scale scenario: 10^5 template-mixed arrivals through the
+    domain-sharded batch engine
+    (:class:`~repro.flow.sharded.ShardedSimulation`) at the pinned
+    shard count (``--shards``, default 4) over a 12-domain pool.  The
+    same run is repeated once at ``shards=1`` and the entry records
+    ``baseline_shards1_seconds`` and ``speedup_vs_shards1`` — the
+    wall-clock payoff of planning each arrival against its own shard's
+    domains only.  Also floored by ``PLAN_CACHE_FLOORS``.
 
 The report also embeds a merged :class:`~repro.perf.registry.
 PerfRegistry` snapshot of one instrumented pass over every selected
@@ -78,15 +87,20 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
 
 #: Names of the pinned workloads, in report order.
 BENCH_WORKLOADS = ("study_fig3a", "critical_works_fig2", "calendar_ops",
-                   "strategy_generation", "online_sim", "online_large")
+                   "strategy_generation", "online_sim", "online_large",
+                   "online_sharded")
 
 #: Minimum ``flow.plan_cache`` reuse rate (exact hits + warm repairs
 #: over reads) per online workload, enforced by ``repro perf --strict``.
 #: ``online_large`` is the scenario semantic plan keys were built for —
 #: most commits must be served from the cache; ``online_sim`` draws
 #: unique jobs, so only conflict replans can reuse and the floor is a
-#: canary against the cache being disabled outright.
-PLAN_CACHE_FLOORS = {"online_large": 0.50, "online_sim": 0.05}
+#: canary against the cache being disabled outright.  ``online_sharded``
+#: plans 10^5 template arrivals in windows, so within-window siblings
+#: must hit exactly and across windows at worst repair — only the first
+#: (template, family, domain) probe of a window may miss.
+PLAN_CACHE_FLOORS = {"online_large": 0.50, "online_sim": 0.05,
+                     "online_sharded": 0.80}
 
 
 def check_plan_floors(report: dict[str, Any]) -> list[str]:
@@ -112,24 +126,31 @@ def check_plan_floors(report: dict[str, Any]) -> list[str]:
 
 def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
                      workers: Optional[int] = 1,
-                     workloads: Optional[Iterable[str]] = None
-                     ) -> dict[str, Any]:
+                     workloads: Optional[Iterable[str]] = None,
+                     shards: int = 4,
+                     sharded_jobs: Optional[int] = None) -> dict[str, Any]:
     """Run the pinned kernel workloads and return a JSON-ready report.
 
     ``workloads`` restricts the run to a subset of
     :data:`BENCH_WORKLOADS` (all of them by default) — CI uses this to
     gate strictly on the fast micro scenarios without paying for the
-    end-to-end ones twice.
+    end-to-end ones twice.  ``shards`` pins the shard count of the
+    ``online_sharded`` scenario (its ``shards=1`` baseline is measured
+    inside the same report whenever ``shards != 1``); ``sharded_jobs``
+    overrides that scenario's pinned 10^5 arrivals — a test-scale knob,
+    not something a committed baseline should ever set.
     """
     from ..core.calendar import ReservationCalendar
     from ..core.critical_works import CriticalWorksScheduler
     from ..core.strategy import StrategyGenerator, StrategyType
     from ..experiments.study import (ApplicationStudyConfig,
                                      application_level_study)
+    from ..flow.sharded import ShardedConfig, ShardedSimulation
     from ..flow.simulation import OnlineConfig, OnlineSimulation
     from ..grid.environment import GridEnvironment
     from ..sim.rng import RandomStreams
-    from ..workload.generator import (generate_job, generate_pool,
+    from ..workload.generator import (WorkloadConfig, generate_job,
+                                      generate_pool,
                                       template_workload_factory)
     from ..workload.paper_example import fig2_job, fig2_pool
 
@@ -228,6 +249,31 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         last_large_context[0] = simulation.context
         simulation.run()
 
+    # The scale scenario: 10^5 arrivals from a 3-template mix through
+    # the sharded batch engine over a 12-domain / 48-node pool, in the
+    # in-process lane (workers=1 — the speedup is semantic: each job
+    # only meets its own shard's domains, and each shard's plan cache
+    # serves a narrower working set).  The ``shards=1`` reference run
+    # below measures the same stream planned against the whole VO.
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    sharded_weights = (5.0, 3.0, 1.0)
+    sharded_config = ShardedConfig(
+        jobs=100_000 if sharded_jobs is None else sharded_jobs,
+        mean_interarrival=0.02, window=16, shards=shards, workers=1)
+    sharded_pool = generate_pool(streams.stream("bench.sharded_pool"),
+                                 WorkloadConfig(pool_size=(48, 48)),
+                                 domains=12)
+    sharded_factory = template_workload_factory(sharded_weights)
+    last_sharded: list[Any] = [None]
+
+    def online_sharded() -> None:
+        simulation = ShardedSimulation(sharded_pool, seed=seed,
+                                       config=sharded_config,
+                                       job_factory=sharded_factory)
+        last_sharded[0] = simulation
+        simulation.run()
+
     runners: dict[str, tuple[Callable[[], Any], dict[str, Any]]] = {
         "study_fig3a": (study, {"jobs": jobs, "seed": seed,
                                 "workers": workers}),
@@ -252,6 +298,16 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
             "plan_latency": large_config.plan_latency,
             "template_weights": list(large_weights),
             "seed": seed}),
+        "online_sharded": (online_sharded, {
+            "jobs": sharded_config.jobs,
+            "mean_interarrival": sharded_config.mean_interarrival,
+            "window": sharded_config.window,
+            "shards": shards,
+            "workers": sharded_config.workers,
+            "domains": 12,
+            "pool_nodes": len(sharded_pool),
+            "template_weights": list(sharded_weights),
+            "seed": seed}),
     }
 
     report: dict[str, Any] = {
@@ -267,6 +323,26 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         entry = {"seconds": round(_best_of(runner, repeats), 6)}
         entry.update(params)
         report["workloads"][name] = entry
+
+    if "online_sharded" in report["workloads"] and shards != 1:
+        # The unsharded reference, measured in the same process right
+        # after the sharded runs so the comparison shares every warmup
+        # effect; one pass — it exists to size the speedup, not to be
+        # a low-noise timing of its own.
+        from dataclasses import replace
+
+        reference_config = replace(sharded_config, shards=1)
+
+        def sharded_reference() -> None:
+            ShardedSimulation(sharded_pool, seed=seed,
+                              config=reference_config,
+                              job_factory=sharded_factory).run()
+
+        entry = report["workloads"]["online_sharded"]
+        entry["baseline_shards1_seconds"] = round(
+            _best_of(sharded_reference, 1), 6)
+        entry["speedup_vs_shards1"] = round(
+            entry["baseline_shards1_seconds"] / entry["seconds"], 3)
 
     # One instrumented pass of every selected workload, each under its
     # own collection scope: the merged counters document how hard the
@@ -285,6 +361,9 @@ def run_kernel_bench(jobs: int = 60, seed: int = 2009, repeats: int = 3,
         "strategy_generation": lambda: last_sgen_context[0],
         "online_sim": lambda: last_online_context[0],
         "online_large": lambda: last_large_context[0],
+        # The sharded simulation exposes the same stats(counters)
+        # surface as a context, merged over its per-shard contexts.
+        "online_sharded": lambda: last_sharded[0],
     }
     merged_counters: dict[str, int] = {}
     merged_timers: dict[str, float] = {}

@@ -91,6 +91,14 @@ Counter names reported by the kernel
     re-searches only what no longer fits (bit-identical to a cold
     replan).  The plan-cache *reuse rate* the strict perf gate floors
     is (hits + repairs) / (hits + repairs + misses).
+``flow.plan_coarse_hits`` / ``flow.plan_coarse_misses``
+    The plan cache's coarse seed tier, consulted only on cold misses
+    (no exact variant, no same-structure repair seed): a hit found a
+    prior strategy for the same (family, domain, pool signature) —
+    regardless of job shape — whose assignments warm-start the
+    regeneration; a miss means generation ran fully cold.  The
+    all-unique-jobs fallback: seeds only hint the warm start, so
+    outcomes stay bit-identical either way.
 ``flow.speculative_fresh`` / ``flow.speculative_wasted``
     Speculative pre-planning outcomes in the online flow: pending jobs
     re-planned during their decision lag whose warmed epochs were
@@ -237,6 +245,46 @@ class PerfRegistry:
             "timers": {name: round(seconds, 6)
                        for name, seconds in sorted(self.timers.items())},
         }
+
+    def merge(self, other: "PerfRegistry | dict") -> None:
+        """Fold another registry's numbers into this one.
+
+        Accepts a :class:`PerfRegistry`, a :meth:`snapshot` dict, or a
+        :meth:`delta` dict — whatever a worker process shipped back.
+        Counters add; timers add (they accumulate wall seconds).  This
+        is how sharded planning keeps worker-side cache hits visible:
+        each worker collects into its own process-global registry,
+        returns a snapshot delta with its results, and the parent
+        merges, so ``repro perf --json`` reports the whole fleet.
+        """
+        if isinstance(other, PerfRegistry):
+            counters, timers = other.counters, other.timers
+        else:
+            counters = other.get("counters", {})
+            timers = other.get("timers", {})
+        for name, amount in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
+        for name, seconds in timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + float(seconds)
+
+    def delta(self, since: dict) -> dict[str, dict[str, float]]:
+        """The numbers accrued since an earlier :meth:`snapshot`.
+
+        Returns a snapshot-shaped dict holding only positive
+        differences — the payload a worker sends back per task so
+        re-merging can never double-count work reported earlier.
+        """
+        base_counters = since.get("counters", {})
+        base_timers = since.get("timers", {})
+        counters = {
+            name: value - int(base_counters.get(name, 0))
+            for name, value in sorted(self.counters.items())
+            if value - int(base_counters.get(name, 0)) > 0}
+        timers = {
+            name: round(seconds - float(base_timers.get(name, 0.0)), 6)
+            for name, seconds in sorted(self.timers.items())
+            if seconds - float(base_timers.get(name, 0.0)) > 0}
+        return {"counters": counters, "timers": timers}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "on" if self.enabled else "off"

@@ -513,3 +513,78 @@ def test_rep011_complete_pairs_and_plain_names_are_fine():
                   "    # lint: counter-ok (per-cache template)\n"
                   "    PERF.incr(f'{name}_evictions')\n")
     assert run(sanctioned, only="REP011") == []
+
+
+# ---------------------------------------------------------------------
+# REP007/REP008 shard-isolation extension (flow)
+# ---------------------------------------------------------------------
+
+def test_rep007_shard_crossing_mutation_caught():
+    source = ("class Engine:\n"
+              "    def route(self, i, entry):\n"
+              "        self.planners[i].context.plans.store(entry)\n")
+    found = run(source, path=FLOW, only="REP007")
+    assert len(found) == 1
+    assert "planners" in found[0].message and "seam" in found[0].message
+
+    write = ("class Engine:\n"
+             "    def route(self, i, cal):\n"
+             "        self.replicas[i].calendars[3] = cal\n")
+    assert len(run(write, path=FLOW, only="REP007")) == 1
+
+    reserve = ("def steal(shards, i, start, end):\n"
+               "    shards[i].calendar.reserve(start, end)\n")
+    assert len(run(reserve, path=FLOW, only="REP007")) == 1
+
+
+def test_rep007_shard_mutation_in_seam_is_fine():
+    seam = ("class Engine:\n"
+            "    def _commit_window(self, i, entry):\n"
+            "        self.planners[i].context.plans.store(entry)\n"
+            "    def _merge_results(self, i, delta):\n"
+            "        self.planners[i].context.plans.adopt(delta)\n"
+            "    def _sync_replica(self, i, cal):\n"
+            "        self.replicas[i].calendars[3] = cal\n")
+    assert run(seam, path=FLOW, only="REP007") == []
+
+
+def test_rep007_shard_reads_and_other_collections_are_fine():
+    read = ("class Engine:\n"
+            "    def shard_domains(self, i):\n"
+            "        return self.planners[i].domains\n")
+    assert run(read, path=FLOW, only="REP007") == []
+    # Subscripts into ordinary collections are not shard state.
+    other = ("class Engine:\n"
+             "    def note(self, i, entry):\n"
+             "        self.offers[i].variants.append(entry)\n")
+    assert run(other, path=FLOW, only="REP007") == []
+
+
+def test_rep007_shard_marker_sanctions_the_line():
+    marked = ("class Engine:\n"
+              "    def route(self, i, entry):\n"
+              "        # lint: shared-state (window-local scratch)\n"
+              "        self.planners[i].context.plans.store(entry)\n")
+    assert run(marked, path=FLOW, only="REP007") == []
+
+
+def test_rep008_cross_shard_cache_read_caught():
+    source = ("class Engine:\n"
+              "    def peek(self, i, key):\n"
+              "        return self.planners[i].context.plans.get(key)\n")
+    found = run(source, path=FLOW, only="REP008")
+    assert len(found) == 1
+    assert "cross-shard" in found[0].message
+    assert "planners" in found[0].message
+
+
+def test_rep008_cross_shard_read_in_seam_is_fine():
+    """Inside the seam the cross-shard finding is waived; the base
+    guard requirement (shape + epoch tokens for `plans`) still holds."""
+    seam = ("class Engine:\n"
+            "    def _merge_stats(self, i, grid, job, key):\n"
+            "        epochs = grid.epoch_slice(key)\n"
+            "        shape = job.shape_hash\n"
+            "        return self.planners[i].context.plans.get(\n"
+            "            (shape, key, epochs))\n")
+    assert run(seam, path=FLOW, only="REP008") == []

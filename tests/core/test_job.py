@@ -178,3 +178,23 @@ def test_single_task_job():
     assert job.all_paths() == [["only"]]
     assert job.minimal_makespan() == 3
     assert job.sources() == job.sinks() == ["only"]
+
+
+def test_clone_shares_structure_under_new_identity():
+    job = diamond_job()
+    other = job.clone("job42", owner="vo")
+    assert other.job_id == "job42"
+    assert other.owner == "vo"
+    assert other.tasks is job.tasks
+    assert other.transfers is job.transfers
+    assert other.deadline == job.deadline
+    # Semantic keys exclude identity, so siblings share them — the
+    # property the plan cache's rebind path rides on.
+    assert other.structural_hash == job.structural_hash
+    assert other.shape_hash == job.shape_hash
+    assert other.topological_order() == job.topological_order()
+
+
+def test_clone_keeps_owner_by_default():
+    job = diamond_job()
+    assert job.clone("twin").owner == job.owner

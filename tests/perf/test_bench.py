@@ -26,13 +26,20 @@ def make_report(**seconds):
 
 
 def test_run_kernel_bench_report_shape():
-    report = run_kernel_bench(jobs=2, repeats=1)
+    # sharded_jobs scales the pinned 10^5 sharded scenario down to
+    # test size; everything else runs at its pinned configuration.
+    report = run_kernel_bench(jobs=2, repeats=1, sharded_jobs=400)
     assert report["schema"] == BENCH_SCHEMA_VERSION
     assert set(report["workloads"]) == {
         "study_fig3a", "critical_works_fig2", "calendar_ops",
-        "strategy_generation", "online_sim", "online_large"}
+        "strategy_generation", "online_sim", "online_large",
+        "online_sharded"}
     for entry in report["workloads"].values():
         assert entry["seconds"] > 0
+    sharded = report["workloads"]["online_sharded"]
+    assert sharded["shards"] == 4
+    assert sharded["baseline_shards1_seconds"] > 0
+    assert sharded["speedup_vs_shards1"] > 0
     assert report["counters"]["dp.expansions"] > 0
     assert report["timers"]["strategy.generate"] > 0
     # Derived cache stats ride along for every hits/misses counter pair.
@@ -123,7 +130,7 @@ def test_committed_baseline_is_comparable():
     baseline = json.loads(path.read_text(encoding="utf-8"))
     assert baseline["schema"] == BENCH_SCHEMA_VERSION
     rows = compare_reports(baseline, baseline)
-    assert len(rows) == 6
+    assert len(rows) == 7
     assert not any(row["regressed"] for row in rows)
     assert baseline["geometric_mean_speedup_vs_reference"] > 1.0
     # The online flow scenarios must stay recorded at a >= 1.5x
@@ -142,7 +149,7 @@ def test_committed_baseline_is_comparable():
     # every context cache, with policy/entries/eviction structure.
     assert set(baseline["context"]) == {
         "critical_works_fig2", "strategy_generation", "online_sim",
-        "online_large"}
+        "online_large", "online_sharded"}
     online = baseline["context"]["online_sim"]
     assert online["flow.plan_cache"]["policy"] == "two-tier-lru"
     assert online["flow.plan_cache"]["hits"] >= 32  # PR 4 warm baseline
@@ -159,6 +166,16 @@ def test_committed_baseline_is_comparable():
     assert baseline["counters"]["placement.batch_queries"] > 0
     assert baseline["counters"]["placement.rows_per_batch"] > 0
     assert baseline["caches"]["flow.plan_cache"]["hit_rate"] > 0
+    # The sharded scale scenario: 10^5 arrivals, recorded at >= 2x over
+    # its own shards=1 reference (the semantic speedup of planning each
+    # job against its shard's domains only), with the per-shard plan
+    # caches clearing the same strict reuse floor.
+    sharded = baseline["workloads"]["online_sharded"]
+    assert sharded["jobs"] >= 100_000
+    assert sharded["shards"] == 4
+    assert sharded["speedup_vs_shards1"] >= 2.0
+    sharded_cache = baseline["context"]["online_sharded"]["flow.plan_cache"]
+    assert sharded_cache["reuse_rate"] >= PLAN_CACHE_FLOORS["online_sharded"]
 
 
 def test_cli_perf_smoke(tmp_path, capsys):

@@ -1,0 +1,59 @@
+"""Property tests for the sharded engine's domain partitioning.
+
+The bit-identity of sharded planning rests on the partition being a
+*disjoint cover*: every domain (and so every node) lands in exactly one
+shard, whatever the shard count.  These properties pin that down over
+arbitrary domain lists and shard counts.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flow.sharding import partition_domains
+
+domain_lists = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=1, max_size=24, unique=True,
+)
+shard_counts = st.integers(min_value=1, max_value=12)
+
+
+@given(domain_lists, shard_counts)
+def test_partition_is_a_disjoint_cover(domains, shards):
+    groups = partition_domains(domains, shards)
+    flattened = [domain for group in groups for domain in group]
+    assert sorted(flattened) == sorted(domains)
+    assert len(flattened) == len(set(flattened))
+
+
+@given(domain_lists, shard_counts)
+def test_partition_is_balanced(domains, shards):
+    groups = partition_domains(domains, shards)
+    sizes = [len(group) for group in groups]
+    assert all(size >= 1 for size in sizes)
+    assert max(sizes) - min(sizes) <= 1
+    assert len(groups) == min(shards, len(domains))
+
+
+@given(domain_lists, shard_counts)
+def test_partition_is_deterministic_round_robin(domains, shards):
+    groups = partition_domains(domains, shards)
+    assert groups == partition_domains(domains, shards)
+    count = len(groups)
+    for index, domain in enumerate(domains):
+        assert domain in groups[index % count]
+
+
+@given(domain_lists)
+def test_single_shard_is_the_whole_vo(domains):
+    assert partition_domains(domains, 1) == [tuple(domains)]
+
+
+def test_partition_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        partition_domains([], 2)
+    with pytest.raises(ValueError):
+        partition_domains(["a"], 0)
+    with pytest.raises(ValueError):
+        partition_domains(["a", "a"], 2)
