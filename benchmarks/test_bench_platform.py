@@ -1,0 +1,29 @@
+"""Benchmark: study-platform resume — cold grid run vs warm store pass.
+
+The content-addressed store's contract is that an identical re-run
+recomputes nothing; this bench times the warm side (probe + digest
+verification + in-order merge, no scheduling work) against a freshly
+populated store and asserts the 100% cache-hit, bit-identical replay
+the resumable CLI relies on.
+"""
+
+from repro.core.strategy import StrategyType
+from repro.experiments.study import (ApplicationStudyConfig,
+                                     application_grid)
+from repro.platform import ResultStore
+
+
+def test_bench_platform_warm_resume(benchmark, one_shot, tmp_path):
+    config = ApplicationStudyConfig(
+        seed=2009, n_jobs=50,
+        stypes=(StrategyType.S1, StrategyType.S3))
+    store = ResultStore(tmp_path / "store")
+    cold = application_grid(config).run(store=store)
+
+    warm = benchmark.pedantic(
+        lambda: application_grid(config).run(store=store), **one_shot)
+
+    assert cold.meta["computed"] == cold.meta["total"] == 4
+    assert warm.meta["cached"] == warm.meta["total"] == 4
+    assert warm.meta["computed"] == warm.meta["corrupt"] == 0
+    assert warm.rows == cold.rows

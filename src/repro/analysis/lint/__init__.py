@@ -4,7 +4,7 @@ A multi-pass static-analysis engine: per-module symbol table with
 import/alias resolution and scope tracking (:mod:`.symbols`), a shared
 module model (:mod:`.model`), a rule registry with codes, severities,
 docs anchors, and suppression markers (:mod:`.registry`), the REP001–
-REP012 rule set (:mod:`.rules`), and structured output in text, JSON,
+REP013 rule set (:mod:`.rules`), and structured output in text, JSON,
 and SARIF 2.1.0 (:mod:`.output`).
 
 The rule catalog lives in ``DESIGN.md`` (and ``repro lint

@@ -15,7 +15,7 @@ from typing import (Dict, Iterable, List, Optional, Sequence, Set,
 
 from .model import ModuleModel
 from .registry import RULES, LintViolation, Severity, markers_by_name
-from . import rules as _rules  # noqa: F401  (registers REP001-REP012)
+from . import rules as _rules  # noqa: F401  (registers REP001-REP013)
 
 __all__ = ["lint_source", "lint_path", "lint_paths", "iter_python_files",
            "select_codes"]

@@ -1,4 +1,4 @@
-"""The rule set (pass 3): REP001–REP011 checker implementations.
+"""The rule set (pass 3): REP001–REP011, REP013 checker implementations.
 
 Each checker receives one :class:`~repro.analysis.lint.model.
 ModuleModel` and yields raw findings; suppression markers, baselines,
@@ -929,6 +929,61 @@ def check_counter_discipline(model: ModuleModel
                 f"cache pairs owned by the SchedulingContext (rename "
                 f"the counter or add the partner; see "
                 f"repro.perf.registry)")
+
+
+# ---------------------------------------------------------------------------
+# REP013 ad-hoc-study-plumbing
+# ---------------------------------------------------------------------------
+
+def _is_study_entry(function: ast.AST) -> bool:
+    """True for the experiment entry points REP013 audits: ``run*``
+    functions and ``*_study`` drivers.  Cell workers and private
+    helpers keep returning plain payload dicts by design — that is the
+    store's record format."""
+    name = getattr(function, "name", "")
+    return name.startswith("run") or name.endswith("_study")
+
+
+@rule("REP013", "ad-hoc-study-plumbing", Severity.WARNING,
+      "direct ProcessPoolExecutor construction, or a raw result-dict "
+      "returned from a run*/*_study entry point, in experiments/",
+      marker="platform-ok", scope="repro/experiments/ package")
+def check_ad_hoc_study_plumbing(model: ModuleModel
+                                ) -> Iterator[LintViolation]:
+    if not model.in_packages(("experiments",), require_repro=True):
+        return
+    for node in model.calls():
+        dotted = model.resolve_call(node)
+        if dotted is not None and \
+                dotted.split(".")[-1] == "ProcessPoolExecutor":
+            yield _finding(
+                model, node, "REP013", "ad-hoc-study-plumbing",
+                Severity.WARNING,
+                "direct ProcessPoolExecutor construction in an "
+                "experiment module; fan cells out through the study "
+                "platform (StudyGrid.run / repro.platform.fanout_map) "
+                "so worker clamping, in-order merge, and the result "
+                "store stay in one place (or mark "
+                "`# lint: platform-ok`)")
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        function = model.enclosing_function(node)
+        if function is None or not _is_study_entry(function):
+            continue
+        value = node.value
+        ad_hoc = isinstance(value, (ast.Dict, ast.DictComp))
+        if not ad_hoc and isinstance(value, ast.Call):
+            ad_hoc = model.resolve_call(value) == "dict"
+        if ad_hoc:
+            yield _finding(
+                model, node, "REP013", "ad-hoc-study-plumbing",
+                Severity.WARNING,
+                f"ad-hoc result dict returned from study entry point "
+                f"`{getattr(function, 'name', '<lambda>')}`; return a "
+                f"typed result (platform Results, an ExperimentTable, "
+                f"or rows folded through to_row/from_row) so exports "
+                f"stay schema-versioned (or mark `# lint: platform-ok`)")
 
 
 # ---------------------------------------------------------------------------

@@ -26,9 +26,13 @@ import inspect
 import sys
 from typing import Optional, Sequence
 
-from .experiments import EXPERIMENTS
+from .experiments import EXPERIMENTS, STUDIES
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_STORE"]
+
+#: Where ``repro study`` keeps its content-addressed result store
+#: unless ``--store`` points elsewhere.
+DEFAULT_STORE = ".repro-store"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,9 +109,61 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--lint", metavar="PATH", nargs="+", default=None,
                          help="also run the simulator lint over PATH(s)")
 
+    study = commands.add_parser(
+        "study",
+        help="run study grids against the content-addressed result "
+             "store (resumable: cached cells are never recomputed)")
+    study_commands = study.add_subparsers(dest="study_command")
+
+    def _add_store(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", metavar="DIR", default=DEFAULT_STORE,
+                         help="result store directory "
+                              f"(default {DEFAULT_STORE})")
+
+    def _add_run_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("study", choices=sorted(STUDIES),
+                         help="study grid id")
+        sub.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="fan cells out over N processes (results "
+                              "are bit-identical to --workers 1; 0 means "
+                              "one per CPU)")
+        sub.add_argument("--resume", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="serve already-computed cells from the "
+                              "store (--no-resume recomputes everything)")
+        _add_store(sub)
+
+    study_run = study_commands.add_parser(
+        "run", help="run one study grid, resuming from the store")
+    _add_run_options(study_run)
+    study_run.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the results as JSON to PATH")
+
+    study_ls = study_commands.add_parser(
+        "ls", help="list cached cells per study")
+    _add_store(study_ls)
+
+    study_export = study_commands.add_parser(
+        "export", help="run a study (resumable) and export its rows")
+    _add_run_options(study_export)
+    study_export.add_argument("out", metavar="PATH",
+                              help="output file path")
+    study_export.add_argument("--format", dest="format",
+                              choices=["csv", "json", "parquet"],
+                              default="csv",
+                              help="export format (default csv; parquet "
+                                   "needs pyarrow)")
+
+    study_clean = study_commands.add_parser(
+        "clean", help="delete cached cells (all, or one study's)")
+    study_clean.add_argument("--study", choices=sorted(STUDIES),
+                             default=None,
+                             help="only this study's cells")
+    _add_store(study_clean)
+
     lint = commands.add_parser(
         "lint",
-        help="determinism & shareability lint (REP001-REP012; "
+        help="determinism & shareability lint (REP001-REP013; "
              "text/JSON/SARIF output, --strict, --baseline)")
     from .analysis.lint.cli import add_arguments as add_lint_arguments
 
@@ -261,6 +317,65 @@ def _profile_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_study(args: argparse.Namespace) -> int:
+    """Dispatch ``repro study run/ls/export/clean``.
+
+    ``run`` and ``export`` print a machine-greppable summary line
+    (``study=... cells=N computed=X cached=Y corrupt=Z``) to stdout —
+    the CI resume smoke leg asserts ``computed=0`` on a warm second
+    run — while live progress goes to stderr.
+    """
+    from .platform import ResultStore, StudyReporter
+
+    if args.study_command not in ("run", "ls", "export", "clean"):
+        print("usage: repro study {run,ls,export,clean} ...",
+              file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store)
+
+    if args.study_command == "ls":
+        inventory = store.inventory()
+        if not inventory:
+            print("store is empty")
+            return 0
+        for study, bucket in sorted(inventory.items()):
+            print(f"{study} cells={bucket['cells']} "
+                  f"bytes={bucket['bytes']}")
+        return 0
+
+    if args.study_command == "clean":
+        removed = store.clean(study=args.study)
+        scope = args.study or "all studies"
+        print(f"removed {removed} cell(s) ({scope})")
+        return 0
+
+    if args.study_command in ("run", "export"):
+        grid = STUDIES[args.study]()
+        reporter = StudyReporter(echo=True)
+        results = grid.run(workers=args.workers or None, store=store,
+                           resume=args.resume, progress=reporter)
+        meta = results.meta
+        print(f"study={results.study} cells={meta['total']} "
+              f"computed={meta['computed']} cached={meta['cached']} "
+              f"corrupt={meta['corrupt']}")
+        if args.study_command == "export":
+            exporters = {"csv": results.to_csv, "json": results.to_json,
+                         "parquet": results.to_parquet}
+            try:
+                exporters[args.format](args.out)
+            except RuntimeError as error:  # pyarrow not installed
+                print(error, file=sys.stderr)
+                return 2
+            print(f"wrote {len(results)} row(s) to {args.out} "
+                  f"({args.format})")
+        elif args.json is not None:
+            results.to_json(args.json)
+        return 0
+
+    raise AssertionError("unreachable study subcommand")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -284,6 +399,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "analyze":
         return _run_analyze(skip_strategies=args.skip_strategies,
                             lint_paths=args.lint)
+    if args.command == "study":
+        return _run_study(args)
     if args.command == "lint":
         from .analysis.lint.cli import run as run_lint
 

@@ -1,10 +1,16 @@
 """Experiment harness: one module per table/figure of the paper.
 
 Registry keys match the ids used in DESIGN.md and EXPERIMENTS.md.
+Every module declares its parameter sweep as a
+:class:`~repro.platform.StudyGrid` (the ``STUDIES`` registry below
+collects the default-config grids for the ``repro study`` CLI); the
+``run`` functions drive those grids and format the classic
+:class:`ExperimentTable` views.
 """
 
 from typing import Callable
 
+from ..platform import StudyGrid
 from . import (
     abl_baselines,
     abl_strategy_size,
@@ -23,8 +29,10 @@ from .study import (
     ApplicationStudyConfig,
     CoordinatedRow,
     CoordinatedStudyConfig,
+    application_grid,
     application_level_study,
     coordinated_flow_study,
+    coordinated_grid,
 )
 
 #: All runnable experiments, by id.
@@ -42,13 +50,32 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "sens-policy": sens_policy.run,
 }
 
+#: Default-config study grids, by id — what ``repro study`` operates
+#: on.  Fig. 3a/3b share the "application" grid and Fig. 4b/4c the
+#: "coordinated" grid (identical cells, so listing them separately
+#: would only recompute the same content-addressed keys).
+STUDIES: dict[str, Callable[[], StudyGrid]] = {
+    "application": application_grid,
+    "coordinated": coordinated_grid,
+    "fig2": fig2_example.grid,
+    "fig4a": fig4_load.grid,
+    "ext-local": ext_local_policies.grid,
+    "ext-reservations": ext_reservations.grid,
+    "abl-dp": abl_baselines.grid,
+    "abl-strategy": abl_strategy_size.grid,
+    "sens-policy": sens_policy.grid,
+}
+
 __all__ = [
     "EXPERIMENTS",
+    "STUDIES",
     "ExperimentTable",
     "select_nodes_for_job",
     "ApplicationStudyConfig",
+    "application_grid",
     "application_level_study",
     "CoordinatedStudyConfig",
     "CoordinatedRow",
     "coordinated_flow_study",
+    "coordinated_grid",
 ]

@@ -15,11 +15,16 @@ HEFT/greedy finish earlier; the independent-task mapping breaks
 precedence and therefore does not produce valid compound-job schedules
 at all (we report its admissibility as the fraction whose mapping
 happens to satisfy precedence).
+
+The sweep is a platform grid over (scheduler × job block): schedulers
+never commit to the environment, so every cell rebuilds the same
+per-job snapshot from pure ``(seed, stream, index)`` forks and cells
+are independent — cacheable, resumable, parallel.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from ..baselines.adapters import (
     GreedyScheduler,
@@ -32,72 +37,133 @@ from ..core.strategy import DataPolicyKind
 from ..grid.data import default_policy_models
 from ..grid.environment import GridEnvironment
 from ..metrics.stats import mean
+from ..platform import Results, StudyGrid
 from ..sim.rng import RandomStreams
 from ..workload.generator import generate_job, generate_pool
 from .common import ExperimentTable, select_nodes_for_job
-from .study import ApplicationStudyConfig
+from .study import (
+    BLOCK_SIZE,
+    ApplicationStudyConfig,
+    _workload_from_config,
+    _workload_to_config,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid", "cell"]
+
+#: Scheduler ids, in the table's presentation order.
+SCHEDULERS = ("critical-works", "greedy", "heft", "min-min")
 
 
-def run(n_jobs: int = 150, seed: int = 2009,
-        config: Optional[ApplicationStudyConfig] = None) -> ExperimentTable:
-    """Compare application-level schedulers under background load."""
-    config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
-    streams = RandomStreams(config.seed)
-    pool = generate_pool(streams.stream("pool"), config.workload)
+def _scheduler(name: str, subset: Any, transfer_model: Any) -> Any:
+    if name == "critical-works":
+        return CriticalWorksScheduler(subset, transfer_model)
+    if name == "greedy":
+        return GreedyScheduler(transfer_model)
+    if name == "heft":
+        return HeftScheduler(transfer_model)
+    if name == "min-min":
+        return IndependentTasksScheduler(Heuristic.MIN_MIN)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: one scheduler over one block of jobs."""
+    study = ApplicationStudyConfig(
+        seed=config["seed"],
+        n_jobs=0,
+        busy_fraction=config["busy_fraction"],
+        nodes_per_job=config["nodes_per_job"],
+        horizon_factor=config["horizon_factor"],
+        background_burst=config["background_burst"],
+        workload=_workload_from_config(config["workload"]),
+    )
+    streams = RandomStreams(study.seed)
+    pool = generate_pool(streams.stream("pool"), study.workload)
     transfer_model = default_policy_models()[DataPolicyKind.REPLICATION]
+    name = config["scheduler"]
 
-    stats = {name: {"admissible": 0, "costs": [], "makespans": []}
-             for name in ("critical-works", "greedy", "heft", "min-min")}
-
-    for index in range(config.n_jobs):
+    admissible = 0
+    costs: list[float] = []
+    makespans: list[int] = []
+    lo, hi = config["block"]
+    for index in range(lo, hi):
         job = generate_job(streams.fork("jobs", index), index,
-                           config.workload)
+                           study.workload)
         subset = select_nodes_for_job(pool, streams.fork("nodes", index),
-                                      config.nodes_per_job)
+                                      study.nodes_per_job)
         environment = GridEnvironment(subset)
-        horizon = max(1, int(job.deadline * config.horizon_factor))
+        horizon = max(1, int(job.deadline * study.horizon_factor))
         environment.apply_background_load(
-            streams.fork("background", index), config.busy_fraction,
-            horizon, max_burst=config.background_burst)
+            streams.fork("background", index), study.busy_fraction,
+            horizon, max_burst=study.background_burst)
         calendars = environment.snapshot()
 
-        # One protocol, four schedulers: everything below dispatches
-        # through Scheduler.schedule and scores the outcome uniformly.
-        schedulers = [
-            ("critical-works", CriticalWorksScheduler(subset,
-                                                      transfer_model)),
-            ("greedy", GreedyScheduler(transfer_model)),
-            ("heft", HeftScheduler(transfer_model)),
-            ("min-min", IndependentTasksScheduler(Heuristic.MIN_MIN)),
-        ]
-        for name, scheduler in schedulers:
-            outcome = scheduler.schedule(job, subset, calendars)
-            if outcome.admissible:
-                stats[name]["admissible"] += 1
-                stats[name]["costs"].append(outcome.cost)
-                stats[name]["makespans"].append(outcome.makespan)
+        outcome = _scheduler(name, subset, transfer_model).schedule(
+            job, subset, calendars)
+        if outcome.admissible:
+            admissible += 1
+            costs.append(outcome.cost)
+            makespans.append(outcome.makespan)
+    return {"admissible": admissible, "costs": costs,
+            "makespans": makespans}
 
+
+def grid(config: Optional[ApplicationStudyConfig] = None,
+         block_size: int = BLOCK_SIZE) -> StudyGrid:
+    """The ablation as a grid: scheduler × job block."""
+    config = config or ApplicationStudyConfig(n_jobs=150)
+    blocks = [(lo, min(lo + block_size, config.n_jobs))
+              for lo in range(0, config.n_jobs, block_size)]
+    return StudyGrid(
+        study="abl-dp",
+        runner="repro.experiments.abl_baselines:cell",
+        axes={"scheduler": list(SCHEDULERS), "block": blocks},
+        base={
+            "seed": config.seed,
+            "busy_fraction": config.busy_fraction,
+            "nodes_per_job": config.nodes_per_job,
+            "horizon_factor": config.horizon_factor,
+            "background_burst": config.background_burst,
+            "workload": _workload_to_config(config.workload),
+        },
+    )
+
+
+def _table_from_results(results: Results, n_jobs: int,
+                        busy_fraction: float) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="abl-dp",
         title=(f"Critical works vs baselines "
-               f"({config.n_jobs} jobs, background "
-               f"{config.busy_fraction:.0%})"),
+               f"({n_jobs} jobs, background "
+               f"{busy_fraction:.0%})"),
         columns=["scheduler", "admissible %", "mean CF", "mean makespan"],
     )
-    for name, bucket in stats.items():
+    for (name,), bucket in results.group_by("scheduler").items():
+        # Blocks merge in cell order, reproducing the single-pass fold.
+        costs = [cost for row in bucket for cost in row["costs"]]
+        makespans = [m for row in bucket for m in row["makespans"]]
         table.add_row(**{
             "scheduler": name,
-            "admissible %": 100.0 * bucket["admissible"] / config.n_jobs,
-            "mean CF": mean(bucket["costs"]),
-            "mean makespan": mean(bucket["makespans"]),
+            "admissible %": (100.0 * sum(row["admissible"]
+                                         for row in bucket) / n_jobs),
+            "mean CF": mean(costs),
+            "mean makespan": mean(makespans),
         })
     table.notes.append(
         "critical works should pay the least CF among DAG-aware "
         "schedulers; min-min ignores precedence and transfer lags, so "
         "its mappings are rarely valid compound-job schedules")
     return table
+
+
+def run(n_jobs: int = 150, seed: int = 2009,
+        config: Optional[ApplicationStudyConfig] = None,
+        workers: int = 1) -> ExperimentTable:
+    """Compare application-level schedulers under background load."""
+    config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
+    results = grid(config).run(workers=workers)
+    return _table_from_results(results, config.n_jobs,
+                               config.busy_fraction)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,80 +5,141 @@ the sense of coverage of events in distributed environment ... The type
 S1 has more computational expenses than MS1."  This ablation quantifies
 the trade-off: generation expense (DP evaluations) versus event
 coverage and time-to-live under drift.
+
+The sweep is a platform grid over (family × job block); every cell
+rebuilds its per-job environments from pure ``(seed, stream, index)``
+forks, so cells are independent and the block fold matches the
+single-pass loop sample for sample.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from ..core.strategy import StrategyGenerator, StrategyType
 from ..flow.reallocation import strategy_time_to_live
 from ..grid.environment import GridEnvironment
 from ..metrics.stats import mean
+from ..platform import Results, StudyGrid
 from ..sim.rng import RandomStreams
 from ..workload.generator import generate_job, generate_pool
 from .common import ExperimentTable, select_nodes_for_job
-from .study import ApplicationStudyConfig
+from .study import (
+    BLOCK_SIZE,
+    ApplicationStudyConfig,
+    _workload_from_config,
+    _workload_to_config,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid", "cell"]
+
+#: Families compared, in presentation order.
+FAMILIES = (StrategyType.S1, StrategyType.MS1)
 
 
-def run(n_jobs: int = 150, seed: int = 2009,
-        config: Optional[ApplicationStudyConfig] = None,
-        drift_rate: float = 0.2) -> ExperimentTable:
-    """Measure expense vs coverage for the full and truncated families."""
-    config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
-    streams = RandomStreams(config.seed)
-    pool = generate_pool(streams.stream("pool"), config.workload)
+def cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: one family over one block of jobs."""
+    stype = StrategyType[config["stype"]]
+    study = ApplicationStudyConfig(
+        seed=config["seed"],
+        n_jobs=0,
+        busy_fraction=config["busy_fraction"],
+        nodes_per_job=config["nodes_per_job"],
+        horizon_factor=config["horizon_factor"],
+        background_burst=config["background_burst"],
+        workload=_workload_from_config(config["workload"]),
+    )
+    drift_rate = config["drift_rate"]
+    streams = RandomStreams(study.seed)
+    pool = generate_pool(streams.stream("pool"), study.workload)
 
-    stats = {stype: {"expense": [], "coverage": [], "ttl": [],
-                     "admissible": 0}
-             for stype in (StrategyType.S1, StrategyType.MS1)}
-
-    for index in range(config.n_jobs):
+    expense: list[int] = []
+    coverage: list[float] = []
+    ttl: list[float] = []
+    admissible = 0
+    lo, hi = config["block"]
+    for index in range(lo, hi):
         job = generate_job(streams.fork("jobs", index), index,
-                           config.workload)
+                           study.workload)
         subset = select_nodes_for_job(pool, streams.fork("nodes", index),
-                                      config.nodes_per_job)
+                                      study.nodes_per_job)
         environment = GridEnvironment(subset)
-        horizon = max(1, int(job.deadline * config.horizon_factor))
+        horizon = max(1, int(job.deadline * study.horizon_factor))
         environment.apply_background_load(
-            streams.fork("background", index), config.busy_fraction,
-            horizon, max_burst=config.background_burst)
+            streams.fork("background", index), study.busy_fraction,
+            horizon, max_burst=study.background_burst)
         generator = StrategyGenerator(subset)
         calendars = environment.snapshot()
         drift = environment.sample_background_events(
             streams.fork("drift", index), drift_rate, horizon)
 
-        for stype in stats:
-            strategy = generator.generate(job, calendars, stype)
-            bucket = stats[stype]
-            bucket["expense"].append(strategy.generation_expense)
-            bucket["coverage"].append(strategy.coverage)
-            if strategy.admissible:
-                bucket["admissible"] += 1
-            bucket["ttl"].append(
-                strategy_time_to_live(strategy, drift, horizon).ttl)
+        strategy = generator.generate(job, calendars, stype)
+        expense.append(strategy.generation_expense)
+        coverage.append(strategy.coverage)
+        if strategy.admissible:
+            admissible += 1
+        ttl.append(strategy_time_to_live(strategy, drift, horizon).ttl)
+    return {"expense": expense, "coverage": coverage, "ttl": ttl,
+            "admissible": admissible}
 
+
+def grid(config: Optional[ApplicationStudyConfig] = None,
+         drift_rate: float = 0.2,
+         block_size: int = BLOCK_SIZE) -> StudyGrid:
+    """The ablation as a grid: family × job block."""
+    config = config or ApplicationStudyConfig(n_jobs=150)
+    blocks = [(lo, min(lo + block_size, config.n_jobs))
+              for lo in range(0, config.n_jobs, block_size)]
+    return StudyGrid(
+        study="abl-strategy",
+        runner="repro.experiments.abl_strategy_size:cell",
+        axes={"stype": [stype.name for stype in FAMILIES],
+              "block": blocks},
+        base={
+            "seed": config.seed,
+            "busy_fraction": config.busy_fraction,
+            "nodes_per_job": config.nodes_per_job,
+            "horizon_factor": config.horizon_factor,
+            "background_burst": config.background_burst,
+            "drift_rate": drift_rate,
+            "workload": _workload_to_config(config.workload),
+        },
+    )
+
+
+def _table_from_results(results: Results, n_jobs: int) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="abl-strategy",
         title=(f"Strategy completeness: S1 vs MS1 "
-               f"({config.n_jobs} jobs)"),
+               f"({n_jobs} jobs)"),
         columns=["strategy", "mean expense", "mean coverage",
                  "admissible %", "mean TTL"],
     )
-    for stype, bucket in stats.items():
+    for (name,), bucket in results.group_by("stype").items():
+        expense = [v for row in bucket for v in row["expense"]]
+        coverage = [v for row in bucket for v in row["coverage"]]
+        ttls = [v for row in bucket for v in row["ttl"]]
         table.add_row(**{
-            "strategy": stype.value,
-            "mean expense": mean(bucket["expense"]),
-            "mean coverage": mean(bucket["coverage"]),
-            "admissible %": 100.0 * bucket["admissible"] / config.n_jobs,
-            "mean TTL": mean(bucket["ttl"]),
+            "strategy": StrategyType[name].value,
+            "mean expense": mean(expense),
+            "mean coverage": mean(coverage),
+            "admissible %": (100.0 * sum(row["admissible"]
+                                         for row in bucket) / n_jobs),
+            "mean TTL": mean(ttls),
         })
     table.notes.append(
         "expected: S1 costs more to generate (more supporting "
         "schedules) but covers more events and survives drift longer")
     return table
+
+
+def run(n_jobs: int = 150, seed: int = 2009,
+        config: Optional[ApplicationStudyConfig] = None,
+        drift_rate: float = 0.2, workers: int = 1) -> ExperimentTable:
+    """Measure expense vs coverage for the full and truncated families."""
+    config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
+    results = grid(config, drift_rate=drift_rate).run(workers=workers)
+    return _table_from_results(results, config.n_jobs)
 
 
 if __name__ == "__main__":  # pragma: no cover

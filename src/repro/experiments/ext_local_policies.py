@@ -10,14 +10,15 @@ experiments abstracted away (they used plain FCFS):
 * "Backfilling decreases this [queue waiting] time."
 * "preliminary reservation nearly always increases queue waiting time."
 
-This experiment drives the local batch simulator over one synthetic
-trace per policy and reports mean waits and forecast errors, plus the
-reservation impact on the unreserved jobs' waits.
+The policy sweep is a platform grid: one cell per queue policy (each
+cell replays the same deterministic trace through its own simulator),
+plus one reserved-FCFS cell for the reservation-impact comparison.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import fields
+from typing import Any, Mapping, Optional
 
 from ..local.batch import LocalBatchSystem
 from ..local.policies import (
@@ -26,18 +27,99 @@ from ..local.policies import (
     FCFSPolicy,
     LWFPolicy,
 )
+from ..platform import StudyGrid
 from ..workload.traces import BatchTraceConfig, generate_batch_trace
 from .common import ExperimentTable
 
-__all__ = ["run", "reservation_impact"]
+__all__ = ["run", "reservation_impact", "grid", "cell"]
+
+#: Queue policies in presentation order, by their display names.
+POLICIES = ("FCFS", "LWF", "EASY", "CONS")
+#: The extra grid cell: FCFS with periodic advance reservations.
+RESERVED = "FCFS+reservations"
+
+
+def _policy(name: str) -> Any:
+    return {
+        "FCFS": FCFSPolicy,
+        "LWF": LWFPolicy,
+        "EASY": EasyBackfillPolicy,
+        "CONS": ConservativeBackfillPolicy,
+    }[name]()
+
+
+def _trace_to_config(config: BatchTraceConfig) -> dict[str, Any]:
+    payload: dict[str, Any] = {}
+    for spec in fields(BatchTraceConfig):
+        value = getattr(config, spec.name)
+        payload[spec.name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def _trace_from_config(data: Mapping[str, Any]) -> BatchTraceConfig:
+    kwargs = {name: tuple(value) if isinstance(value, (list, tuple)) else value
+              for name, value in data.items()}
+    return BatchTraceConfig(**kwargs)
+
+
+def cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: one policy's full run over the shared trace."""
+    trace_config = _trace_from_config(config["trace"])
+    trace = list(generate_batch_trace(config["seed"], config["n_jobs"],
+                                      trace_config))
+    name = config["policy"]
+    if name == RESERVED:
+        system = LocalBatchSystem(config["capacity"], FCFSPolicy())
+        system.submit_many(trace)
+        stride = config["reserve_stride"]
+        delay = config["reserve_delay"]
+        for index, job in enumerate(trace):
+            if index % stride == 0:
+                system.reserve(job, start=job.arrival + delay)
+    else:
+        system = LocalBatchSystem(config["capacity"], _policy(name))
+        system.submit_many(trace)
+    records = system.run()
+    return {
+        "mean_wait": LocalBatchSystem.mean_wait(records),
+        "max_wait": max(r.wait for r in records),
+        "mean_forecast_error":
+            LocalBatchSystem.mean_forecast_error(records),
+        "makespan": max(r.end for r in records),
+    }
+
+
+def grid(n_jobs: int = 400, seed: int = 2009, capacity: int = 8,
+         config: Optional[BatchTraceConfig] = None,
+         reserve_fraction: float = 0.2,
+         reserve_delay: int = 10) -> StudyGrid:
+    """The policy sweep (plus the reserved-FCFS cell) as a grid."""
+    config = config or BatchTraceConfig()
+    if not 0 < reserve_fraction < 1:
+        raise ValueError(
+            f"reserve_fraction must lie in (0, 1), got {reserve_fraction}")
+    return StudyGrid(
+        study="ext-local",
+        runner="repro.experiments.ext_local_policies:cell",
+        axes={"policy": list(POLICIES) + [RESERVED]},
+        base={
+            "seed": seed,
+            "n_jobs": n_jobs,
+            "capacity": capacity,
+            "reserve_stride": max(1, round(1 / reserve_fraction)),
+            "reserve_delay": reserve_delay,
+            "trace": _trace_to_config(config),
+        },
+    )
 
 
 def run(n_jobs: int = 400, seed: int = 2009, capacity: int = 8,
-        config: Optional[BatchTraceConfig] = None) -> ExperimentTable:
+        config: Optional[BatchTraceConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Compare queue policies on one trace; then measure reservations."""
     config = config or BatchTraceConfig()
-    policies = [FCFSPolicy(), LWFPolicy(), EasyBackfillPolicy(),
-                ConservativeBackfillPolicy()]
+    results = grid(n_jobs, seed, capacity, config).run(workers=workers)
+    by_policy = {row["policy"]: row for row in results}
 
     table = ExperimentTable(
         experiment_id="ext-local",
@@ -46,21 +128,17 @@ def run(n_jobs: int = 400, seed: int = 2009, capacity: int = 8,
         columns=["policy", "mean wait", "max wait",
                  "mean forecast error", "makespan"],
     )
-    for policy in policies:
-        trace = list(generate_batch_trace(seed, n_jobs, config))
-        system = LocalBatchSystem(capacity, policy)
-        system.submit_many(trace)
-        records = system.run()
+    for name in POLICIES:
+        row = by_policy[name]
         table.add_row(
-            policy=policy.name,
-            **{"mean wait": LocalBatchSystem.mean_wait(records),
-               "max wait": max(r.wait for r in records),
-               "mean forecast error":
-                   LocalBatchSystem.mean_forecast_error(records),
-               "makespan": max(r.end for r in records)})
+            policy=name,
+            **{"mean wait": row["mean_wait"],
+               "max wait": row["max_wait"],
+               "mean forecast error": row["mean_forecast_error"],
+               "makespan": row["makespan"]})
 
-    with_res, without_res = reservation_impact(n_jobs, seed, capacity,
-                                               config)
+    with_res = by_policy[RESERVED]["mean_wait"]
+    without_res = by_policy["FCFS"]["mean_wait"]
     table.notes.append(
         f"advance reservations (20% of jobs): mean unreserved wait "
         f"{with_res:.2f} vs {without_res:.2f} without reservations "
@@ -84,28 +162,19 @@ def reservation_impact(n_jobs: int = 400, seed: int = 2009,
 
     Every ``1/reserve_fraction``-th job gets a fixed reservation
     ``reserve_delay`` slots after its arrival; the same trace runs
-    without reservations for comparison.
+    without reservations for comparison.  Both runs are grid cells of
+    :func:`grid` — cell keys depend on the resolved config, not on
+    which axis values a particular grid enumerates, so this two-cell
+    subset shares cache entries with the full :func:`run` sweep.
     """
-    config = config or BatchTraceConfig()
-    if not 0 < reserve_fraction < 1:
-        raise ValueError(
-            f"reserve_fraction must lie in (0, 1), got {reserve_fraction}")
-    stride = max(1, round(1 / reserve_fraction))
-
-    trace = list(generate_batch_trace(seed, n_jobs, config))
-    reserved_system = LocalBatchSystem(capacity, FCFSPolicy())
-    reserved_system.submit_many(trace)
-    for index, job in enumerate(trace):
-        if index % stride == 0:
-            reserved_system.reserve(job, start=job.arrival + reserve_delay)
-    with_records = reserved_system.run()
-
-    plain_system = LocalBatchSystem(capacity, FCFSPolicy())
-    plain_system.submit_many(trace)
-    without_records = plain_system.run()
-
-    return (LocalBatchSystem.mean_wait(with_records),
-            LocalBatchSystem.mean_wait(without_records))
+    sweep = grid(n_jobs, seed, capacity, config,
+                 reserve_fraction=reserve_fraction,
+                 reserve_delay=reserve_delay)
+    sweep.axes = {"policy": ["FCFS", RESERVED]}
+    results = sweep.run()
+    by_policy = {row["policy"]: row for row in results}
+    return (by_policy[RESERVED]["mean_wait"],
+            by_policy["FCFS"]["mean_wait"])
 
 
 if __name__ == "__main__":  # pragma: no cover

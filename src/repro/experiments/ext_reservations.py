@@ -16,14 +16,16 @@ This experiment runs the same arrival stream both ways:
   deadline-based admission (every job is accepted; the deadline is
   checked only after the fact).
 
-Reported: admission rate, deadline-hit rate among *accepted* jobs, and
-the overall deadline-hit rate among *all submitted* jobs — the QoS
+Each mode is one platform grid cell (a full shared-environment run —
+commits couple the jobs, so modes can't be block-split), reported as
+admission rate, deadline-hit rate among *accepted* jobs, and the
+overall deadline-hit rate among *all submitted* jobs — the QoS
 crossover the paper's framework targets.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from ..baselines.adapters import GreedyScheduler
 from ..core.strategy import StrategyGenerator, StrategyType
@@ -31,78 +33,109 @@ from ..grid.environment import GridEnvironment
 from ..grid.execution import simulate_execution
 from ..grid.data import default_policy_models
 from ..core.strategy import DataPolicyKind
+from ..platform import StudyGrid
 from ..sim.rng import RandomStreams
 from ..workload.generator import WorkloadConfig, generate_job, generate_pool
 from .common import ExperimentTable
+from .study import _workload_from_config, _workload_to_config
 
-__all__ = ["run"]
+__all__ = ["run", "grid", "cell"]
+
+#: Operating modes, in presentation order.
+MODES = ("reservations", "best-effort")
+
+
+def cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: the full arrival stream under one mode."""
+    mode = config["mode"]
+    seed = config["seed"]
+    n_jobs = config["n_jobs"]
+    busy_fraction = config["busy_fraction"]
+    horizon = config["horizon"]
+    workload = _workload_from_config(config["workload"])
+    model = default_policy_models()[DataPolicyKind.REPLICATION]
+
+    streams = RandomStreams(seed)
+    pool = generate_pool(streams.stream("pool"), workload)
+    environment = GridEnvironment(pool)
+    if busy_fraction > 0:
+        environment.apply_background_load(
+            streams.stream("background"), busy_fraction, horizon,
+            max_burst=20)
+    generator = StrategyGenerator(pool)
+    best_effort = GreedyScheduler(model)
+
+    accepted = 0
+    met = 0
+    for index in range(n_jobs):
+        job = generate_job(streams.fork("jobs", index), index,
+                           workload)
+        release = int(streams.fork("release", index).integers(
+            0, int(horizon * 0.6)))
+        actual_level = float(streams.fork("actual", index)
+                             .uniform(0.0, 1.0))
+        calendars = environment.snapshot()
+
+        if mode == "reservations":
+            strategy = generator.generate(job, calendars,
+                                          StrategyType.S1,
+                                          release=release)
+            chosen = (strategy.cheapest_covering(actual_level)
+                      or strategy.best_schedule())
+            if chosen is None or not environment.can_commit(
+                    chosen.distribution):
+                continue  # rejected by admission control
+            environment.commit_distribution(chosen.distribution)
+            accepted += 1
+            trace = simulate_execution(
+                strategy.scheduled_job, chosen.distribution, pool,
+                actual_level=min(actual_level, chosen.level),
+                transfer_model=model)
+            if trace.makespan <= release + job.deadline:
+                met += 1
+        else:
+            distribution = best_effort.schedule(
+                _unbounded(job), pool, calendars,
+                level=0.0, release=release).distribution
+            if distribution is None:
+                continue  # only when literally nothing fits
+            environment.commit_distribution(distribution)
+            accepted += 1
+            trace = simulate_execution(
+                job, distribution, pool, actual_level=actual_level,
+                transfer_model=model)
+            if trace.makespan <= release + job.deadline:
+                met += 1
+
+    return {"accepted": accepted, "met": met}
+
+
+def grid(n_jobs: int = 80, seed: int = 2009,
+         busy_fraction: float = 0.25, horizon: int = 400,
+         workload: Optional[WorkloadConfig] = None) -> StudyGrid:
+    """The mode comparison as a grid: one cell per operating mode."""
+    workload = workload or WorkloadConfig()
+    return StudyGrid(
+        study="ext-reservations",
+        runner="repro.experiments.ext_reservations:cell",
+        axes={"mode": list(MODES)},
+        base={
+            "seed": seed,
+            "n_jobs": n_jobs,
+            "busy_fraction": busy_fraction,
+            "horizon": horizon,
+            "workload": _workload_to_config(workload),
+        },
+    )
 
 
 def run(n_jobs: int = 80, seed: int = 2009,
         busy_fraction: float = 0.25, horizon: int = 400,
-        workload: Optional[WorkloadConfig] = None) -> ExperimentTable:
+        workload: Optional[WorkloadConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Compare reservation-based and best-effort operation."""
-    workload = workload or WorkloadConfig()
-    model = default_policy_models()[DataPolicyKind.REPLICATION]
-
-    results = {}
-    for mode in ("reservations", "best-effort"):
-        streams = RandomStreams(seed)
-        pool = generate_pool(streams.stream("pool"), workload)
-        environment = GridEnvironment(pool)
-        if busy_fraction > 0:
-            environment.apply_background_load(
-                streams.stream("background"), busy_fraction, horizon,
-                max_burst=20)
-        generator = StrategyGenerator(pool)
-        best_effort = GreedyScheduler(model)
-
-        accepted = 0
-        met = 0
-        for index in range(n_jobs):
-            job = generate_job(streams.fork("jobs", index), index,
-                               workload)
-            release = int(streams.fork("release", index).integers(
-                0, int(horizon * 0.6)))
-            actual_level = float(streams.fork("actual", index)
-                                 .uniform(0.0, 1.0))
-            calendars = environment.snapshot()
-
-            if mode == "reservations":
-                strategy = generator.generate(job, calendars,
-                                              StrategyType.S1,
-                                              release=release)
-                chosen = (strategy.cheapest_covering(actual_level)
-                          or strategy.best_schedule())
-                if chosen is None or not environment.can_commit(
-                        chosen.distribution):
-                    continue  # rejected by admission control
-                environment.commit_distribution(chosen.distribution)
-                accepted += 1
-                trace = simulate_execution(
-                    strategy.scheduled_job, chosen.distribution, pool,
-                    actual_level=min(actual_level, chosen.level),
-                    transfer_model=model)
-                if trace.makespan <= release + job.deadline:
-                    met += 1
-            else:
-                distribution = best_effort.schedule(
-                    _unbounded(job), pool, calendars,
-                    level=0.0, release=release).distribution
-                if distribution is None:
-                    continue  # only when literally nothing fits
-                environment.commit_distribution(distribution)
-                accepted += 1
-                trace = simulate_execution(
-                    job, distribution, pool, actual_level=actual_level,
-                    transfer_model=model)
-                if trace.makespan <= release + job.deadline:
-                    met += 1
-
-        results[mode] = {
-            "accepted": accepted,
-            "met": met,
-        }
+    results = grid(n_jobs, seed, busy_fraction, horizon,
+                   workload).run(workers=workers)
 
     table = ExperimentTable(
         experiment_id="ext-reservations",
@@ -111,14 +144,14 @@ def run(n_jobs: int = 80, seed: int = 2009,
         columns=["mode", "accepted %", "deadline hit % (accepted)",
                  "deadline hit % (all)"],
     )
-    for mode, bucket in results.items():
-        accepted = bucket["accepted"]
+    for row in results:
+        accepted = row["accepted"]
         table.add_row(**{
-            "mode": mode,
+            "mode": row["mode"],
             "accepted %": 100.0 * accepted / n_jobs,
             "deadline hit % (accepted)":
-                (100.0 * bucket["met"] / accepted) if accepted else 0.0,
-            "deadline hit % (all)": 100.0 * bucket["met"] / n_jobs,
+                (100.0 * row["met"] / accepted) if accepted else 0.0,
+            "deadline hit % (all)": 100.0 * row["met"] / n_jobs,
         })
     table.notes.append(
         "reservations trade acceptance for certainty: admitted jobs "

@@ -14,16 +14,19 @@ the middle distribution is strictly cheapest, the outer two tie.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from ..core.calendar import ReservationCalendar
 from ..core.costs import distribution_cost
 from ..core.critical_works import CriticalWorksScheduler
 from ..core.job import Job
 from ..core.resources import ResourcePool
 from ..core.schedule import Distribution, Placement
+from ..platform import StudyGrid
 from ..workload.paper_example import fig2_job, fig2_pool
 from .common import ExperimentTable
 
-__all__ = ["paper_distributions", "run"]
+__all__ = ["paper_distributions", "run", "grid", "cell"]
 
 #: Node allocations of the three distributions in Fig. 2b
 #: (task -> node type), read off the figure labels like "P6/4".
@@ -68,25 +71,21 @@ def paper_distributions(job: Job | None = None,
     }
 
 
-def run(**_ignored) -> ExperimentTable:
-    """Reproduce the Fig. 2 example end to end."""
+def cell(_config: Mapping[str, Any]) -> dict[str, Any]:
+    """The whole worked example as one grid cell (it has no axes)."""
     job = fig2_job()
     pool = fig2_pool()
-    table = ExperimentTable(
-        experiment_id="fig2",
-        title="Worked example: supporting distributions of the Fig. 2 job",
-        columns=["distribution", "allocations", "CF", "makespan",
-                 "admissible"],
-    )
 
+    rows: list[dict[str, Any]] = []
     for name, distribution in paper_distributions(job, pool).items():
         cost = distribution_cost(distribution, job, pool)
         allocations = " ".join(
             f"{p.task_id}/{p.node_id}"
             for p in sorted(distribution, key=lambda p: p.task_id))
-        table.add_row(distribution=name, allocations=allocations,
-                      CF=cost, makespan=distribution.makespan,
-                      admissible=distribution.is_admissible(job.deadline))
+        rows.append({"distribution": name, "allocations": allocations,
+                     "CF": cost, "makespan": distribution.makespan,
+                     "admissible":
+                         distribution.is_admissible(job.deadline)})
 
     scheduler = CriticalWorksScheduler(pool)
     calendars = {node.node_id: ReservationCalendar() for node in pool}
@@ -96,16 +95,44 @@ def run(**_ignored) -> ExperimentTable:
     allocations = " ".join(
         f"{p.task_id}/{p.node_id}"
         for p in sorted(method, key=lambda p: p.task_id))
-    table.add_row(distribution="critical works method",
-                  allocations=allocations, CF=outcome.cost,
-                  makespan=outcome.makespan, admissible=outcome.admissible)
+    rows.append({"distribution": "critical works method",
+                 "allocations": allocations, "CF": outcome.cost,
+                 "makespan": outcome.makespan,
+                 "admissible": outcome.admissible})
 
-    table.notes.append(
+    notes = [
         "critical works (length, chain): "
         + "; ".join(f"{length}: {'-'.join(chain)}"
-                    for length, chain in works))
-    for collision in outcome.collisions:
-        table.notes.append(f"collision resolved: {collision}")
+                    for length, chain in works)
+    ]
+    notes.extend(f"collision resolved: {collision}"
+                 for collision in outcome.collisions)
+    return {"table_rows": rows, "notes": notes}
+
+
+def grid() -> StudyGrid:
+    """The worked example as a degenerate (single-cell) grid."""
+    return StudyGrid(
+        study="fig2",
+        runner="repro.experiments.fig2_example:cell",
+        axes={},
+        base={},
+    )
+
+
+def run(**_ignored) -> ExperimentTable:
+    """Reproduce the Fig. 2 example end to end."""
+    results = grid().run()
+    payload = results[0]
+    table = ExperimentTable(
+        experiment_id="fig2",
+        title="Worked example: supporting distributions of the Fig. 2 job",
+        columns=["distribution", "allocations", "CF", "makespan",
+                 "admissible"],
+    )
+    for row in payload["table_rows"]:
+        table.add_row(**row)
+    table.notes.extend(payload["notes"])
     table.notes.append(
         "paper CF values 41/37/41 use real load times not recoverable "
         "from the figure; the ordering (middle cheapest, outer tie) is "

@@ -12,10 +12,15 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.strategy import StrategyType
+from ..platform import StudyGrid
 from .common import ExperimentTable
-from .study import ApplicationStudyConfig, application_level_study
+from .study import (
+    ApplicationStudyConfig,
+    application_grid,
+    application_level_study,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid"]
 
 #: The percentages printed in Fig. 3a.
 PAPER_ADMISSIBLE = {
@@ -23,6 +28,12 @@ PAPER_ADMISSIBLE = {
     StrategyType.S2: 37.0,
     StrategyType.S3: 33.0,
 }
+
+
+def grid(config: Optional[ApplicationStudyConfig] = None) -> StudyGrid:
+    """Fig. 3a rides the shared application-level study grid, so its
+    cells are cached once for both Fig. 3 panels."""
+    return application_grid(config or ApplicationStudyConfig())
 
 
 def run(n_jobs: int = 200, seed: int = 2009,

@@ -10,10 +10,21 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.strategy import StrategyType
+from ..platform import StudyGrid
 from .common import ExperimentTable
-from .study import ApplicationStudyConfig, application_level_study
+from .study import (
+    ApplicationStudyConfig,
+    application_grid,
+    application_level_study,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid"]
+
+
+def grid(config: Optional[ApplicationStudyConfig] = None) -> StudyGrid:
+    """Fig. 3b rides the shared application-level study grid, so its
+    cells are cached once for both Fig. 3 panels."""
+    return application_grid(config or ApplicationStudyConfig())
 
 #: The fast/slow percentages printed in Fig. 3b.
 PAPER_SPLIT = {

@@ -12,10 +12,22 @@ from __future__ import annotations
 from typing import Optional
 
 from ..metrics.stats import normalize_relative
+from ..platform import StudyGrid
 from .common import ExperimentTable
-from .study import FIG4_TYPES, CoordinatedStudyConfig, coordinated_flow_study
+from .study import (
+    FIG4_TYPES,
+    CoordinatedStudyConfig,
+    coordinated_flow_study,
+    coordinated_grid,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid"]
+
+
+def grid(config: Optional[CoordinatedStudyConfig] = None) -> StudyGrid:
+    """Fig. 4b rides the shared coordinated study grid (MS1/S2/S3), so
+    its cells are cached once for both Fig. 4b and Fig. 4c."""
+    return coordinated_grid(config or CoordinatedStudyConfig())
 
 
 def run(n_jobs: int = 60, seed: int = 2009,

@@ -12,13 +12,25 @@ from typing import Optional
 
 from ..core.resources import NodeGroup
 from ..core.strategy import StrategyType
+from ..platform import StudyGrid
 from .common import ExperimentTable
-from .study import CoordinatedStudyConfig, coordinated_flow_study
+from .study import (
+    CoordinatedStudyConfig,
+    coordinated_flow_study,
+    coordinated_grid,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid"]
 
 #: Families shown in Fig. 4a.
 FIG4A_TYPES = (StrategyType.S1, StrategyType.S2, StrategyType.S3)
+
+
+def grid(config: Optional[CoordinatedStudyConfig] = None) -> StudyGrid:
+    """Fig. 4a's coordinated study grid (S1/S2/S3 families — unlike
+    Fig. 4b/4c it shows S1 rather than its truncated MS1 variant)."""
+    return coordinated_grid(
+        config or CoordinatedStudyConfig(stypes=FIG4A_TYPES))
 
 
 def run(n_jobs: int = 60, seed: int = 2009,

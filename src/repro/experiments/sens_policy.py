@@ -7,11 +7,16 @@ criterion.  This sweep varies each around its default and reports how
 the corresponding family's collision split and admissibility move —
 evidence that the reproduced shapes are properties of the model, not of
 a single lucky constant.
+
+The sweep is a platform grid over (setting × job block): each setting
+is a ``[constant, value]`` pair that fixes one policy knob for its
+affected family, and blocks fold in cell order into one
+:class:`~repro.metrics.indices.StrategyAggregate` per setting.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from ..core.strategy import DataPolicyKind, StrategyGenerator, StrategyType
 from ..grid.data import (
@@ -21,12 +26,18 @@ from ..grid.data import (
 )
 from ..grid.environment import GridEnvironment
 from ..metrics.indices import StrategyAggregate
+from ..platform import StudyGrid
 from ..sim.rng import RandomStreams
 from ..workload.generator import generate_job, generate_pool
 from .common import ExperimentTable, select_nodes_for_job
-from .study import ApplicationStudyConfig
+from .study import (
+    BLOCK_SIZE,
+    ApplicationStudyConfig,
+    _workload_from_config,
+    _workload_to_config,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "grid", "cell"]
 
 #: Swept values per constant (defaults: overlap 0.5, round trip
 #: 2.0, CF weight 2.5).
@@ -34,6 +45,13 @@ SWEEPS: dict[str, tuple[float, ...]] = {
     "replication overlap (S1)": (0.25, 0.5, 0.75),
     "static round trip (S3)": (1.5, 2.0, 3.0),
     "S2 CF weight": (1.0, 1.75, 2.5),  # default 2.5
+}
+
+#: Which family each swept constant exercises.
+_SWEEP_STYPE = {
+    "replication overlap (S1)": StrategyType.S1,
+    "static round trip (S3)": StrategyType.S3,
+    "S2 CF weight": StrategyType.S2,
 }
 
 
@@ -45,35 +63,81 @@ def _models(overlap: float = 0.5, round_trip: float = 2.0):
     }
 
 
-def _measure(stype: StrategyType, config: ApplicationStudyConfig,
-             overlap: float = 0.5, round_trip: float = 2.0,
-             cf_weight: Optional[float] = None) -> StrategyAggregate:
-    """The application-level study for one family under one setting."""
-    streams = RandomStreams(config.seed)
-    pool = generate_pool(streams.stream("pool"), config.workload)
+def cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: one (constant, value) setting over a job block."""
+    constant, value = config["setting"]
+    stype = _SWEEP_STYPE[constant]
+    overlap, round_trip, cf_weight = 0.5, 2.0, None
+    if constant == "replication overlap (S1)":
+        overlap = value
+    elif constant == "static round trip (S3)":
+        round_trip = value
+    elif constant == "S2 CF weight":
+        cf_weight = value
+    else:
+        raise ValueError(f"unknown swept constant {constant!r}")
+
+    study = ApplicationStudyConfig(
+        seed=config["seed"],
+        n_jobs=0,
+        busy_fraction=config["busy_fraction"],
+        nodes_per_job=config["nodes_per_job"],
+        horizon_factor=config["horizon_factor"],
+        background_burst=config["background_burst"],
+        workload=_workload_from_config(config["workload"]),
+    )
+    streams = RandomStreams(study.seed)
+    pool = generate_pool(streams.stream("pool"), study.workload)
     aggregate = StrategyAggregate(stype=stype)
-    for index in range(config.n_jobs):
+    lo, hi = config["block"]
+    for index in range(lo, hi):
         job = generate_job(streams.fork("jobs", index), index,
-                           config.workload)
+                           study.workload)
         subset = select_nodes_for_job(pool, streams.fork("nodes", index),
-                                      config.nodes_per_job)
+                                      study.nodes_per_job)
         environment = GridEnvironment(subset)
-        horizon = max(1, int(job.deadline * config.horizon_factor))
+        horizon = max(1, int(job.deadline * study.horizon_factor))
         environment.apply_background_load(
-            streams.fork("background", index), config.busy_fraction,
-            horizon, max_burst=config.background_burst)
+            streams.fork("background", index), study.busy_fraction,
+            horizon, max_burst=study.background_burst)
         generator = StrategyGenerator(
             subset, _models(overlap, round_trip),
             balanced_cf_weight=cf_weight)
         aggregate.add(generator.generate(job, environment.snapshot(),
                                          stype))
-    return aggregate
+    return aggregate.to_row()
+
+
+def grid(config: Optional[ApplicationStudyConfig] = None,
+         block_size: int = BLOCK_SIZE) -> StudyGrid:
+    """The sensitivity sweep as a grid: setting × job block."""
+    config = config or ApplicationStudyConfig(n_jobs=60)
+    blocks = [(lo, min(lo + block_size, config.n_jobs))
+              for lo in range(0, config.n_jobs, block_size)]
+    settings = [[constant, value]
+                for constant, values in SWEEPS.items()
+                for value in values]
+    return StudyGrid(
+        study="sens-policy",
+        runner="repro.experiments.sens_policy:cell",
+        axes={"setting": settings, "block": blocks},
+        base={
+            "seed": config.seed,
+            "busy_fraction": config.busy_fraction,
+            "nodes_per_job": config.nodes_per_job,
+            "horizon_factor": config.horizon_factor,
+            "background_burst": config.background_burst,
+            "workload": _workload_to_config(config.workload),
+        },
+    )
 
 
 def run(n_jobs: int = 60, seed: int = 2009,
-        config: Optional[ApplicationStudyConfig] = None) -> ExperimentTable:
+        config: Optional[ApplicationStudyConfig] = None,
+        workers: int = 1) -> ExperimentTable:
     """Sweep each constant and report the affected family's shape."""
     config = config or ApplicationStudyConfig(seed=seed, n_jobs=n_jobs)
+    results = grid(config).run(workers=workers)
 
     table = ExperimentTable(
         experiment_id="sens-policy",
@@ -82,9 +146,16 @@ def run(n_jobs: int = 60, seed: int = 2009,
         columns=["constant", "value", "strategy", "admissible %",
                  "fast %", "slow %"],
     )
-
-    def add(constant: str, value: float,
-            aggregate: StrategyAggregate) -> None:
+    for (setting,), bucket in results.group_by("setting").items():
+        constant, value = setting
+        aggregate: Optional[StrategyAggregate] = None
+        for row in bucket:
+            block = StrategyAggregate.from_row(row)
+            if aggregate is None:
+                aggregate = block
+            else:
+                aggregate.merge(block)
+        assert aggregate is not None
         fast, slow = aggregate.collision_split
         table.add_row(**{
             "constant": constant,
@@ -94,16 +165,6 @@ def run(n_jobs: int = 60, seed: int = 2009,
             "fast %": fast,
             "slow %": slow,
         })
-
-    for overlap in SWEEPS["replication overlap (S1)"]:
-        add("replication overlap (S1)", overlap,
-            _measure(StrategyType.S1, config, overlap=overlap))
-    for round_trip in SWEEPS["static round trip (S3)"]:
-        add("static round trip (S3)", round_trip,
-            _measure(StrategyType.S3, config, round_trip=round_trip))
-    for cf_weight in SWEEPS["S2 CF weight"]:
-        add("S2 CF weight", cf_weight,
-            _measure(StrategyType.S2, config, cf_weight=cf_weight))
 
     table.notes.append(
         "expected: S1 remains the least fast-leaning family across the "

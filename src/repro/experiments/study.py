@@ -11,20 +11,25 @@
   Fig. 4a (load levels), Fig. 4b (cost / execution time), and Fig. 4c
   (time-to-live / start deviation).
 
-Both studies accept a ``workers`` argument: per-job ``streams.fork``
-seeding makes every study job independent and order-insensitive, so the
-fan-out (``concurrent.futures.ProcessPoolExecutor``) merges results in
-job order and is bit-identical to the sequential path for any worker
-count.
+Both studies are grid-shaped (:mod:`repro.platform`): the application
+study's cells are (strategy family × job block) — a block is a
+contiguous index range, so growing ``n_jobs`` only *adds* cells and
+every previously cached block stays valid — and the coordinated study's
+cells are whole per-family runs.  Cell runners are pure functions of
+their config: all randomness forks from ``(seed, stream name, index)``,
+which is what makes any worker count, and any cached/computed split,
+bit-identical to the sequential path.
+
+:func:`application_grid` / :func:`coordinated_grid` expose the specs
+for the ``repro study`` CLI; the two study functions keep their
+original dict-of-aggregates signatures by folding grid rows back
+through ``from_row`` in cell order.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from itertools import repeat
-from typing import Any, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping, Optional
 
 from ..core.resources import NodeGroup
 from ..core.strategy import StrategyGenerator, StrategyType
@@ -32,17 +37,23 @@ from ..flow.reallocation import strategy_time_to_live
 from ..grid.data import default_policy_models
 from ..grid.environment import GridEnvironment
 from ..grid.execution import simulate_execution
-from ..metrics.indices import StrategyAggregate, aggregate_strategies
+from ..metrics.indices import ROW_SCHEMA_VERSION, StrategyAggregate
 from ..metrics.stats import mean
+from ..platform import (ProgressEvent, Results, ResultStore, StudyGrid,
+                        effective_workers)
 from ..sim.rng import RandomStreams
 from ..workload.generator import WorkloadConfig, generate_job, generate_pool
 from .common import select_nodes_for_job
 
 __all__ = [
     "ApplicationStudyConfig",
+    "application_cell",
+    "application_grid",
     "application_level_study",
     "CoordinatedStudyConfig",
     "CoordinatedRow",
+    "coordinated_cell",
+    "coordinated_grid",
     "coordinated_flow_study",
 ]
 
@@ -52,6 +63,11 @@ FIG3_TYPES: tuple[StrategyType, ...] = (
 #: The families shown in Fig. 4b/4c.
 FIG4_TYPES: tuple[StrategyType, ...] = (
     StrategyType.MS1, StrategyType.S2, StrategyType.S3)
+
+#: Jobs per application-study grid cell.  Coarse enough that the
+#: per-cell pool rebuild is noise, fine enough that a grid run streams
+#: progress and a resumed run salvages most of an interrupted study.
+BLOCK_SIZE = 25
 
 
 @dataclass(frozen=True)
@@ -77,13 +93,32 @@ class ApplicationStudyConfig:
 
 
 def _effective_workers(workers: Optional[int], task_count: int) -> int:
-    """Clamp a worker request to something sensible for ``task_count``."""
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ValueError(f"workers must be positive, got {workers}")
-    return min(workers, max(1, task_count))
+    """Back-compat alias of :func:`repro.platform.effective_workers`."""
+    return effective_workers(workers, task_count)
 
+
+# ----------------------------------------------------------------------
+# Config (de)serialization — grid cells carry primitives only
+# ----------------------------------------------------------------------
+
+def _workload_to_config(workload: WorkloadConfig) -> dict[str, Any]:
+    """A JSON-ready (and hashable-by-content) workload description."""
+    payload: dict[str, Any] = {}
+    for spec in fields(WorkloadConfig):
+        value = getattr(workload, spec.name)
+        payload[spec.name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def _workload_from_config(data: Mapping[str, Any]) -> WorkloadConfig:
+    kwargs = {name: tuple(value) if isinstance(value, (list, tuple)) else value
+              for name, value in data.items()}
+    return WorkloadConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Application-level study (Fig. 3)
+# ----------------------------------------------------------------------
 
 def _study_job_strategies(pool: Any, policy_models: Any,
                           config: ApplicationStudyConfig, index: int) -> list:
@@ -92,7 +127,7 @@ def _study_job_strategies(pool: Any, policy_models: Any,
     Pure function of ``(config, index)`` given the shared pool: all
     randomness flows through ``streams.fork(name, index)``, which seeds
     from ``(seed, name, index)`` only — independent of generation order,
-    which is what makes the parallel fan-out bit-identical.
+    which is what makes the grid fan-out bit-identical.
     """
     streams = RandomStreams(config.seed)
     job = generate_job(streams.fork("jobs", index), index, config.workload)
@@ -110,75 +145,104 @@ def _study_job_strategies(pool: Any, policy_models: Any,
             for stype in config.stypes]
 
 
-#: Per-process state of the study workers (pool + policy models are
-#: deterministic functions of the config, rebuilt once per process).
-_WORKER_STATE: dict[str, Any] = {}
+def application_cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: a block of jobs under one strategy family.
 
-
-def _init_study_worker(config: ApplicationStudyConfig) -> None:
-    streams = RandomStreams(config.seed)
-    _WORKER_STATE["pool"] = generate_pool(streams.stream("pool"),
-                                          config.workload)
-    _WORKER_STATE["policy_models"] = default_policy_models()
-    _WORKER_STATE["config"] = config
-
-
-def _study_worker_job(index: int
-                      ) -> dict[StrategyType, StrategyAggregate]:
-    """One job's strategies, pre-aggregated.
-
-    Workers ship per-job aggregates (a handful of floats) rather than
-    whole strategies, so the IPC payload stays small; the parent merges
-    them in job order, which is exactly the fold the sequential path
-    performs.
+    ``config`` is the cell's resolved primitives — study scalars, the
+    workload dict, ``stype`` (family name), and ``block`` as a
+    ``[lo, hi)`` index range.  Returns the block's
+    :meth:`~repro.metrics.indices.StrategyAggregate.to_row` payload;
+    merging block rows in cell order reproduces the single-pass fold.
     """
-    strategies = _study_job_strategies(_WORKER_STATE["pool"],
-                                       _WORKER_STATE["policy_models"],
-                                       _WORKER_STATE["config"], index)
-    return aggregate_strategies(strategies)
+    stype = StrategyType[config["stype"]]
+    study = ApplicationStudyConfig(
+        seed=config["seed"],
+        n_jobs=0,
+        busy_fraction=config["busy_fraction"],
+        nodes_per_job=config["nodes_per_job"],
+        horizon_factor=config["horizon_factor"],
+        background_burst=config["background_burst"],
+        stypes=(stype,),
+        workload=_workload_from_config(config["workload"]),
+    )
+    streams = RandomStreams(study.seed)
+    pool = generate_pool(streams.stream("pool"), study.workload)
+    policy_models = default_policy_models()
+    aggregate = StrategyAggregate(stype=stype)
+    lo, hi = config["block"]
+    for index in range(lo, hi):
+        for strategy in _study_job_strategies(pool, policy_models,
+                                              study, index):
+            aggregate.add(strategy)
+    return aggregate.to_row()
+
+
+def application_grid(config: Optional[ApplicationStudyConfig] = None,
+                     block_size: int = BLOCK_SIZE) -> StudyGrid:
+    """The Fig. 3 study as a declarative grid: family × job block.
+
+    ``n_jobs`` is deliberately *not* part of the cell config — it only
+    determines how many blocks exist, so raising it appends cells and
+    every cached block from the smaller study is reused as-is.
+    """
+    config = config or ApplicationStudyConfig()
+    blocks = [(lo, min(lo + block_size, config.n_jobs))
+              for lo in range(0, config.n_jobs, block_size)]
+    return StudyGrid(
+        study="application",
+        runner="repro.experiments.study:application_cell",
+        axes={
+            "stype": [stype.name for stype in config.stypes],
+            "block": blocks,
+        },
+        base={
+            "seed": config.seed,
+            "busy_fraction": config.busy_fraction,
+            "nodes_per_job": config.nodes_per_job,
+            "horizon_factor": config.horizon_factor,
+            "background_burst": config.background_burst,
+            "workload": _workload_to_config(config.workload),
+        },
+        schema_version=ROW_SCHEMA_VERSION,
+    )
+
+
+def _fold_application_rows(results: Results
+                           ) -> dict[StrategyType, StrategyAggregate]:
+    merged: dict[StrategyType, StrategyAggregate] = {}
+    for row in results:
+        aggregate = StrategyAggregate.from_row(row)
+        bucket = merged.get(aggregate.stype)
+        if bucket is None:
+            merged[aggregate.stype] = aggregate
+        else:
+            bucket.merge(aggregate)
+    return merged
 
 
 def application_level_study(config: Optional[ApplicationStudyConfig] = None,
-                            workers: Optional[int] = 1
+                            workers: Optional[int] = 1,
+                            store: Optional[ResultStore] = None,
+                            resume: bool = True,
+                            progress: Optional[
+                                Callable[[ProgressEvent], None]] = None,
                             ) -> dict[StrategyType, StrategyAggregate]:
     """Generate strategies for isolated random jobs and aggregate.
 
-    ``workers`` > 1 fans the jobs out over a process pool; results are
-    merged in job order, so the aggregates are bit-identical to the
-    sequential path for any worker count (``None``: one per CPU).
+    Runs the :func:`application_grid` pipeline and folds block rows in
+    cell order, so the aggregates are bit-identical for any worker
+    count (``None``: one per CPU) and for any cached/computed split
+    when a ``store`` is supplied.
     """
     config = config or ApplicationStudyConfig()
-    workers = _effective_workers(workers, config.n_jobs)
+    results = application_grid(config).run(
+        workers=workers, store=store, resume=resume, progress=progress)
+    return _fold_application_rows(results)
 
-    if workers <= 1:
-        streams = RandomStreams(config.seed)
-        pool = generate_pool(streams.stream("pool"), config.workload)
-        policy_models = default_policy_models()
-        strategies = []
-        for index in range(config.n_jobs):
-            strategies.extend(_study_job_strategies(
-                pool, policy_models, config, index))
-        return aggregate_strategies(strategies)
 
-    merged: dict[StrategyType, StrategyAggregate] = {}
-    chunksize = max(1, config.n_jobs // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers,
-                             initializer=_init_study_worker,
-                             initargs=(config,)) as executor:
-        # `map` yields in submission order — the deterministic merge:
-        # folding per-job aggregates in job order reproduces the
-        # sequential fold sample for sample.
-        for job_aggregates in executor.map(_study_worker_job,
-                                           range(config.n_jobs),
-                                           chunksize=chunksize):
-            for stype, aggregate in job_aggregates.items():
-                bucket = merged.get(stype)
-                if bucket is None:
-                    merged[stype] = aggregate
-                else:
-                    bucket.merge(aggregate)
-    return merged
-
+# ----------------------------------------------------------------------
+# Coordinated job-flow study (Fig. 4)
+# ----------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class CoordinatedStudyConfig:
@@ -203,6 +267,12 @@ class CoordinatedStudyConfig:
 class CoordinatedRow:
     """Per-family outcome of the coordinated study."""
 
+    #: Explicit serialization order (see :meth:`to_row`).
+    ROW_FIELDS = ("stype", "committed", "rejected", "load_by_group",
+                  "cost_per_volume", "execution_stretch",
+                  "completion_stretch", "ttl", "start_deviation_ratio",
+                  "switches")
+
     stype: StrategyType
     committed: int = 0
     rejected: int = 0
@@ -219,6 +289,49 @@ class CoordinatedRow:
     start_deviation_ratio: float = 0.0
     #: Mean supporting-schedule switches during the TTL replay.
     switches: float = 0.0
+
+    def to_row(self) -> dict[str, Any]:
+        """A flat, JSON-ready row in :data:`ROW_FIELDS` order; the
+        load mapping flattens to group names in :class:`NodeGroup`
+        declaration order so equal rows serialize to equal bytes."""
+        values: dict[str, Any] = {
+            "stype": self.stype.name,
+            "committed": self.committed,
+            "rejected": self.rejected,
+            "load_by_group": {
+                group.name: self.load_by_group[group]
+                for group in NodeGroup if group in self.load_by_group},
+            "cost_per_volume": self.cost_per_volume,
+            "execution_stretch": self.execution_stretch,
+            "completion_stretch": self.completion_stretch,
+            "ttl": self.ttl,
+            "start_deviation_ratio": self.start_deviation_ratio,
+            "switches": self.switches,
+        }
+        row = {"row_schema": ROW_SCHEMA_VERSION}
+        row.update((name, values[name]) for name in self.ROW_FIELDS)
+        return row
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "CoordinatedRow":
+        """Rebuild from :meth:`to_row` output (extra keys ignored)."""
+        schema = row.get("row_schema")
+        if schema != ROW_SCHEMA_VERSION:
+            raise ValueError(
+                f"coordinated row schema {schema!r} != {ROW_SCHEMA_VERSION}")
+        return cls(
+            stype=StrategyType[row["stype"]],
+            committed=int(row["committed"]),
+            rejected=int(row["rejected"]),
+            load_by_group={NodeGroup[name]: float(value)
+                           for name, value in row["load_by_group"].items()},
+            cost_per_volume=float(row["cost_per_volume"]),
+            execution_stretch=float(row["execution_stretch"]),
+            completion_stretch=float(row["completion_stretch"]),
+            ttl=float(row["ttl"]),
+            start_deviation_ratio=float(row["start_deviation_ratio"]),
+            switches=float(row["switches"]),
+        )
 
 
 def _coordinated_family(config: CoordinatedStudyConfig,
@@ -300,23 +413,72 @@ def _coordinated_family(config: CoordinatedStudyConfig,
     return row
 
 
+def coordinated_cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid cell: a whole shared-environment run for one family.
+
+    Families can't be split into job blocks — each job's commit changes
+    the environment every later job sees — so the family *is* the cell.
+    """
+    stype = StrategyType[config["stype"]]
+    study = CoordinatedStudyConfig(
+        seed=config["seed"],
+        n_jobs=config["n_jobs"],
+        busy_fraction=config["busy_fraction"],
+        horizon=config["horizon"],
+        drift_rate=config["drift_rate"],
+        forecast_noise=config["forecast_noise"],
+        stypes=(stype,),
+        workload=_workload_from_config(config["workload"]),
+    )
+    return _coordinated_family(study, stype).to_row()
+
+
+def coordinated_grid(config: Optional[CoordinatedStudyConfig] = None
+                     ) -> StudyGrid:
+    """The Fig. 4 study as a declarative grid: one cell per family."""
+    config = config or CoordinatedStudyConfig()
+    return StudyGrid(
+        study="coordinated",
+        runner="repro.experiments.study:coordinated_cell",
+        axes={"stype": [stype.name for stype in config.stypes]},
+        base={
+            "seed": config.seed,
+            "n_jobs": config.n_jobs,
+            "busy_fraction": config.busy_fraction,
+            "horizon": config.horizon,
+            "drift_rate": config.drift_rate,
+            "forecast_noise": config.forecast_noise,
+            "workload": _workload_to_config(config.workload),
+        },
+        schema_version=ROW_SCHEMA_VERSION,
+    )
+
+
+def _fold_coordinated_rows(results: Results
+                           ) -> dict[StrategyType, CoordinatedRow]:
+    rows = {}
+    for row in results:
+        rebuilt = CoordinatedRow.from_row(row)
+        rows[rebuilt.stype] = rebuilt
+    return rows
+
+
 def coordinated_flow_study(config: Optional[CoordinatedStudyConfig] = None,
-                           workers: Optional[int] = 1
+                           workers: Optional[int] = 1,
+                           store: Optional[ResultStore] = None,
+                           resume: bool = True,
+                           progress: Optional[
+                               Callable[[ProgressEvent], None]] = None,
                            ) -> dict[StrategyType, CoordinatedRow]:
     """Run the shared-environment study once per strategy family.
 
     Every family sees the *same* jobs, node pool, background load, and
     drift events (identical seeds), so differences between rows are the
     strategies' doing.  Families are mutually independent (each owns a
-    fresh environment), so ``workers`` > 1 fans them out over processes;
-    rows merge in family order and match the sequential results exactly.
+    fresh environment), so the grid fans them out over processes; rows
+    merge in family order and match the sequential results exactly.
     """
     config = config or CoordinatedStudyConfig()
-    workers = _effective_workers(workers, len(config.stypes))
-    if workers <= 1:
-        return {stype: _coordinated_family(config, stype)
-                for stype in config.stypes}
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        rows = list(executor.map(_coordinated_family, repeat(config),
-                                 config.stypes))
-    return dict(zip(config.stypes, rows))
+    results = coordinated_grid(config).run(
+        workers=workers, store=store, resume=resume, progress=progress)
+    return _fold_coordinated_rows(results)

@@ -9,18 +9,31 @@ task execution time, strategy time-to-live, and start-deviation ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable, Mapping
 
 from ..core.collisions import CollisionStats
+from ..core.resources import NodeGroup
 from ..core.strategy import Strategy, StrategyType
 from .stats import mean, percentage
 
-__all__ = ["StrategyAggregate", "aggregate_strategies"]
+__all__ = ["ROW_SCHEMA_VERSION", "StrategyAggregate",
+           "aggregate_strategies"]
+
+#: Version tag of the :meth:`StrategyAggregate.to_row` /
+#: :meth:`CoordinatedRow.to_row` layouts.  It participates in every
+#: study-grid cell key, so bumping it orphans (rather than misreads)
+#: cached cells written under the old layout.
+ROW_SCHEMA_VERSION = 1
 
 
 @dataclass
 class StrategyAggregate:
     """Accumulated statistics for one strategy family."""
+
+    #: Explicit serialization order — exported tables stay diffable
+    #: across runs because column order never depends on dict whims.
+    ROW_FIELDS = ("stype", "jobs", "admissible_jobs", "collisions",
+                  "generation_expense", "costs", "makespans", "coverages")
 
     stype: StrategyType
     jobs: int = 0
@@ -63,6 +76,51 @@ class StrategyAggregate:
         self.costs.extend(other.costs)
         self.makespans.extend(other.makespans)
         self.coverages.extend(other.coverages)
+
+    def to_row(self) -> dict[str, Any]:
+        """A flat, JSON-ready row in :data:`ROW_FIELDS` order.
+
+        Enums flatten to names and the collision tally to a
+        ``{group name: count}`` mapping in :class:`NodeGroup`
+        declaration order, so equal aggregates always serialize to
+        equal bytes.
+        """
+        values: dict[str, Any] = {
+            "stype": self.stype.name,
+            "jobs": self.jobs,
+            "admissible_jobs": self.admissible_jobs,
+            "collisions": {group.name: self.collisions.by_group[group]
+                           for group in NodeGroup},
+            "generation_expense": self.generation_expense,
+            "costs": list(self.costs),
+            "makespans": list(self.makespans),
+            "coverages": list(self.coverages),
+        }
+        row = {"row_schema": ROW_SCHEMA_VERSION}
+        row.update((name, values[name]) for name in self.ROW_FIELDS)
+        return row
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "StrategyAggregate":
+        """Rebuild from :meth:`to_row` output (extra keys ignored, so
+        grid rows — which prepend axis coordinates — feed in directly)."""
+        schema = row.get("row_schema")
+        if schema != ROW_SCHEMA_VERSION:
+            raise ValueError(
+                f"aggregate row schema {schema!r} != {ROW_SCHEMA_VERSION}")
+        collisions = CollisionStats()
+        for name, count in row["collisions"].items():
+            collisions.by_group[NodeGroup[name]] = int(count)
+        return cls(
+            stype=StrategyType[row["stype"]],
+            jobs=int(row["jobs"]),
+            admissible_jobs=int(row["admissible_jobs"]),
+            collisions=collisions,
+            generation_expense=int(row["generation_expense"]),
+            costs=[float(v) for v in row["costs"]],
+            makespans=[int(v) for v in row["makespans"]],
+            coverages=[float(v) for v in row["coverages"]],
+        )
 
     @property
     def admissible_pct(self) -> float:

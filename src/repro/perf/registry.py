@@ -112,6 +112,16 @@ Counter names reported by the kernel
     ranking.
 ``job.paths_cache_hits`` / ``job.paths_cache_misses``
     Reuse of the context's per-job source→sink path enumeration.
+``platform.store_served`` / ``platform.store_absent`` /
+``platform.store_corrupt``
+    Content-addressed result-store reads (``repro.platform.store``):
+    verified records served without recomputation, keys with no record
+    on disk, and records that existed but failed digest/key
+    verification (treated as absent and recomputed).  Deliberately
+    *not* a ``*_hits``/``*_misses`` pair — the store is a cross-run
+    on-disk cache keyed by config content, not a
+    :class:`~repro.core.context.SchedulingContext` cache, and the pair
+    suffix is reserved for those.
 
 Every ``*_hits``/``*_misses`` pair above is emitted by exactly one
 cache owned by the :class:`~repro.core.context.SchedulingContext`

@@ -1,0 +1,72 @@
+"""Streaming progress for grid runs: cells done, cache hits, ETA.
+
+The grid runner emits one :class:`ProgressEvent` per finished cell
+(cached or computed) through whatever callback it was given; the
+:class:`StudyReporter` here is the stock consumer — it keeps the event
+trail for tests and, when ``echo`` is set, renders a one-line ticker
+for the ``repro study run`` CLI.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+__all__ = ["ProgressEvent", "StudyReporter"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One cell finished (served from the store or freshly computed)."""
+
+    study: str
+    done: int
+    total: int
+    computed: int
+    cached: int
+    corrupt: int
+    elapsed_seconds: float
+    #: Estimated seconds remaining, extrapolated from the mean cost of
+    #: *computed* cells only (cached cells are ~free and would skew the
+    #: estimate toward zero); None until the first cell computes.
+    eta_seconds: Optional[float]
+    coords: "tuple[tuple[str, object], ...]" = ()
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    def describe(self) -> str:
+        eta = ("--" if self.eta_seconds is None
+               else f"{self.eta_seconds:5.1f}s")
+        return (f"[{self.study}] {self.done}/{self.total} cells"
+                f" ({self.cached} cached, {self.computed} computed,"
+                f" {self.corrupt} corrupt) eta {eta}")
+
+
+@dataclass
+class StudyReporter:
+    """Collects :class:`ProgressEvent` objects; optionally echoes them.
+
+    ``echo`` writes a carriage-return ticker to ``stream`` (stderr by
+    default) so long grid runs show live progress without flooding
+    scrollback; the final event gets a real newline.
+    """
+
+    echo: bool = False
+    stream: Optional[IO[str]] = None
+    events: "list[ProgressEvent]" = field(default_factory=list)
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+        if not self.echo:
+            return
+        stream = self.stream if self.stream is not None else sys.stderr
+        end = "\n" if event.done >= event.total else "\r"
+        stream.write(event.describe() + end)
+        stream.flush()
+
+    @property
+    def last(self) -> Optional[ProgressEvent]:
+        return self.events[-1] if self.events else None

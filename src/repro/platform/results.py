@@ -1,0 +1,167 @@
+"""Typed, queryable study results with a versioned export schema.
+
+A :class:`Results` object is what :meth:`StudyGrid.run` returns: one
+row per grid cell, each row a flat dict whose leading keys are the grid
+coordinates and whose remaining keys are the cell payload.  Rows are
+plain JSON values (the grid runner normalizes payloads through the
+store's canonical encoding even on cold runs), so a Results built from
+fresh computation is bit-identical to one assembled from cached cells.
+
+Queries stay deliberately small — ``filter`` / ``group_by`` /
+``to_table`` cover what the experiment modules and CLI need without
+growing a dataframe library.  Exports (CSV / Parquet / JSON) carry
+``schema_version`` so downstream diffs can tell a layout change from a
+result change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+__all__ = ["RESULTS_SCHEMA_VERSION", "Results"]
+
+#: Bump when the exported row layout changes incompatibly (column
+#: semantics, value encodings).  Stamped into every export.
+RESULTS_SCHEMA_VERSION = 1
+
+
+def _hashable(value: Any) -> Any:
+    """A hashable stand-in for a JSON value (lists/dicts → tuples)."""
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple((key, _hashable(item))
+                     for key, item in value.items())
+    return value
+
+
+@dataclass
+class Results:
+    """Per-cell rows from a study grid run.
+
+    ``columns`` fixes the export order (coordinates first, then payload
+    fields); rows may omit trailing payload fields, which export as
+    empty.  ``meta`` carries run bookkeeping — total / computed /
+    cached / corrupt cell counts — which the resume smoke test and the
+    CLI summary line both read.
+    """
+
+    study: str
+    columns: "tuple[str, ...]"
+    rows: "list[dict[str, Any]]" = field(default_factory=list)
+    meta: "dict[str, Any]" = field(default_factory=dict)
+    schema_version: int = RESULTS_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> "Iterator[dict[str, Any]]":
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> "dict[str, Any]":
+        return self.rows[index]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def filter(self,
+               predicate: "Optional[Callable[[Mapping[str, Any]], bool]]"
+               = None,
+               **equals: Any) -> "Results":
+        """Rows matching the predicate and/or ``column=value`` pairs."""
+        def keep(row: "Mapping[str, Any]") -> bool:
+            if predicate is not None and not predicate(row):
+                return False
+            return all(row.get(col) == value
+                       for col, value in equals.items())
+
+        return Results(study=self.study, columns=self.columns,
+                       rows=[dict(row) for row in self.rows if keep(row)],
+                       meta=dict(self.meta),
+                       schema_version=self.schema_version)
+
+    def group_by(self, *cols: str) -> "dict[tuple[Any, ...], Results]":
+        """Split rows into sub-Results keyed by the named columns,
+        preserving first-seen group order (which is cell order).
+
+        List- and dict-valued columns (JSON-normalized coordinates)
+        key as tuples, so any exported column can group.
+        """
+        groups: "dict[tuple[Any, ...], Results]" = {}
+        for row in self.rows:
+            key = tuple(_hashable(row.get(col)) for col in cols)
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = Results(study=self.study, columns=self.columns,
+                                 meta=dict(self.meta),
+                                 schema_version=self.schema_version)
+                groups[key] = bucket
+            bucket.rows.append(dict(row))
+        return groups
+
+    def column(self, name: str) -> "list[Any]":
+        """Every row's value for one column."""
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Conversions and exports
+    # ------------------------------------------------------------------
+
+    def to_table(self, experiment_id: str = "", title: str = "",
+                 columns: "Optional[Sequence[str]]" = None) -> Any:
+        """As an :class:`~repro.experiments.common.ExperimentTable`.
+
+        Imported lazily: ``repro.io`` pulls in ``experiments.common``
+        at module scope, so importing it here at module scope would
+        close an import cycle through the experiments package.
+        """
+        from ..experiments.common import ExperimentTable
+
+        cols = tuple(columns) if columns is not None else self.columns
+        table = ExperimentTable(
+            experiment_id=experiment_id or self.study,
+            title=title or f"study grid: {self.study}",
+            columns=cols,
+        )
+        for row in self.rows:
+            table.add_row(**{col: row.get(col) for col in cols})
+        return table
+
+    def to_json(self, path: str) -> None:
+        """Versioned JSON export (schema header + rows)."""
+        from .. import io
+
+        io.dump_json(self._export_payload(), path)
+
+    def to_csv(self, path: str) -> None:
+        """CSV export; first row is a ``# schema`` comment header."""
+        from .. import io
+
+        io.dump_csv(self.columns, self.rows, path,
+                    schema_header=self._schema_header())
+
+    def to_parquet(self, path: str) -> None:
+        """Parquet export; raises RuntimeError when pyarrow is absent."""
+        from .. import io
+
+        io.dump_parquet(self.columns, self.rows, path,
+                        metadata=self._schema_header())
+
+    def _schema_header(self) -> "dict[str, str]":
+        return {"study": self.study,
+                "results_schema": str(self.schema_version)}
+
+    def _export_payload(self) -> "dict[str, Any]":
+        return {
+            "study": self.study,
+            "results_schema": self.schema_version,
+            "columns": list(self.columns),
+            "meta": dict(self.meta),
+            "rows": [dict(row) for row in self.rows],
+        }

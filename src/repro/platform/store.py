@@ -1,0 +1,233 @@
+"""Content-addressed result store: resumable, corruption-detecting.
+
+Every grid cell persists as one JSON record keyed by a stable SHA-256
+hash of its *resolved* configuration (base parameters + axis
+coordinates) together with the study's schema version — see
+:func:`content_key`.  Two consequences the platform's resumability
+rests on:
+
+* re-running an identical grid finds every key and recomputes nothing;
+* changing one parameter changes exactly the keys of the cells whose
+  resolved config contains it — the affected slice — and no others.
+
+Records embed a digest of their own body; :meth:`ResultStore.get`
+recomputes it on every read, so a truncated or bit-flipped cell file is
+*detected* and treated as a miss (recomputed), never trusted.  All
+writes are atomic (temp file + ``os.replace``) so a crashed run leaves
+either the old record or the new one, not a torn file.
+
+Counters (when :data:`~repro.perf.registry.PERF` collects):
+``platform.store_served`` (valid records returned),
+``platform.store_absent`` (keys not present), and
+``platform.store_corrupt`` (records present but failing verification).
+Deliberately not a ``*_hits``/``*_misses`` pair — that suffix is
+reserved for :class:`~repro.core.context.SchedulingContext` caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from ..perf import PERF
+
+__all__ = ["STORE_SCHEMA_VERSION", "canonical_json", "content_key",
+           "ResultStore"]
+
+#: Bump when the on-disk record layout changes incompatibly; part of
+#: every cell key, so old-layout records are simply never matched.
+STORE_SCHEMA_VERSION = 1
+
+
+def _canonical_default(value: Any) -> Any:
+    """JSON fallback for the value kinds grid configs legitimately hold."""
+    # Enums serialize by value, numpy scalars by their Python builtin.
+    if hasattr(value, "value") and type(type(value)).__name__ == "EnumType":
+        return value.value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"not canonically serializable: {type(value).__name__!r}")
+
+
+def canonical_json(payload: Any) -> str:
+    """A byte-stable JSON rendering: sorted keys, minimal separators.
+
+    The store's single source of truth for both keys and digests —
+    tuples collapse to arrays, enums to values, numpy scalars to
+    builtins, so logically equal configs always hash equally.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_canonical_default)
+
+
+def normalize(payload: Any) -> Any:
+    """The payload as it would read back from the store (JSON round
+    trip).  Merging *normalized* payloads keeps cold runs bit-identical
+    to warm ones: tuples are lists and numpy scalars are builtins on
+    both paths."""
+    return json.loads(canonical_json(payload))
+
+
+def content_key(payload: Any) -> str:
+    """Stable SHA-256 hex key of a resolved cell description."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultStore:
+    """On-disk content-addressed store of grid-cell payloads.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fanout keeps
+    directories small at 10^5+ cells.  Records carry the study name and
+    cell coordinates for ``repro study ls`` but neither participates in
+    the key (the key is the resolved config's hash).
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored body for ``key``, or None (absent *or* corrupt).
+
+        A record is served only when it parses, names this key, and its
+        body re-hashes to the recorded digest; anything else counts as
+        corruption and reads as a miss so the runner recomputes the
+        cell instead of trusting damaged bytes.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            if PERF.enabled:
+                PERF.incr("platform.store_absent")
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            if PERF.enabled:
+                PERF.incr("platform.store_corrupt")
+            return None
+        if not self._verify(key, record):
+            if PERF.enabled:
+                PERF.incr("platform.store_corrupt")
+            return None
+        if PERF.enabled:
+            PERF.incr("platform.store_served")
+        body: dict[str, Any] = record["body"]
+        return body
+
+    @staticmethod
+    def _verify(key: str, record: Any) -> bool:
+        if not isinstance(record, dict):
+            return False
+        if record.get("key") != key:
+            return False
+        if record.get("store_schema") != STORE_SCHEMA_VERSION:
+            return False
+        body = record.get("body")
+        digest = hashlib.sha256(canonical_json(body).encode()).hexdigest()
+        return digest == record.get("digest")
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, body: Any, *, study: str = "",
+            coords: Any = None) -> None:
+        """Persist ``body`` under ``key`` (atomic replace)."""
+        body = normalize(body)
+        record = {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "study": study,
+            "coords": normalize(coords) if coords is not None else None,
+            "digest": hashlib.sha256(
+                canonical_json(body).encode()).hexdigest(),
+            "body": body,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Every parseable record in the store (corrupt files skipped)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    def inventory(self) -> dict[str, dict[str, Any]]:
+        """Per-study cell counts and byte sizes (``repro study ls``)."""
+        studies: dict[str, dict[str, Any]] = {}
+        for record in self.records():
+            study = str(record.get("study") or "<unknown>")
+            bucket = studies.setdefault(study, {"cells": 0, "bytes": 0})
+            bucket["cells"] += 1
+            try:
+                bucket["bytes"] += self.path_for(
+                    str(record.get("key", ""))).stat().st_size
+            except OSError:
+                pass
+        return studies
+
+    def clean(self, study: Optional[str] = None) -> int:
+        """Delete records (all, or one study's); returns the count.
+
+        Unparseable files are deleted too when cleaning everything —
+        they can never be served, only recounted as corruption.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in sorted(self.root.glob("*/*.json")):
+            keep = False
+            if study is not None:
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        record = json.load(handle)
+                    keep = (isinstance(record, dict)
+                            and record.get("study") != study)
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    keep = False
+            if not keep:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

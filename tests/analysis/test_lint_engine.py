@@ -138,7 +138,7 @@ def test_select_and_ignore():
 
 
 def test_registry_is_complete():
-    assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 13)]
+    assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 14)]
     for code, registered in RULES.items():
         assert registered.summary and registered.scope
         assert registered.docs_url.endswith(

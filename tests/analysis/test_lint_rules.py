@@ -588,3 +588,55 @@ def test_rep008_cross_shard_read_in_seam_is_fine():
             "        return self.planners[i].context.plans.get(\n"
             "            (shape, key, epochs))\n")
     assert run(seam, path=FLOW, only="REP008") == []
+
+
+# ---------------------------------------------------------------------
+# REP013 ad-hoc-study-plumbing (experiments)
+# ---------------------------------------------------------------------
+
+EXP = "src/repro/experiments/x.py"
+
+
+def test_rep013_pool_and_dict_returns_caught():
+    source = ("from concurrent.futures import ProcessPoolExecutor\n"
+              "def run_study(cells):\n"
+              "    with ProcessPoolExecutor(4) as pool:\n"
+              "        rows = list(pool.map(work, cells))\n"
+              "    return {cell: row for cell, row in zip(cells, rows)}\n")
+    found = run(source, path=EXP, only="REP013")
+    assert len(found) == 2
+    assert any("ProcessPoolExecutor" in v.message for v in found)
+    assert any("run_study" in v.message for v in found)
+
+    aliased = ("import concurrent.futures as cf\n"
+               "def fan_out(cells):\n"
+               "    with cf.ProcessPoolExecutor() as pool:\n"
+               "        return list(pool.map(work, cells))\n")
+    assert len(run(aliased, path=EXP, only="REP013")) == 1
+
+    dict_call = ("def coordinated_study(rows):\n"
+                 "    return dict(rows)\n")
+    assert len(run(dict_call, path=EXP, only="REP013")) == 1
+
+
+def test_rep013_scope_helpers_and_sanctions_are_fine():
+    # Entry points returning folded/typed results comply.
+    ok = ("def coordinated_flow_study(config):\n"
+          "    results = grid(config).run()\n"
+          "    return _fold_rows(results)\n")
+    assert run(ok, path=EXP, only="REP013") == []
+    # Cell workers return payload dicts by design (the store's record
+    # format) — only run*/_study entry points are audited.
+    cell = ("def cell(config):\n"
+            "    return {'expense': 1}\n")
+    assert run(cell, path=EXP, only="REP013") == []
+    # Outside experiments/ the rule never fires.
+    pool = ("from concurrent.futures import ProcessPoolExecutor\n"
+            "def run_bench():\n"
+            "    return {'pool': ProcessPoolExecutor()}\n")
+    assert run(pool, path=CORE, only="REP013") == []
+    # The standard escape hatch sanctions a line.
+    sanctioned = ("def run_probe():\n"
+                  "    # lint: platform-ok (diagnostic payload)\n"
+                  "    return {'raw': 1}\n")
+    assert run(sanctioned, path=EXP, only="REP013") == []

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,3 +67,95 @@ def test_analyze_with_lint_runs_the_simulator_lint(tmp_path, capsys):
                  "--lint", str(bad)]) == 1
     out = capsys.readouterr().out
     assert "REP001" in out
+
+
+# ---------------------------------------------------------------------
+# repro study (the resumable grid runner)
+# ---------------------------------------------------------------------
+
+def test_study_run_cold_then_warm_resumes(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["study", "run", "fig2", "--store", store]) == 0
+    cold = capsys.readouterr().out
+    assert "study=fig2 cells=1 computed=1 cached=0 corrupt=0" in cold
+
+    assert main(["study", "run", "fig2", "--store", store]) == 0
+    warm = capsys.readouterr().out
+    assert "study=fig2 cells=1 computed=0 cached=1 corrupt=0" in warm
+
+
+def test_study_no_resume_recomputes(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["study", "run", "fig2", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["study", "run", "fig2", "--store", store,
+                 "--no-resume"]) == 0
+    out = capsys.readouterr().out
+    assert "computed=1 cached=0" in out
+
+
+def test_study_ls_and_clean(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["study", "ls", "--store", store]) == 0
+    assert "store is empty" in capsys.readouterr().out
+
+    main(["study", "run", "fig2", "--store", store])
+    capsys.readouterr()
+    assert main(["study", "ls", "--store", store]) == 0
+    listing = capsys.readouterr().out
+    assert "fig2 cells=1 bytes=" in listing
+
+    assert main(["study", "clean", "--store", store,
+                 "--study", "fig2"]) == 0
+    assert "removed 1 cell(s) (fig2)" in capsys.readouterr().out
+
+
+def test_study_export_csv_and_json(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    out_csv = str(tmp_path / "fig2.csv")
+    assert main(["study", "export", "fig2", out_csv,
+                 "--store", store]) == 0
+    text = (tmp_path / "fig2.csv").read_text()
+    assert text.startswith("# study=fig2 results_schema=")
+    assert "wrote 1 row(s)" in capsys.readouterr().out
+
+    out_json = str(tmp_path / "fig2.json")
+    assert main(["study", "export", "fig2", out_json,
+                 "--format", "json", "--store", store]) == 0
+    payload = json.loads((tmp_path / "fig2.json").read_text())
+    assert payload["study"] == "fig2"
+    assert payload["meta"]["cached"] == 1  # served from the csv export
+
+
+def test_study_export_parquet_gated(tmp_path, capsys):
+    from repro.io import PARQUET_AVAILABLE
+
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "fig2.parquet")
+    status = main(["study", "export", "fig2", out,
+                   "--format", "parquet", "--store", store])
+    capsys.readouterr()
+    if PARQUET_AVAILABLE:  # pragma: no cover - environment-dependent
+        assert status == 0
+    else:
+        assert status == 2
+
+
+def test_study_run_json_dump(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    out = str(tmp_path / "results.json")
+    assert main(["study", "run", "fig2", "--store", store,
+                 "--json", out]) == 0
+    payload = json.loads((tmp_path / "results.json").read_text())
+    assert payload["meta"]["total"] == 1
+    capsys.readouterr()
+
+
+def test_study_unknown_id_rejected():
+    with pytest.raises(SystemExit):
+        main(["study", "run", "nope"])
+
+
+def test_study_without_subcommand_errors(capsys):
+    assert main(["study"]) == 2
+    assert "usage: repro study" in capsys.readouterr().err

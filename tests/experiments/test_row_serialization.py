@@ -1,0 +1,99 @@
+"""Stable row serialization for the study payload types (satellite 2):
+explicit field order, schema-version tag, loss-free to_row/from_row
+round trips — including through the store's JSON normalization, which
+is exactly what a cached cell goes through."""
+
+import pytest
+
+from repro.core.resources import NodeGroup
+from repro.core.strategy import StrategyType
+from repro.experiments.study import CoordinatedRow
+from repro.metrics.indices import ROW_SCHEMA_VERSION, StrategyAggregate
+from repro.platform.store import normalize
+
+
+def aggregate() -> StrategyAggregate:
+    built = StrategyAggregate(stype=StrategyType.S2)
+    built.jobs = 5
+    built.admissible_jobs = 4
+    built.generation_expense = 123
+    built.costs = [10.0, 20.5]
+    built.makespans = [7, 9]
+    built.coverages = [0.5, 0.75]
+    built.collisions.by_group[NodeGroup.FAST] = 2
+    built.collisions.by_group[NodeGroup.SLOW] = 1
+    return built
+
+
+def coordinated_row() -> CoordinatedRow:
+    return CoordinatedRow(
+        stype=StrategyType.MS1, committed=11, rejected=2,
+        load_by_group={NodeGroup.FAST: 0.8, NodeGroup.MEDIUM: 0.4},
+        cost_per_volume=1.25, execution_stretch=1.1,
+        completion_stretch=1.6, ttl=14.0,
+        start_deviation_ratio=0.2, switches=1.5)
+
+
+# ---------------------------------------------------------------------
+# Field order and schema tag
+# ---------------------------------------------------------------------
+
+def test_rows_lead_with_schema_and_follow_declared_field_order():
+    for built, cls in ((aggregate(), StrategyAggregate),
+                       (coordinated_row(), CoordinatedRow)):
+        row = built.to_row()
+        assert list(row) == ["row_schema", *cls.ROW_FIELDS]
+        assert row["row_schema"] == ROW_SCHEMA_VERSION
+
+
+def test_enums_flatten_to_names():
+    row = aggregate().to_row()
+    assert row["stype"] == "S2"
+    assert row["collisions"] == {"FAST": 2, "MEDIUM": 0, "SLOW": 1}
+    assert coordinated_row().to_row()["load_by_group"] == {
+        "FAST": 0.8, "MEDIUM": 0.4}
+
+
+# ---------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------
+
+def test_aggregate_round_trip_direct_and_through_store_normalization():
+    built = aggregate()
+    for row in (built.to_row(), normalize(built.to_row())):
+        back = StrategyAggregate.from_row(row)
+        assert back.stype is built.stype
+        assert back.jobs == built.jobs
+        assert back.admissible_jobs == built.admissible_jobs
+        assert back.generation_expense == built.generation_expense
+        assert back.costs == built.costs
+        assert back.makespans == built.makespans
+        assert back.coverages == built.coverages
+        assert back.collisions.by_group == built.collisions.by_group
+        assert back.to_row() == built.to_row()
+
+
+def test_coordinated_round_trip_direct_and_through_store_normalization():
+    built = coordinated_row()
+    for row in (built.to_row(), normalize(built.to_row())):
+        back = CoordinatedRow.from_row(row)
+        assert back == built
+        assert back.to_row() == built.to_row()
+
+
+def test_from_row_ignores_grid_coordinate_keys():
+    row = dict(aggregate().to_row())
+    row["stype_axis"] = "S2"  # grid rows prepend axis coordinates
+    row["block"] = [0, 25]
+    assert StrategyAggregate.from_row(row).to_row() == aggregate().to_row()
+
+
+def test_from_row_rejects_wrong_schema():
+    bad = dict(aggregate().to_row())
+    bad["row_schema"] = ROW_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        StrategyAggregate.from_row(bad)
+    worse = dict(coordinated_row().to_row())
+    del worse["row_schema"]
+    with pytest.raises(ValueError, match="schema"):
+        CoordinatedRow.from_row(worse)

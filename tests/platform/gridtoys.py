@@ -1,0 +1,32 @@
+"""Importable toy cell runners for the platform tests.
+
+Grid runners are addressed as ``"module:function"`` strings and must be
+importable from worker processes, so they live in a real module rather
+than inside test functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def square_cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """Pure function of the resolved config: payload is reproducible."""
+    return {"square": config["x"] ** 2 + config["offset"],
+            "label": f"{config['kind']}:{config['x']}"}
+
+
+def tuple_cell(config: Mapping[str, Any]) -> dict[str, Any]:
+    """Returns a tuple-valued payload — exercises JSON normalization
+    (cold rows must equal warm rows, where tuples read back as lists)."""
+    return {"pair": (config["x"], config["x"] + 1)}
+
+
+def scalar_cell(config: Mapping[str, Any]) -> int:
+    """Non-mapping payload; the merge puts it under the ``value`` key."""
+    return config["x"] * 10
+
+
+def square(item: int) -> int:
+    """Module-level worker for ``fanout_map`` (must pickle)."""
+    return item * item

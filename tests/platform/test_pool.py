@@ -1,0 +1,51 @@
+"""Worker clamping and the shared fan-out helper (satellite 1)."""
+
+import os
+
+import pytest
+
+from repro.platform import effective_workers, fanout_map
+
+from .gridtoys import square
+
+
+def test_effective_workers_clamps_to_task_count():
+    assert effective_workers(8, 3) == 3
+    assert effective_workers(2, 100) == 2
+    assert effective_workers(4, 0) == 1  # at least one worker
+
+
+def test_effective_workers_none_means_cpu_count():
+    assert effective_workers(None, 10 ** 6) == (os.cpu_count() or 1)
+
+
+def test_effective_workers_rejects_non_positive():
+    with pytest.raises(ValueError, match="positive"):
+        effective_workers(0, 5)
+    with pytest.raises(ValueError, match="positive"):
+        effective_workers(-2, 5)
+
+
+def test_fanout_map_inline_matches_parallel():
+    items = list(range(12))
+    inline = list(fanout_map(square, items, workers=1))
+    fanned = list(fanout_map(square, items, workers=3))
+    assert inline == fanned == [item * item for item in items]
+
+
+def test_fanout_map_single_item_stays_inline():
+    assert list(fanout_map(square, [7], workers=4)) == [49]
+
+
+def test_fanout_map_is_lazy_inline():
+    # The inline path is a generator: nothing runs until consumed.
+    calls = []
+
+    def tracked(item):
+        calls.append(item)
+        return item
+
+    iterator = fanout_map(tracked, [1, 2, 3], workers=1)
+    assert calls == []
+    assert next(iterator) == 1
+    assert calls == [1]

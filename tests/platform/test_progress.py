@@ -1,0 +1,45 @@
+"""ProgressEvent rendering and the StudyReporter ticker."""
+
+import io
+
+from repro.platform import ProgressEvent, StudyReporter
+
+
+def event(done: int, total: int = 4, computed: int = 0, cached: int = 0,
+          eta=None) -> ProgressEvent:
+    return ProgressEvent(study="toy", done=done, total=total,
+                         computed=computed, cached=cached, corrupt=0,
+                         elapsed_seconds=1.0, eta_seconds=eta)
+
+
+def test_fraction_and_describe():
+    halfway = event(2, computed=1, cached=1, eta=3.0)
+    assert halfway.fraction == 0.5
+    text = halfway.describe()
+    assert text.startswith("[toy] 2/4 cells")
+    assert "1 cached" in text and "1 computed" in text
+    assert "eta   3.0s" in text
+    assert "eta --" in event(1, computed=0, cached=1).describe()
+    assert ProgressEvent(study="s", done=0, total=0, computed=0,
+                         cached=0, corrupt=0, elapsed_seconds=0.0,
+                         eta_seconds=None).fraction == 1.0
+
+
+def test_reporter_collects_without_echo():
+    reporter = StudyReporter()
+    assert reporter.last is None
+    reporter(event(1))
+    reporter(event(2))
+    assert len(reporter.events) == 2
+    assert reporter.last.done == 2
+
+
+def test_reporter_echo_uses_carriage_returns_then_newline():
+    stream = io.StringIO()
+    reporter = StudyReporter(echo=True, stream=stream)
+    for done in (1, 2, 3, 4):
+        reporter(event(done, computed=done))
+    text = stream.getvalue()
+    assert text.count("\r") == 3
+    assert text.endswith("\n")
+    assert "[toy] 4/4 cells (0 cached, 4 computed, 0 corrupt)" in text

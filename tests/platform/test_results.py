@@ -1,0 +1,105 @@
+"""Results queries and versioned exports."""
+
+import csv
+import json
+
+import pytest
+
+from repro.io import PARQUET_AVAILABLE
+from repro.platform import RESULTS_SCHEMA_VERSION, Results
+
+
+def sample() -> Results:
+    return Results(
+        study="toy",
+        columns=("kind", "x", "score", "tags"),
+        rows=[
+            {"kind": "a", "x": 0, "score": 1.5, "tags": ["p"]},
+            {"kind": "a", "x": 1, "score": 2.5, "tags": ["q"]},
+            {"kind": "b", "x": 0, "score": 9.0, "tags": []},
+        ],
+        meta={"total": 3, "computed": 3, "cached": 0, "corrupt": 0},
+    )
+
+
+# ---------------------------------------------------------------------
+# Container protocol and queries
+# ---------------------------------------------------------------------
+
+def test_container_protocol():
+    results = sample()
+    assert len(results) == 3
+    assert results[2]["score"] == 9.0
+    assert [row["x"] for row in results] == [0, 1, 0]
+
+
+def test_filter_by_equality_and_predicate():
+    results = sample()
+    assert len(results.filter(kind="a")) == 2
+    assert len(results.filter(kind="a", x=1)) == 1
+    assert len(results.filter(lambda row: row["score"] > 2.0)) == 2
+    narrowed = results.filter(lambda row: row["score"] > 2.0, kind="a")
+    assert narrowed.rows == [
+        {"kind": "a", "x": 1, "score": 2.5, "tags": ["q"]}]
+    # Filtering copies; the original is untouched.
+    assert len(results) == 3
+
+
+def test_group_by_preserves_cell_order_and_handles_lists():
+    groups = sample().group_by("kind")
+    assert list(groups) == [("a",), ("b",)]
+    assert len(groups[("a",)]) == 2
+    # List-valued columns (JSON-normalized coordinates) key as tuples.
+    by_tags = sample().group_by("tags")
+    assert list(by_tags) == [(("p",),), (("q",),), ((),)]
+
+
+def test_column_extraction():
+    assert sample().column("score") == [1.5, 2.5, 9.0]
+    assert sample().column("missing") == [None, None, None]
+
+
+def test_to_table_round_trip():
+    table = sample().to_table(experiment_id="toy-table", title="Toy")
+    assert table.experiment_id == "toy-table"
+    assert list(table.columns) == ["kind", "x", "score", "tags"]
+    assert len(table.rows) == 3
+    narrowed = sample().to_table(columns=("kind", "score"))
+    assert list(narrowed.columns) == ["kind", "score"]
+
+
+# ---------------------------------------------------------------------
+# Versioned exports
+# ---------------------------------------------------------------------
+
+def test_json_export_carries_schema_and_rows(tmp_path):
+    out = tmp_path / "toy.json"
+    sample().to_json(str(out))
+    payload = json.loads(out.read_text())
+    assert payload["results_schema"] == RESULTS_SCHEMA_VERSION
+    assert payload["study"] == "toy"
+    assert payload["columns"] == ["kind", "x", "score", "tags"]
+    assert payload["rows"][2]["score"] == 9.0
+    assert payload["meta"]["total"] == 3
+
+
+def test_csv_export_has_schema_comment_and_flat_cells(tmp_path):
+    out = tmp_path / "toy.csv"
+    sample().to_csv(str(out))
+    lines = out.read_text().splitlines()
+    assert lines[0] == f"# study=toy results_schema={RESULTS_SCHEMA_VERSION}"
+    reader = csv.DictReader(lines[1:])
+    rows = list(reader)
+    assert len(rows) == 3
+    assert rows[0]["tags"] == '["p"]'  # containers embed as JSON
+
+
+def test_parquet_export_is_gated_on_pyarrow(tmp_path):
+    out = tmp_path / "toy.parquet"
+    if PARQUET_AVAILABLE:  # pragma: no cover - environment-dependent
+        sample().to_parquet(str(out))
+        assert out.exists()
+    else:
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            sample().to_parquet(str(out))
+        assert not out.exists()

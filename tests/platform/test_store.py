@@ -1,0 +1,143 @@
+"""Content-addressed store: keys, corruption detection, invalidation."""
+
+import json
+
+import pytest
+
+from repro.perf import PERF
+from repro.platform import ResultStore, content_key
+from repro.platform.store import (STORE_SCHEMA_VERSION, canonical_json,
+                                  normalize)
+
+
+# ---------------------------------------------------------------------
+# Canonical encoding and keys
+# ---------------------------------------------------------------------
+
+def test_canonical_json_is_order_and_container_insensitive():
+    assert canonical_json({"b": 1, "a": (1, 2)}) == \
+        canonical_json({"a": [1, 2], "b": 1})
+
+
+def test_canonical_json_flattens_enums():
+    from repro.core.strategy import StrategyType
+
+    assert canonical_json({"stype": StrategyType.S1}) == \
+        canonical_json({"stype": StrategyType.S1.value})
+
+
+def test_canonical_json_rejects_unserializable():
+    with pytest.raises(TypeError, match="not canonically serializable"):
+        canonical_json({"fn": object()})
+
+
+def test_normalize_matches_store_round_trip(tmp_path):
+    payload = {"pair": (1, 2), "n": 3}
+    store = ResultStore(tmp_path)
+    store.put("k" * 64, payload)
+    assert store.get("k" * 64) == normalize(payload)
+    assert normalize(payload) == {"pair": [1, 2], "n": 3}
+
+
+def test_content_key_is_stable_and_sensitive():
+    base = {"study": "s", "config": {"x": 1, "seed": 7}}
+    assert content_key(base) == content_key(
+        {"config": {"seed": 7, "x": 1}, "study": "s"})
+    changed = {"study": "s", "config": {"x": 2, "seed": 7}}
+    assert content_key(base) != content_key(changed)
+
+
+# ---------------------------------------------------------------------
+# Read/write path and corruption detection (satellite 3)
+# ---------------------------------------------------------------------
+
+def _key(n: int) -> str:
+    return content_key({"cell": n})
+
+
+def test_put_get_round_trip_and_contains(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get(_key(0)) is None
+    store.put(_key(0), {"v": 1}, study="toy", coords=(("x", 0),))
+    assert _key(0) in store
+    assert store.get(_key(0)) == {"v": 1}
+
+
+def test_truncated_record_detected_as_corrupt(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(1), {"v": [1, 2, 3]})
+    path = store.path_for(_key(1))
+    path.write_text(path.read_text()[:-20])
+
+    with PERF.collecting():
+        assert store.get(_key(1)) is None
+    assert PERF.counters.get("platform.store_corrupt") == 1
+
+
+def test_bit_flipped_body_fails_digest_check(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(2), {"v": 41})
+    path = store.path_for(_key(2))
+    record = json.loads(path.read_text())
+    record["body"]["v"] = 42  # digest no longer matches
+    path.write_text(json.dumps(record))
+
+    with PERF.collecting():
+        assert store.get(_key(2)) is None
+    assert PERF.counters.get("platform.store_corrupt") == 1
+
+
+def test_wrong_key_and_wrong_store_schema_read_as_corrupt(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(3), {"v": 1})
+    # A record copied under a different key must not be served.
+    misfiled = store.path_for(_key(4))
+    misfiled.parent.mkdir(parents=True, exist_ok=True)
+    misfiled.write_text(store.path_for(_key(3)).read_text())
+    assert store.get(_key(4)) is None
+
+    record = json.loads(store.path_for(_key(3)).read_text())
+    record["store_schema"] = STORE_SCHEMA_VERSION + 1
+    store.path_for(_key(3)).write_text(json.dumps(record))
+    assert store.get(_key(3)) is None
+
+
+def test_counters_track_served_absent_corrupt(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(5), {"v": 1})
+    store.path_for(_key(6)).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(_key(6)).write_text("{not json")
+    with PERF.collecting():
+        assert store.get(_key(5)) == {"v": 1}
+        assert store.get(_key(6)) is None
+        assert store.get(_key(7)) is None
+    assert PERF.counters == {"platform.store_served": 1,
+                             "platform.store_corrupt": 1,
+                             "platform.store_absent": 1}
+
+
+# ---------------------------------------------------------------------
+# Inventory and clean
+# ---------------------------------------------------------------------
+
+def test_inventory_and_clean_by_study(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(10), {"v": 1}, study="alpha")
+    store.put(_key(11), {"v": 2}, study="alpha")
+    store.put(_key(12), {"v": 3}, study="beta")
+
+    inventory = store.inventory()
+    assert inventory["alpha"]["cells"] == 2
+    assert inventory["beta"]["cells"] == 1
+    assert inventory["alpha"]["bytes"] > 0
+
+    assert store.clean(study="alpha") == 2
+    assert store.inventory() == {"beta": {
+        "cells": 1,
+        "bytes": store.path_for(_key(12)).stat().st_size}}
+    assert store.clean() == 1
+    assert store.inventory() == {}
+
+
+def test_clean_on_missing_root_is_a_noop(tmp_path):
+    assert ResultStore(tmp_path / "never-created").clean() == 0
